@@ -1,0 +1,21 @@
+(* CSV export for the figure data, so downstream users can plot the
+   reproduction against the paper's figures.  Files land in
+   ./bench_results/. *)
+
+let dir = "bench_results"
+
+let write name header rows =
+  (try Unix.mkdir dir 0o755 with
+   | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+   | Unix.Unix_error _ -> ());
+  let path = Filename.concat dir (name ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (String.concat "," header);
+  output_char oc '\n';
+  List.iter
+    (fun row ->
+      output_string oc (String.concat "," row);
+      output_char oc '\n')
+    rows;
+  close_out oc;
+  Fmt.pr "(wrote %s)@." path

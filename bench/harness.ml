@@ -1,0 +1,111 @@
+(* Shared measurement machinery for the figure benchmarks.
+
+   All "execution" numbers are simulated cycles from the interpreter charged
+   with the machine cost table (OCaml cannot execute AVX2; see DESIGN.md §2).
+   "O3" is the scalar code: the baseline every speedup is normalized to. *)
+
+open Lslp_core
+open Lslp_kernels
+
+type measurement = {
+  key : string;
+  config_name : string;
+  accepted_cost : int;     (* Σ cost of regions actually vectorized (TTI) *)
+  scalar_cycles : int;     (* simulated cycles of the O3 (scalar) code *)
+  vector_cycles : int;     (* simulated cycles after the pass *)
+}
+
+let speedup m = float_of_int m.scalar_cycles /. float_of_int (max 1 m.vector_cycles)
+
+let configs_main = [ Config.slp_nr; Config.slp; Config.lslp ]
+
+let measure ?(config_list = configs_main) key =
+  let f = Catalog.compile_key key in
+  List.map
+    (fun config ->
+      let report, g = Pipeline.run_cloned ~config f in
+      let o = Lslp_interp.Oracle.compare_runs ~reference:f ~candidate:g () in
+      assert (o.Lslp_interp.Oracle.mismatches = []);
+      {
+        key;
+        config_name = config.Config.name;
+        accepted_cost = report.Pipeline.total_cost;
+        scalar_cycles = o.Lslp_interp.Oracle.reference_cycles;
+        vector_cycles = o.Lslp_interp.Oracle.candidate_cycles;
+      })
+    config_list
+
+let geomean = function
+  | [] -> 1.0
+  | xs ->
+    exp (List.fold_left (fun a x -> a +. log x) 0.0 xs
+         /. float_of_int (List.length xs))
+
+let spec_kernels =
+  List.filter
+    (fun (k : Catalog.kernel) ->
+      not (String.length k.key >= 10 && String.sub k.key 0 10 = "motivation"))
+    Catalog.table2
+
+let motivation_kernels =
+  List.filter
+    (fun (k : Catalog.kernel) ->
+      String.length k.key >= 10 && String.sub k.key 0 10 = "motivation")
+    Catalog.table2
+
+(* Whole-benchmark aggregation (Figures 11-12): each SPEC benchmark is its
+   vectorizable kernels plus [filler_copies] copies of the scalar filler. *)
+type benchmark_measurement = {
+  bench_name : string;
+  config_name' : string;
+  total_accepted_cost : int;
+  total_scalar_cycles : int;
+  total_vector_cycles : int;
+}
+
+let measure_benchmark (b : Catalog.benchmark) config =
+  let kernel_measurements =
+    List.map
+      (fun key -> List.hd (measure ~config_list:[ config ] key))
+      b.kernel_keys
+  in
+  let filler = List.hd (measure ~config_list:[ config ] "filler-chain") in
+  let common = List.hd (measure ~config_list:[ config ] "common-region") in
+  let sum f = List.fold_left (fun a m -> a + f m) 0 kernel_measurements in
+  {
+    bench_name = b.bname;
+    config_name' = config.Config.name;
+    total_accepted_cost =
+      sum (fun m -> m.accepted_cost) + (b.common_copies * common.accepted_cost);
+    total_scalar_cycles =
+      sum (fun m -> m.scalar_cycles)
+      + (b.filler_copies * filler.scalar_cycles)
+      + (b.common_copies * common.scalar_cycles);
+    total_vector_cycles =
+      sum (fun m -> m.vector_cycles)
+      + (b.filler_copies * filler.scalar_cycles)
+      + (b.common_copies * common.vector_cycles);
+  }
+
+let bench_speedup m =
+  float_of_int m.total_scalar_cycles /. float_of_int (max 1 m.total_vector_cycles)
+
+(* Compilation work for Figure 14: frontend + (optionally) the pass, over a
+   translation unit shaped like real code — the Table-2 kernels plus many
+   functions that give the vectorizer nothing to do (most of a real program
+   is scalar).  The result is kept live so the work cannot be elided. *)
+let fig14_filler_functions = 40
+
+let compile_all_kernels config_opt =
+  let acc = ref 0 in
+  let consume (f : Lslp_ir.Func.t) =
+    (match config_opt with
+     | Some config -> ignore (Pipeline.run ~config f)
+     | None -> ());
+    acc := !acc + Lslp_ir.Block.length f.Lslp_ir.Func.block
+  in
+  List.iter (fun k -> consume (Catalog.compile k)) Catalog.table2;
+  for _ = 1 to fig14_filler_functions do
+    consume (Catalog.compile_key "filler-chain")
+  done;
+  !acc

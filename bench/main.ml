@@ -1,0 +1,95 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation section.
+
+     dune exec bench/main.exe            -- all figures + wall-clock timing
+     dune exec bench/main.exe -- quick   -- deterministic figures only
+     dune exec bench/main.exe -- fig9    -- a single figure
+
+   One Bechamel test per figure backs the wall-clock measurements: the
+   deterministic figures are benchmarked as whole-table computations (their
+   results do not depend on timing), and Figure 14 is derived from the
+   per-configuration compile-time tests. *)
+
+open Bechamel
+open Toolkit
+
+let bechamel_tests =
+  let table_test name f = Test.make ~name (Staged.stage f) in
+  Test.make_grouped ~name:"figures"
+    ([
+       table_test "table2-inventory" (fun () ->
+           List.length Lslp_kernels.Catalog.table2);
+       table_test "fig9-kernel-speedups" (fun () ->
+           Harness.measure "453.boy-surface");
+       table_test "fig10-static-costs" (fun () ->
+           Harness.measure "motivation-multi");
+       table_test "fig11-benchmark-costs" (fun () ->
+           Harness.measure_benchmark
+             (List.hd Lslp_kernels.Catalog.full_benchmarks)
+             Lslp_core.Config.lslp);
+       table_test "fig12-benchmark-speedups" (fun () ->
+           Harness.measure_benchmark
+             (List.nth Lslp_kernels.Catalog.full_benchmarks 4)
+             Lslp_core.Config.slp);
+       table_test "fig13-sensitivity" (fun () ->
+           Harness.measure
+             ~config_list:[ Lslp_core.Config.lslp_la 2 ]
+             "motivation-multi");
+     ]
+    @ List.map
+        (fun (name, job) -> table_test ("fig14-" ^ name) job)
+        Figures.fig14_jobs)
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances bechamel_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Fmt.pr "@.=== bechamel: ns per run (monotonic clock) ===@.";
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      match Analyze.OLS.estimates (Hashtbl.find results name) with
+      | Some [ ns ] -> Fmt.pr "%-32s %14.0f ns@." name ns
+      | _ -> Fmt.pr "%-32s (no estimate)@." name)
+    (List.sort String.compare names);
+  results
+
+let fig14_lookup results name =
+  match Analyze.OLS.estimates (Hashtbl.find results ("figures/fig14-" ^ name)) with
+  | Some [ ns ] -> ns
+  | _ -> nan
+
+let deterministic_figures () =
+  Figures.table2 ();
+  Figures.fig9 ();
+  Figures.fig10 ();
+  Figures.fig11 ();
+  Figures.fig12 ();
+  Figures.fig13 ()
+
+let () =
+  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match arg with
+  | "table2" -> Figures.table2 ()
+  | "fig9" -> Figures.fig9 ()
+  | "fig10" -> Figures.fig10 ()
+  | "fig11" -> Figures.fig11 ()
+  | "fig12" -> Figures.fig12 ()
+  | "fig13" -> Figures.fig13 ()
+  | "fig14" ->
+    let results = run_bechamel () in
+    Figures.fig14 (Some (fig14_lookup results))
+  | "ablation" -> Ablation.run_all ()
+  | "quick" ->
+    deterministic_figures ();
+    Figures.fig14 None
+  | "all" | _ ->
+    deterministic_figures ();
+    let results = run_bechamel () in
+    Figures.fig14 (Some (fig14_lookup results))

@@ -1,0 +1,200 @@
+(* lslpc: the kernel-language compiler driver.
+
+   Subcommands:
+     compile  parse a kernel, run a vectorizer configuration, dump IR /
+              graphs / costs
+     run      compile and execute scalar vs vectorized in the simulator,
+              reporting cycles, speedup and an equivalence check
+     kernels  list the built-in kernel catalog
+     show     print a catalog kernel's source and IR
+
+   Example:
+     lslpc compile --config lslp --dump-ir examples/kernels/foo.k
+     lslpc run --kernel 453.boy-surface --config slp
+*)
+
+open Cmdliner
+
+let config_of_string = function
+  | "slp-nr" -> Ok Lslp_core.Config.slp_nr
+  | "slp" -> Ok Lslp_core.Config.slp
+  | "lslp" -> Ok Lslp_core.Config.lslp
+  | s -> (
+    match String.index_opt s ':' with
+    | Some k -> (
+      let name = String.sub s 0 k in
+      let arg = String.sub s (k + 1) (String.length s - k - 1) in
+      match (name, int_of_string_opt arg) with
+      | "lslp-la", Some d -> Ok (Lslp_core.Config.lslp_la d)
+      | "lslp-multi", Some m -> Ok (Lslp_core.Config.lslp_multi m)
+      | _ -> Error (Fmt.str "unknown configuration %s" s))
+    | None -> Error (Fmt.str "unknown configuration %s" s))
+
+let config_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (config_of_string s) in
+  let print ppf (c : Lslp_core.Config.t) = Fmt.string ppf c.name in
+  Arg.conv (parse, print)
+
+let config_arg =
+  let doc =
+    "Vectorizer configuration: slp-nr, slp, lslp, lslp-la:N (look-ahead \
+     depth N) or lslp-multi:N (multi-node size N)."
+  in
+  Arg.(value & opt config_conv Lslp_core.Config.lslp
+       & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
+
+let load_kernel file kernel_key =
+  match (file, kernel_key) with
+  | Some path, None ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    Lslp_frontend.Lower.compile_string src
+  | None, Some key -> Lslp_kernels.Catalog.compile_key key
+  | Some _, Some _ -> failwith "give either a file or --kernel, not both"
+  | None, None -> failwith "give a kernel file or --kernel KEY"
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None
+       & info [] ~docv:"FILE" ~doc:"Kernel-language source file.")
+
+let kernel_arg =
+  let doc = "Use a built-in catalog kernel (see the kernels subcommand)." in
+  Arg.(value & opt (some string) None & info [ "k"; "kernel" ] ~docv:"KEY" ~doc)
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag
+       & info [ "v"; "verbose" ] ~doc:"Log the pass's decisions as it runs.")
+
+let handle_errors f =
+  try f () with
+  | Lslp_frontend.Lexer.Error (msg, pos)
+  | Lslp_frontend.Parser.Error (msg, pos)
+  | Lslp_frontend.Lower.Error (msg, pos) ->
+    Fmt.epr "error at %a: %s@." Lslp_frontend.Token.pp_pos pos msg;
+    exit 1
+  | Failure msg | Invalid_argument msg ->
+    Fmt.epr "error: %s@." msg;
+    exit 1
+
+(* ---- compile ---------------------------------------------------- *)
+
+let compile_cmd =
+  let run file kernel config dump_ir dump_graph quiet verbose =
+    handle_errors @@ fun () ->
+    setup_logs verbose;
+    let f = load_kernel file kernel in
+    if dump_ir then
+      Fmt.pr "=== scalar IR ===@.%a@.@." Lslp_ir.Printer.pp_func f;
+    if dump_graph then begin
+      let seeds = Lslp_core.Seeds.collect config f in
+      List.iteri
+        (fun k seed ->
+          let graph, _ = Lslp_core.Graph_builder.build config f seed in
+          let cost =
+            Lslp_core.Cost.evaluate config graph f.Lslp_ir.Func.block
+          in
+          Fmt.pr "=== %s graph for seed %d ===@.%a@.%a@.@." config.name k
+            Lslp_core.Graph.pp graph Lslp_core.Cost.pp_summary cost)
+        seeds
+    end;
+    let report, g = Lslp_core.Pipeline.run_cloned ~config f in
+    if not quiet then Fmt.pr "%a@.@." Lslp_core.Pipeline.pp_report report;
+    if dump_ir then
+      Fmt.pr "=== %s IR ===@.%a@." config.name Lslp_ir.Printer.pp_func g;
+    match Lslp_ir.Verifier.check_func g with
+    | [] -> ()
+    | errors ->
+      List.iter
+        (fun e -> Fmt.epr "verifier: %a@." Lslp_ir.Verifier.pp_error e)
+        errors;
+      exit 1
+  in
+  let dump_ir =
+    Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print IR before and after.")
+  in
+  let dump_graph =
+    Arg.(value & flag
+         & info [ "dump-graph" ] ~doc:"Print the SLP graph and node costs.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No report.") in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Vectorize a kernel and report what happened")
+    Term.(const run $ file_arg $ kernel_arg $ config_arg $ dump_ir
+          $ dump_graph $ quiet $ verbose_arg)
+
+(* ---- run --------------------------------------------------------- *)
+
+let run_cmd =
+  let run file kernel config seed verbose =
+    handle_errors @@ fun () ->
+    setup_logs verbose;
+    let f = load_kernel file kernel in
+    let report, g = Lslp_core.Pipeline.run_cloned ~config f in
+    let outcome =
+      Lslp_interp.Oracle.compare_runs ~seed ~reference:f ~candidate:g ()
+    in
+    Fmt.pr "%a@.@." Lslp_core.Pipeline.pp_report report;
+    Fmt.pr "scalar cycles:     %d@." outcome.reference_cycles;
+    Fmt.pr "vectorized cycles: %d@." outcome.candidate_cycles;
+    Fmt.pr "speedup:           %.3fx@."
+      (float_of_int outcome.reference_cycles
+      /. float_of_int (max 1 outcome.candidate_cycles));
+    match outcome.mismatches with
+    | [] -> Fmt.pr "equivalence:       OK@."
+    | ms ->
+      Fmt.pr "equivalence:       FAILED (%d mismatches)@." (List.length ms);
+      List.iter (fun m -> Fmt.pr "  %a@." Lslp_interp.Memory.pp_mismatch m) ms;
+      exit 1
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"Random seed for input data.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Vectorize a kernel, simulate scalar vs vector, compare")
+    Term.(const run $ file_arg $ kernel_arg $ config_arg $ seed
+          $ verbose_arg)
+
+(* ---- kernels ------------------------------------------------------ *)
+
+let kernels_cmd =
+  let run () =
+    List.iter
+      (fun (k : Lslp_kernels.Catalog.kernel) ->
+        Fmt.pr "%-26s %-12s %s@." k.key k.benchmark k.origin)
+      Lslp_kernels.Catalog.all
+  in
+  Cmd.v
+    (Cmd.info "kernels" ~doc:"List the built-in kernel catalog")
+    Term.(const run $ const ())
+
+(* ---- show --------------------------------------------------------- *)
+
+let show_cmd =
+  let run key =
+    handle_errors @@ fun () ->
+    let k = Lslp_kernels.Catalog.find key in
+    Fmt.pr "// %s (%s, %s)%s@."
+      k.key k.benchmark k.origin k.source;
+    let f = Lslp_kernels.Catalog.compile k in
+    Fmt.pr "@.%a@." Lslp_ir.Printer.pp_func f
+  in
+  let key = Arg.(required & pos 0 (some string) None & info [] ~docv:"KEY") in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a catalog kernel's source and scalar IR")
+    Term.(const run $ key)
+
+let () =
+  let info =
+    Cmd.info "lslpc" ~version:"1.0.0"
+      ~doc:"Look-ahead SLP vectorizing compiler for the kernel language"
+  in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; kernels_cmd; show_cmd ]))

@@ -1,0 +1,34 @@
+(* A tour of the evaluation kernels (the paper's Table 2).
+
+   For every kernel in the catalog, run the three vectorizer configurations
+   and print the static cost (Figure 10's metric) and the simulated speedup
+   over scalar code (Figure 9's metric).
+
+   Run with:  dune exec examples/kernel_tour.exe *)
+
+open Lslp_core
+open Lslp_kernels
+
+let () =
+  Fmt.pr "%-26s | %21s | %21s | %21s@." "kernel" "SLP-NR" "SLP" "LSLP";
+  Fmt.pr "%-26s | %10s %10s | %10s %10s | %10s %10s@." "" "cost" "speedup"
+    "cost" "speedup" "cost" "speedup";
+  Fmt.pr "%s@." (String.make 100 '-');
+  List.iter
+    (fun (k : Catalog.kernel) ->
+      let scalar = Catalog.compile k in
+      Fmt.pr "%-26s" k.key;
+      List.iter
+        (fun config ->
+          let report, transformed = Pipeline.run_cloned ~config scalar in
+          let outcome =
+            Lslp_interp.Oracle.compare_runs ~reference:scalar
+              ~candidate:transformed ()
+          in
+          assert (outcome.mismatches = []);
+          Fmt.pr " | %+10d %9.2fx" report.Pipeline.total_cost
+            (float_of_int outcome.reference_cycles
+            /. float_of_int (max 1 outcome.candidate_cycles)))
+        [ Config.slp_nr; Config.slp; Config.lslp ];
+      Fmt.pr "@.")
+    Catalog.table2

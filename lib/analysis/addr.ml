@@ -1,0 +1,73 @@
+(* Address analysis (SCEV-lite).
+
+   The SLP algorithm needs two memory facts, both answered here from the
+   affine normal form of subscripts:
+
+   - adjacency: do two accesses touch consecutive elements of the same array
+     (in lane order)?  This decides whether a load/store bundle becomes a
+     wide access or a gather.
+   - aliasing: can two accesses touch the same element?  This feeds the
+     dependence graph and hence scheduling legality.
+
+   Distinct array arguments are assumed not to alias (they model distinct
+   global arrays, as in the paper's kernels). *)
+
+open Lslp_ir
+
+let same_array (a : Instr.address) (b : Instr.address) =
+  String.equal a.base b.base
+
+(* Element distance [b - a] when it is a compile-time constant. *)
+let element_distance (a : Instr.address) (b : Instr.address) =
+  if same_array a b then Affine.diff_const b.index a.index else None
+
+let consecutive (a : Instr.address) (b : Instr.address) =
+  match element_distance a b with
+  | Some d -> d = a.access_lanes
+  | None -> false
+
+(* Accesses occupy [index, index + lanes) elements. *)
+let ranges_overlap a_lo a_len b_lo b_len =
+  a_lo < b_lo + b_len && b_lo < a_lo + a_len
+
+let may_alias (a : Instr.address) (b : Instr.address) =
+  if not (same_array a b) then false
+  else
+    match Affine.diff_const b.index a.index with
+    | None -> true (* symbolically different indices: assume the worst *)
+    | Some d -> ranges_overlap 0 a.access_lanes d b.access_lanes
+
+let must_alias (a : Instr.address) (b : Instr.address) =
+  same_array a b
+  && a.access_lanes = b.access_lanes
+  && Affine.equal a.index b.index
+
+(* Sort a list of (address, payload) pairs by constant offset; [None] when
+   the addresses are not mutually comparable (different arrays or symbolic
+   differences). *)
+let sort_by_offset pairs =
+  match pairs with
+  | [] -> Some []
+  | (a0, _) :: _ ->
+    let keyed =
+      List.map
+        (fun ((a, _) as p) -> (Affine.diff_const a.Instr.index a0.Instr.index,
+                               (a, p)))
+        pairs
+    in
+    if
+      List.for_all
+        (fun (d, (a, _)) -> Option.is_some d && same_array a a0)
+        keyed
+    then
+      Some
+        (keyed
+        |> List.map (fun (d, (_, p)) -> (Option.get d, p))
+        |> List.sort (fun (d1, _) (d2, _) -> Int.compare d1 d2)
+        |> List.map snd)
+    else None
+
+(* Is a list of scalar addresses a run of consecutive elements, in order? *)
+let rec consecutive_run = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> consecutive a b && consecutive_run rest

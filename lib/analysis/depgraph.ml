@@ -1,0 +1,165 @@
+(* Dependence graph of a basic block.
+
+   Nodes are the block's instructions; there is an edge j -> i (i depends on
+   j) when
+
+   - data: instruction i uses the value defined by j, or
+   - memory: i and j access may-aliasing memory and at least one is a store
+     (the earlier one is the dependency of the later one).
+
+   Straight-line semantics is preserved by any topological order of this
+   graph, which is what makes both bundle-schedulability checking and
+   post-vectorization rescheduling sound. *)
+
+open Lslp_ir
+
+type t = {
+  insts : Instr.t array;                 (* program order *)
+  pos_of : (int, int) Hashtbl.t;         (* instr id -> position *)
+  preds : int list array;                (* direct dependencies (positions) *)
+  reach : bool array array;              (* reach.(i).(j): i trans. dep on j *)
+}
+
+let direct_preds insts pos_of =
+  let n = Array.length insts in
+  let preds = Array.make n [] in
+  (* data dependencies — position-independent, so that rescheduling can
+     repair blocks that temporarily contain a def after its use *)
+  Array.iteri
+    (fun i inst ->
+      List.iter
+        (fun v ->
+          match Instr.value_id v with
+          | Some id ->
+            (match Hashtbl.find_opt pos_of id with
+             | Some j when j <> i -> preds.(i) <- j :: preds.(i)
+             | Some _ | None -> ())
+          | None -> ())
+        (Instr.operands inst))
+    insts;
+  (* memory dependencies *)
+  let mem_accesses =
+    Array.to_list insts
+    |> List.mapi (fun i inst -> (i, inst))
+    |> List.filter (fun (_, inst) -> Instr.is_memory_access inst)
+  in
+  let dep_between a b =
+    (Instr.is_store a || Instr.is_store b)
+    &&
+    match (Instr.address a, Instr.address b) with
+    | Some aa, Some ab -> Addr.may_alias aa ab
+    | (None | Some _), _ -> false
+  in
+  List.iter
+    (fun (i, inst_i) ->
+      List.iter
+        (fun (j, inst_j) ->
+          if j < i && dep_between inst_i inst_j then
+            preds.(i) <- j :: preds.(i))
+        mem_accesses)
+    mem_accesses;
+  preds
+
+let build block =
+  let insts = Array.of_list (Block.to_list block) in
+  let n = Array.length insts in
+  let pos_of = Hashtbl.create (2 * n) in
+  Array.iteri (fun i (inst : Instr.t) -> Hashtbl.replace pos_of inst.id i) insts;
+  let preds = direct_preds insts pos_of in
+  (* transitive closure by memoized DFS (data edges may point forward in
+     position, so a positional sweep is not enough) *)
+  let reach = Array.init n (fun _ -> Array.make n false) in
+  let visited = Array.make n false in
+  let rec close i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter
+        (fun j ->
+          reach.(i).(j) <- true;
+          close j;
+          for k = 0 to n - 1 do
+            if reach.(j).(k) then reach.(i).(k) <- true
+          done)
+        preds.(i)
+    end
+  in
+  for i = 0 to n - 1 do
+    close i
+  done;
+  { insts; pos_of; preds; reach }
+
+let position t (i : Instr.t) =
+  match Hashtbl.find_opt t.pos_of i.id with
+  | Some p -> p
+  | None -> invalid_arg "Depgraph: instruction not in block"
+
+let depends t a ~on = t.reach.(position t a).(position t on)
+
+let independent t insts =
+  let ps = List.map (position t) insts in
+  List.for_all
+    (fun p -> List.for_all (fun q -> p = q || not t.reach.(p).(q)) ps)
+    ps
+
+(* Acyclicity after contracting each group to a single node: the real
+   schedulability criterion for a whole SLP graph.  Groups must be disjoint
+   lists of block instructions. *)
+let schedulable_groups t groups =
+  let n = Array.length t.insts in
+  let group_of = Array.init n (fun i -> i + n) (* singleton ids *) in
+  List.iteri
+    (fun gid members ->
+      List.iter (fun m -> group_of.(position t m) <- gid) members)
+    groups;
+  (* condensed adjacency: group -> set of predecessor groups *)
+  let adj = Hashtbl.create 64 in
+  let add_edge src dst =
+    if src <> dst then begin
+      let cur = Option.value ~default:[] (Hashtbl.find_opt adj dst) in
+      if not (List.mem src cur) then Hashtbl.replace adj dst (src :: cur)
+    end
+  in
+  for i = 0 to n - 1 do
+    List.iter (fun j -> add_edge group_of.(j) group_of.(i)) t.preds.(i)
+  done;
+  (* cycle detection over the condensed graph *)
+  let state = Hashtbl.create 64 in
+  (* 0 = visiting, 1 = done *)
+  let rec acyclic_from node =
+    match Hashtbl.find_opt state node with
+    | Some 0 -> false
+    | Some _ -> true
+    | None ->
+      Hashtbl.replace state node 0;
+      let preds = Option.value ~default:[] (Hashtbl.find_opt adj node) in
+      let ok = List.for_all acyclic_from preds in
+      Hashtbl.replace state node 1;
+      ok
+  in
+  let nodes =
+    Array.to_list group_of
+    |> List.sort_uniq Int.compare
+  in
+  List.for_all acyclic_from nodes
+
+(* Stable topological order: keep original relative order wherever the
+   dependence graph allows it.  Used to restore def-before-use after code
+   generation appends vector instructions at arbitrary points. *)
+let topo_order block =
+  let t = build block in
+  let n = Array.length t.insts in
+  let emitted = Array.make n false in
+  let order = ref [] in
+  let rec emit i =
+    if not emitted.(i) then begin
+      emitted.(i) <- true;
+      List.iter emit (List.sort Int.compare t.preds.(i));
+      order := t.insts.(i) :: !order
+    end
+  in
+  for i = 0 to n - 1 do
+    emit i
+  done;
+  List.rev !order
+
+let reschedule block = Block.set_order block (topo_order block)

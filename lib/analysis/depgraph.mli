@@ -1,0 +1,29 @@
+(** Dependence graph of a basic block (data + memory dependences).
+
+    Any topological order of this graph preserves straight-line semantics;
+    that fact underlies both the bundle-schedulability check (contract groups,
+    test acyclicity) and post-vectorization rescheduling. *)
+
+open Lslp_ir
+
+type t
+
+val build : Block.t -> t
+
+val depends : t -> Instr.t -> on:Instr.t -> bool
+(** Transitive (strict) dependence. *)
+
+val independent : t -> Instr.t list -> bool
+(** No member transitively depends on another — the paper's per-bundle
+    "schedulable" termination condition. *)
+
+val schedulable_groups : t -> Instr.t list list -> bool
+(** Whole-graph check: contracting each group to one node leaves the
+    dependence graph acyclic. *)
+
+val topo_order : Block.t -> Instr.t list
+(** Stable topological order: original order preserved wherever dependences
+    allow. *)
+
+val reschedule : Block.t -> unit
+(** Reorder the block into {!topo_order}. *)

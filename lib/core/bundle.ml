@@ -1,0 +1,107 @@
+(* Bundles: one candidate value per vector lane.
+
+   [classify] implements the paper's termination conditions for growing the
+   SLP graph (Section 2.3, footnote 1): the values must all be scalar
+   instructions, isomorphic (same opcode class), unique, in the same basic
+   block, schedulable as a unit, and not already claimed by the graph.
+   Loads additionally need consecutive addresses to become a wide load. *)
+
+open Lslp_ir
+open Lslp_analysis
+
+type t = Instr.value array
+
+type reject_reason =
+  | Not_all_instructions
+  | Not_isomorphic
+  | Duplicate_member
+  | Different_block
+  | Not_schedulable
+  | Already_in_graph
+  | Non_consecutive_loads
+  | Unsupported_shape     (* e.g. vector-typed or effectful non-store *)
+
+let reject_to_string = function
+  | Not_all_instructions -> "not all members are instructions"
+  | Not_isomorphic -> "members have different opcodes"
+  | Duplicate_member -> "the same instruction appears in two lanes"
+  | Different_block -> "members live in different blocks"
+  | Not_schedulable -> "members depend on one another"
+  | Already_in_graph -> "a member is already part of the graph"
+  | Non_consecutive_loads -> "loads do not access consecutive memory"
+  | Unsupported_shape -> "instruction shape is not vectorizable"
+
+type verdict =
+  | Vectorizable of Instr.t array
+  | Rejected of reject_reason
+
+let instructions (b : t) : Instr.t array option =
+  let insts =
+    Array.map
+      (fun v -> match v with Instr.Ins i -> Some i | Instr.Const _ | Instr.Arg _ -> None)
+      b
+  in
+  if Array.for_all Option.is_some insts then Some (Array.map Option.get insts)
+  else None
+
+let all_same_opclass insts =
+  let c0 = Instr.opclass insts.(0) in
+  Array.for_all (fun i -> Instr.equal_opclass (Instr.opclass i) c0) insts
+
+let has_duplicates insts =
+  let n = Array.length insts in
+  let dup = ref false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Instr.equal insts.(i) insts.(j) then dup := true
+    done
+  done;
+  !dup
+
+let loads_consecutive insts =
+  let addrs =
+    Array.to_list insts |> List.filter_map Instr.address
+  in
+  List.length addrs = Array.length insts && Addr.consecutive_run addrs
+
+(* Shapes the code generator knows how to widen. *)
+let widenable (i : Instr.t) =
+  match i.kind with
+  | Instr.Binop _ | Instr.Unop _ | Instr.Load _ | Instr.Store _ ->
+    not (Types.is_vector i.ty)
+  | Instr.Splat _ | Instr.Buildvec _ | Instr.Extract _ | Instr.Reduce _
+  | Instr.Shuffle _ -> false
+
+let classify ~(block : Block.t) ~(deps : Depgraph.t)
+    ~(in_graph : Instr.t -> bool) (b : t) : verdict =
+  match instructions b with
+  | None -> Rejected Not_all_instructions
+  | Some insts ->
+    if not (Array.for_all widenable insts) then Rejected Unsupported_shape
+    else if not (all_same_opclass insts) then Rejected Not_isomorphic
+    else if has_duplicates insts then Rejected Duplicate_member
+    else if not (Array.for_all (Block.mem block) insts) then
+      Rejected Different_block
+    else if Array.exists in_graph insts then Rejected Already_in_graph
+    else if not (Depgraph.independent deps (Array.to_list insts)) then
+      Rejected Not_schedulable
+    else if Instr.is_load insts.(0) && not (loads_consecutive insts) then
+      Rejected Non_consecutive_loads
+    else if Instr.is_store insts.(0) && not (loads_consecutive insts) then
+      Rejected Non_consecutive_loads
+    else Vectorizable insts
+
+let of_insts insts = Array.map (fun i -> Instr.Ins i) insts
+
+let operand_column (insts : Instr.t array) ~index : t =
+  Array.map
+    (fun i ->
+      match List.nth_opt (Instr.operands i) index with
+      | Some v -> v
+      | None -> invalid_arg "Bundle.operand_column: operand index out of range")
+    insts
+
+let pp ppf (b : t) =
+  Fmt.pf ppf "[%a]"
+    Fmt.(array ~sep:comma Lslp_ir.Printer.pp_value)
+    b

@@ -1,0 +1,43 @@
+(** Bundles: one candidate value per vector lane, plus the paper's
+    termination conditions for growing the SLP graph. *)
+
+open Lslp_ir
+open Lslp_analysis
+
+type t = Instr.value array
+
+type reject_reason =
+  | Not_all_instructions
+  | Not_isomorphic
+  | Duplicate_member
+  | Different_block
+  | Not_schedulable
+  | Already_in_graph
+  | Non_consecutive_loads
+  | Unsupported_shape
+
+val reject_to_string : reject_reason -> string
+
+type verdict =
+  | Vectorizable of Instr.t array
+  | Rejected of reject_reason
+
+val classify :
+  block:Block.t ->
+  deps:Depgraph.t ->
+  in_graph:(Instr.t -> bool) ->
+  t ->
+  verdict
+(** The full termination-condition check (Section 2.3, footnote 1): scalar
+    instructions, isomorphic, unique, same block, mutually independent, not
+    yet claimed; memory bundles must be consecutive runs. *)
+
+val instructions : t -> Instr.t array option
+val of_insts : Instr.t array -> t
+
+val operand_column : Instr.t array -> index:int -> t
+(** Column [index] of the operand matrix: the [index]-th operand of each
+    lane. *)
+
+val loads_consecutive : Instr.t array -> bool
+val pp : t Fmt.t

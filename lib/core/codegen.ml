@@ -1,0 +1,355 @@
+(* Vector code generation (paper §2.2 steps 6-7).
+
+   Replaces each vectorizable bundle with one wide instruction, emits
+   gathers (buildvec/splat) for non-vectorizable operand columns and
+   extracts for vectorized values that still have scalar users, and removes
+   the replaced scalars.
+
+   Scheduling: rather than reasoning about a single insertion point, the
+   whole block is rebuilt.  Each graph node (group or whole multi-node) is a
+   *unit*; every remaining scalar instruction is a singleton unit; unit
+   dependences are induced from the instruction-level dependence graph (data
+   + memory).  A stable topological order of the units is a valid schedule
+   of the transformed block — and if the contraction is cyclic the bundles
+   were not schedulable together, so we abort before mutating anything. *)
+
+open Lslp_ir
+open Lslp_analysis
+
+type outcome = Vectorized | Not_schedulable
+
+(* A horizontal reduction being vectorized alongside the graph: the scalar
+   chain [red_chain] (root included) is replaced by element-wise combines of
+   the W-wide leaf chunks, one [Reduce], and a scalar fold of the leftover
+   leaves; every scalar user of [red_root] is rewired to the final value. *)
+type reduction = {
+  red_op : Opcode.binop;
+  red_root : Instr.t;
+  red_chain : Instr.t list;
+  red_chunks : Graph.node list;
+  red_remainder : Instr.value list;
+}
+
+let node_members (n : Graph.node) =
+  match n.Graph.shape with
+  | Graph.Group insts -> Array.to_list insts
+  | Graph.Multi m -> List.concat_map Array.to_list m.Graph.m_groups
+  | Graph.Gather _ -> []
+
+let element_scalar (i : Instr.t) =
+  match Types.scalar_of i.Instr.ty with
+  | Some s -> s
+  | None -> (
+    (* stores are void-typed; take the element from the address *)
+    match Instr.address i with
+    | Some a -> a.Instr.elt
+    | None -> invalid_arg "Codegen: cannot determine element type")
+
+let run ?reduction (graph : Graph.t) (f : Func.t) : outcome =
+  let block = f.Func.block in
+  let deps = Depgraph.build block in
+  (* ---- units ---------------------------------------------------- *)
+  let vector_nodes =
+    List.filter
+      (fun (n : Graph.node) ->
+        match n.Graph.shape with
+        | Graph.Group _ | Graph.Multi _ -> true
+        | Graph.Gather _ -> false)
+      (Graph.nodes graph)
+  in
+  let unit_of_inst = Hashtbl.create 64 in
+  List.iteri
+    (fun u n ->
+      List.iter
+        (fun (i : Instr.t) -> Hashtbl.replace unit_of_inst i.id u)
+        (node_members n))
+    vector_nodes;
+  let num_node_units = List.length vector_nodes in
+  (* the reduction chain, if any, forms one additional unit *)
+  let chain_unit =
+    match reduction with
+    | Some r ->
+      List.iter
+        (fun (i : Instr.t) -> Hashtbl.replace unit_of_inst i.id num_node_units)
+        r.red_chain;
+      1
+    | None -> 0
+  in
+  let scalars =
+    Block.find_all (fun i -> not (Hashtbl.mem unit_of_inst i.Instr.id)) block
+  in
+  List.iteri
+    (fun k (i : Instr.t) ->
+      Hashtbl.replace unit_of_inst i.id (num_node_units + chain_unit + k))
+    scalars;
+  let num_units = num_node_units + chain_unit + List.length scalars in
+  let members = Array.make num_units [] in
+  Block.iter
+    (fun i -> members.(Hashtbl.find unit_of_inst i.Instr.id) <-
+        i :: members.(Hashtbl.find unit_of_inst i.Instr.id))
+    block;
+  let key = Array.make num_units max_int in
+  Array.iteri
+    (fun u ms ->
+      List.iter
+        (fun m -> key.(u) <- min key.(u) (Block.position_exn block m))
+        ms)
+    members;
+  (* ---- unit dependence edges ------------------------------------ *)
+  let preds = Array.make num_units [] in
+  let add_edge src dst =
+    if src <> dst && not (List.mem src preds.(dst)) then
+      preds.(dst) <- src :: preds.(dst)
+  in
+  Array.iteri
+    (fun u ms ->
+      List.iter
+        (fun m ->
+          Array.iteri
+            (fun v ns ->
+              if v <> u then
+                List.iter
+                  (fun n -> if Depgraph.depends deps m ~on:n then add_edge v u)
+                  ns)
+            members)
+        ms)
+    members;
+  (* ---- stable topological order (Kahn, min-key first) ------------ *)
+  let emitted = Array.make num_units false in
+  let order = ref [] in
+  let remaining = ref num_units in
+  let progress = ref true in
+  while !remaining > 0 && !progress do
+    progress := false;
+    let best = ref (-1) in
+    for u = 0 to num_units - 1 do
+      if (not emitted.(u))
+         && List.for_all (fun p -> emitted.(p)) preds.(u)
+         && (!best = -1 || key.(u) < key.(!best))
+      then best := u
+    done;
+    if !best >= 0 then begin
+      emitted.(!best) <- true;
+      order := !best :: !order;
+      decr remaining;
+      progress := true
+    end
+  done;
+  if !remaining > 0 then Not_schedulable
+  else begin
+    let order = List.rev !order in
+    (* ---- emission -------------------------------------------------- *)
+    let out = ref [] in
+    let push i = out := i :: !out in
+    let vec_vals : (int, Instr.value) Hashtbl.t = Hashtbl.create 32 in
+    let extracts : (int, Instr.value) Hashtbl.t = Hashtbl.create 16 in
+    (* scalar replacements (e.g. a reduction root's final value) *)
+    let replacements : (int, Instr.value) Hashtbl.t = Hashtbl.create 4 in
+    let rec subst (v : Instr.value) : Instr.value =
+      match v with
+      | Instr.Ins i when Hashtbl.mem replacements i.id ->
+        Hashtbl.find replacements i.id
+      | Instr.Ins i when Graph.claimed graph i -> (
+        match Hashtbl.find_opt extracts i.id with
+        | Some e -> e
+        | None -> (
+          match Graph.lane_of graph i with
+          | Some (node, lane) ->
+            let vec =
+              match Hashtbl.find_opt vec_vals node.Graph.nid with
+              | Some v -> v
+              | None ->
+                invalid_arg
+                  "Codegen: extract before defining unit was emitted"
+            in
+            let e =
+              Instr.create ~name:"ext" (Instr.Extract (vec, lane))
+                (Types.Scalar (element_scalar i))
+            in
+            push e;
+            let ev = Instr.Ins e in
+            Hashtbl.replace extracts i.id ev;
+            ev
+          | None ->
+            invalid_arg "Codegen: escaped multi-node internal value"))
+      | Instr.Ins _ | Instr.Const _ | Instr.Arg _ -> v
+    and emit_node (n : Graph.node) : Instr.value =
+      match Hashtbl.find_opt vec_vals n.Graph.nid with
+      | Some v -> v
+      | None ->
+        let v =
+          match n.Graph.shape with
+          | Graph.Gather vs -> (
+            match Graph.shuffle_pattern graph vs with
+            | Some (src, idx) ->
+              (* pure permutation of one vector value: a single shuffle *)
+              let src_vec =
+                match Hashtbl.find_opt vec_vals src.Graph.nid with
+                | Some v -> v
+                | None ->
+                  invalid_arg "Codegen: shuffle before its source was emitted"
+              in
+              let elt =
+                match Instr.value_ty src_vec with
+                | Some (Types.Vec (s, _)) -> s
+                | Some _ | None ->
+                  invalid_arg "Codegen: shuffle of non-vector"
+              in
+              let ty = Types.vec elt (Array.length vs) in
+              let i =
+                Instr.create ~name:"shuf" (Instr.Shuffle (src_vec, idx)) ty
+              in
+              push i;
+              Instr.Ins i
+            | None ->
+              let values = List.map subst (Array.to_list vs) in
+              let elt =
+                match Instr.value_ty (List.hd values) with
+                | Some (Types.Scalar s) -> s
+                | Some _ | None ->
+                  invalid_arg "Codegen: non-scalar gather element"
+              in
+              let lanes = List.length values in
+              let ty = Types.vec elt lanes in
+              let i =
+                match Lslp_costmodel.Model.classify_gather values with
+                | Lslp_costmodel.Model.Gather_splat ->
+                  Instr.create ~name:"splat" (Instr.Splat (List.hd values)) ty
+                | Lslp_costmodel.Model.Gather_free
+                | Lslp_costmodel.Model.Gather_insert ->
+                  Instr.create ~name:"gath" (Instr.Buildvec values) ty
+              in
+              push i;
+              Instr.Ins i)
+          | Graph.Group insts -> (
+            let lanes = Array.length insts in
+            let i0 = insts.(0) in
+            match i0.Instr.kind with
+            | Instr.Load a ->
+              let addr = { a with Instr.access_lanes = lanes } in
+              let i =
+                Instr.create ~name:"vload" (Instr.Load addr)
+                  (Types.vec addr.Instr.elt lanes)
+              in
+              push i;
+              Instr.Ins i
+            | Instr.Store (a, _) ->
+              let child =
+                match n.Graph.children with
+                | [ c ] -> emit_node c
+                | _ -> invalid_arg "Codegen: store group arity"
+              in
+              let addr = { a with Instr.access_lanes = lanes } in
+              let i =
+                Instr.create ~name:"vstore" (Instr.Store (addr, child))
+                  Types.Void
+              in
+              push i;
+              Instr.Ins i
+            | Instr.Binop (op, _, _) ->
+              let children = List.map emit_node n.Graph.children in
+              (match children with
+               | [ a; b ] ->
+                 let ty = Types.vec (element_scalar i0) lanes in
+                 let i =
+                   Instr.create ~name:"v" (Instr.Binop (op, a, b)) ty
+                 in
+                 push i;
+                 Instr.Ins i
+               | _ -> invalid_arg "Codegen: binop group arity")
+            | Instr.Unop (op, _) ->
+              let children = List.map emit_node n.Graph.children in
+              (match children with
+               | [ a ] ->
+                 let ty = Types.vec (element_scalar i0) lanes in
+                 let i = Instr.create ~name:"v" (Instr.Unop (op, a)) ty in
+                 push i;
+                 Instr.Ins i
+               | _ -> invalid_arg "Codegen: unop group arity")
+            | Instr.Splat _ | Instr.Buildvec _ | Instr.Extract _
+            | Instr.Reduce _ | Instr.Shuffle _ ->
+              invalid_arg "Codegen: unexpected group shape")
+          | Graph.Multi m ->
+            let lanes = Graph.lanes_of_node n in
+            let elt =
+              match m.Graph.m_groups with
+              | g :: _ -> element_scalar g.(0)
+              | [] -> invalid_arg "Codegen: empty multi-node"
+            in
+            let ty = Types.vec elt lanes in
+            let children = List.map emit_node n.Graph.children in
+            (match children with
+             | [] -> invalid_arg "Codegen: multi-node without operands"
+             | first :: rest ->
+               List.fold_left
+                 (fun acc c ->
+                   let i =
+                     Instr.create ~name:"v"
+                       (Instr.Binop (m.Graph.m_op, acc, c))
+                       ty
+                   in
+                   push i;
+                   Instr.Ins i)
+                 first rest)
+        in
+        Hashtbl.replace vec_vals n.Graph.nid v;
+        v
+    in
+    let node_arr = Array.of_list vector_nodes in
+    let emit_reduction (r : reduction) =
+      let chunk_vecs = List.map emit_node r.red_chunks in
+      let elt = element_scalar r.red_root in
+      let lanes =
+        match r.red_chunks with
+        | c :: _ -> Graph.lanes_of_node c
+        | [] -> invalid_arg "Codegen: reduction without chunks"
+      in
+      let vty = Types.vec elt lanes in
+      let combined =
+        match chunk_vecs with
+        | [] -> invalid_arg "Codegen: reduction without chunks"
+        | first :: rest ->
+          List.fold_left
+            (fun acc c ->
+              let i =
+                Instr.create ~name:"vacc" (Instr.Binop (r.red_op, acc, c)) vty
+              in
+              push i;
+              Instr.Ins i)
+            first rest
+      in
+      let red =
+        Instr.create ~name:"hred" (Instr.Reduce (r.red_op, combined))
+          (Types.Scalar elt)
+      in
+      push red;
+      let final =
+        List.fold_left
+          (fun acc v ->
+            let i =
+              Instr.create ~name:"tail"
+                (Instr.Binop (r.red_op, acc, subst v))
+                (Types.Scalar elt)
+            in
+            push i;
+            Instr.Ins i)
+          (Instr.Ins red) r.red_remainder
+      in
+      Hashtbl.replace replacements r.red_root.Instr.id final
+    in
+    List.iter
+      (fun u ->
+        if u < num_node_units then ignore (emit_node node_arr.(u))
+        else if u < num_node_units + chain_unit then
+          emit_reduction (Option.get reduction)
+        else
+          match members.(u) with
+          | [ i ] ->
+            Instr.map_operands subst i;
+            push i
+          | _ -> invalid_arg "Codegen: scalar unit with multiple members")
+      order;
+    Block.set_order block (List.rev !out);
+    ignore (Dce.run_block block);
+    Vectorized
+  end

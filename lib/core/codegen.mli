@@ -1,0 +1,24 @@
+(** Vector code generation: replace vectorizable bundles with wide
+    instructions, emit gathers/shuffles/extracts, and reschedule the block.
+
+    The block is rebuilt from a stable topological order of contracted
+    dependence units, so any legal bundling gets a correct schedule; if the
+    contraction is cyclic, [Not_schedulable] is returned and the function is
+    left untouched. *)
+
+open Lslp_ir
+
+type outcome = Vectorized | Not_schedulable
+
+(** A horizontal reduction vectorized alongside the graph: the scalar chain
+    is replaced by element-wise combines of the leaf chunks, one [Reduce],
+    and a scalar fold of the leftover leaves. *)
+type reduction = {
+  red_op : Opcode.binop;
+  red_root : Instr.t;           (** the chain's root (its users get rewired) *)
+  red_chain : Instr.t list;     (** every chain op, root included *)
+  red_chunks : Graph.node list; (** W-wide leaf bundles, in combine order *)
+  red_remainder : Instr.value list;  (** leaves folded scalar after reduce *)
+}
+
+val run : ?reduction:reduction -> Graph.t -> Func.t -> outcome

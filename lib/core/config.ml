@@ -1,0 +1,68 @@
+(* Vectorizer configuration: selects between the paper's four compiler
+   configurations (O3 / SLP-NR / SLP / LSLP) and exposes the two knobs of the
+   sensitivity study (Figure 13): look-ahead depth and multi-node size. *)
+
+type reorder_strategy =
+  | No_reorder   (* SLP-NR: accept operands as written *)
+  | Vanilla      (* SLP: LLVM-4.0-style opcode/splat/consecutive-load swap *)
+  | Lookahead    (* LSLP: multi-nodes + mode-driven look-ahead reordering *)
+
+type score_combine = Score_sum | Score_max
+
+type t = {
+  name : string;
+  strategy : reorder_strategy;
+  lookahead_depth : int;
+  (* Maximum number of group nodes a multi-node may absorb; [None] is
+     unlimited, [Some 1] disables coarsening (the root alone). *)
+  max_multinode_groups : int option;
+  max_lanes : int option;  (* cap below the target's native width, if any *)
+  threshold : int;         (* vectorize iff total cost < threshold *)
+  score_combine : score_combine;
+  model : Lslp_costmodel.Model.t;
+  reductions : bool;       (* also vectorize horizontal reduction chains *)
+}
+
+let default_model = Lslp_costmodel.Model.skylake_avx2
+
+let lslp =
+  {
+    name = "LSLP";
+    strategy = Lookahead;
+    lookahead_depth = 8;
+    max_multinode_groups = None;
+    max_lanes = None;
+    threshold = 0;
+    score_combine = Score_sum;
+    model = default_model;
+    reductions = true;
+  }
+
+let slp = { lslp with name = "SLP"; strategy = Vanilla }
+
+let slp_nr = { lslp with name = "SLP-NR"; strategy = No_reorder }
+
+let lslp_la depth =
+  { lslp with name = Fmt.str "LSLP-LA%d" depth; lookahead_depth = depth }
+
+let lslp_multi groups =
+  {
+    lslp with
+    name = Fmt.str "LSLP-Multi%d" groups;
+    max_multinode_groups = Some groups;
+  }
+
+let with_model model t = { t with model }
+let with_threshold threshold t = { t with threshold }
+let with_max_lanes n t = { t with max_lanes = Some n }
+let with_score_combine score_combine t = { t with score_combine }
+let with_reductions reductions t = { t with reductions }
+
+let effective_max_lanes t elt =
+  let native = Lslp_costmodel.Model.max_lanes t.model elt in
+  match t.max_lanes with Some cap -> min cap native | None -> native
+
+let multinode_limit t =
+  match t.max_multinode_groups with Some n -> max 1 n | None -> max_int
+
+let pp ppf t = Fmt.string ppf t.name

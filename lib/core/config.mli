@@ -1,0 +1,47 @@
+(** Vectorizer configuration.
+
+    Captures the paper's compiler configurations — SLP-NR, SLP, LSLP — and
+    the sensitivity knobs of Figure 13 (look-ahead depth, multi-node size).
+    "O3" is simply not running the pass. *)
+
+type reorder_strategy =
+  | No_reorder  (** SLP-NR: keep operand order as written *)
+  | Vanilla     (** SLP: LLVM-4.0-style opcode/splat/consecutive-load swap *)
+  | Lookahead   (** LSLP: multi-nodes + mode-driven look-ahead reordering *)
+
+type score_combine = Score_sum | Score_max
+
+type t = {
+  name : string;
+  strategy : reorder_strategy;
+  lookahead_depth : int;
+  max_multinode_groups : int option;
+  max_lanes : int option;
+  threshold : int;
+  score_combine : score_combine;
+  model : Lslp_costmodel.Model.t;
+  reductions : bool;
+}
+
+val lslp : t
+(** The paper's LSLP: look-ahead depth 8, unlimited multi-nodes. *)
+
+val slp : t
+val slp_nr : t
+
+val lslp_la : int -> t
+(** LSLP with a given look-ahead depth (Figure 13's LA-k). *)
+
+val lslp_multi : int -> t
+(** LSLP with multi-node size capped at [k] group nodes (Figure 13's
+    Multi-k). *)
+
+val with_model : Lslp_costmodel.Model.t -> t -> t
+val with_threshold : int -> t -> t
+val with_max_lanes : int -> t -> t
+val with_score_combine : score_combine -> t -> t
+val with_reductions : bool -> t -> t
+
+val effective_max_lanes : t -> Lslp_ir.Types.scalar -> int
+val multinode_limit : t -> int
+val pp : t Fmt.t

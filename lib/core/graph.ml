@@ -1,0 +1,181 @@
+(* The SLP graph: the core data structure of the algorithm (paper §2.2-2.3).
+
+   Nodes are either vectorizable groups (one scalar instruction per lane),
+   multi-nodes (a chain of same-opcode commutative groups, LSLP's §4.2
+   extension), or gathers (operand columns that could not be vectorized and
+   must be assembled lane by lane).  Children are operand columns, in
+   operand order after any reordering. *)
+
+open Lslp_ir
+
+type node = {
+  nid : int;
+  shape : shape;
+  mutable children : node list;
+}
+
+and shape =
+  | Group of Instr.t array
+    (* one vectorizable bundle; children = operand columns (loads: none,
+       stores: the stored-value column) *)
+  | Multi of multi
+    (* a multi-node; children = the reordered frontier operand columns *)
+  | Gather of Instr.value array
+    (* non-vectorizable column: assembled with buildvec/splat/constant *)
+
+and multi = {
+  m_op : Opcode.binop;
+  m_groups : Instr.t array list;  (* internal group bundles, root first *)
+}
+
+type t = {
+  mutable root : node option;
+  mutable nodes : node list;             (* creation order, root first *)
+  (* insts vectorized by this graph, with their defining node and, when the
+     instruction corresponds to a lane of that node's vector value, the
+     lane index (multi-node internals have none) *)
+  claimed : (int, Instr.t * node * int option) Hashtbl.t;
+  by_bundle : (string, node) Hashtbl.t;  (* exact-bundle reuse (diamonds) *)
+}
+
+let create () =
+  { root = None; nodes = []; claimed = Hashtbl.create 32;
+    by_bundle = Hashtbl.create 16 }
+
+(* Key identifying a bundle by the exact per-lane values, used to reuse a
+   node when the same column reappears (shared sub-expressions form diamonds
+   in the use-def DAG; LLVM's SLP reuses the tree entry the same way). *)
+let bundle_key (values : Instr.value array) =
+  let value_key (v : Instr.value) =
+    match v with
+    | Instr.Ins i -> Fmt.str "i%d" i.id
+    | Instr.Arg a -> Fmt.str "a%s" a.arg_name
+    | Instr.Const (Instr.Cint n) -> Fmt.str "c%Ld" n
+    | Instr.Const (Instr.Cfloat x) -> Fmt.str "f%Ld" (Int64.bits_of_float x)
+    | Instr.Const (Instr.Cint32 n) -> Fmt.str "d%ld" n
+    | Instr.Const (Instr.Cfloat32 x) -> Fmt.str "g%ld" (Int32.bits_of_float x)
+  in
+  String.concat "," (Array.to_list (Array.map value_key values))
+
+let find_existing g (values : Instr.value array) =
+  Hashtbl.find_opt g.by_bundle (bundle_key values)
+
+let register_bundle g (values : Instr.value array) node =
+  Hashtbl.replace g.by_bundle (bundle_key values) node
+
+let node_counter = ref 0
+
+let add_node g shape =
+  incr node_counter;
+  let n = { nid = !node_counter; shape; children = [] } in
+  g.nodes <- n :: g.nodes;
+  if g.root = None then g.root <- Some n;
+  (match shape with
+   | Group insts ->
+     Array.iteri
+       (fun lane (i : Instr.t) ->
+         Hashtbl.replace g.claimed i.id (i, n, Some lane))
+       insts
+   | Multi m ->
+     List.iteri
+       (fun j insts ->
+         Array.iteri
+           (fun lane (i : Instr.t) ->
+             (* only the root bundle's members are lanes of the folded
+                vector value; internals are reassociated away *)
+             let lane = if j = 0 then Some lane else None in
+             Hashtbl.replace g.claimed i.id (i, n, lane))
+           insts)
+       m.m_groups
+   | Gather _ -> ());
+  n
+
+let claimed g (i : Instr.t) = Hashtbl.mem g.claimed i.id
+
+let claimed_insts g =
+  Hashtbl.fold (fun _ (i, _, _) acc -> i :: acc) g.claimed []
+
+let lane_of g (i : Instr.t) =
+  match Hashtbl.find_opt g.claimed i.id with
+  | Some (_, n, Some lane) -> Some (n, lane)
+  | Some (_, _, None) | None -> None
+
+(* A gather column that is a pure permutation of one vectorized node's
+   lanes can be emitted as a single shuffle instead of extracts+inserts. *)
+let shuffle_pattern g (values : Instr.value array) :
+    (node * int list) option =
+  let lanes =
+    Array.map
+      (fun v ->
+        match v with
+        | Instr.Ins i -> lane_of g i
+        | Instr.Const _ | Instr.Arg _ -> None)
+      values
+  in
+  if Array.for_all Option.is_some lanes then
+    match Array.to_list lanes with
+    | Some (n0, _) :: _ as all
+      when List.for_all
+             (function Some (n, _) -> n.nid = n0.nid | None -> false)
+             all ->
+      Some (n0, List.map (function Some (_, l) -> l | None -> 0) all)
+    | _ -> None
+  else None
+
+let nodes g = List.rev g.nodes
+
+let root_exn g =
+  match g.root with
+  | Some r -> r
+  | None -> invalid_arg "Graph.root_exn: empty graph"
+
+let lanes_of_node n =
+  match n.shape with
+  | Group insts -> Array.length insts
+  | Multi m ->
+    (match m.m_groups with
+     | g0 :: _ -> Array.length g0
+     | [] -> 0)
+  | Gather vs -> Array.length vs
+
+(* All bundles that become one vector instruction each: groups plus every
+   internal group of each multi-node. *)
+let vector_bundles g =
+  List.concat_map
+    (fun n ->
+      match n.shape with
+      | Group insts -> [ insts ]
+      | Multi m -> m.m_groups
+      | Gather _ -> [])
+    (nodes g)
+
+let rec pp_node ppf n =
+  let pp_insts ppf insts =
+    Fmt.pf ppf "[%a]"
+      Fmt.(array ~sep:comma (fun ppf i -> Printer.pp_value ppf (Instr.Ins i)))
+      insts
+  in
+  match n.shape with
+  | Group insts ->
+    Fmt.pf ppf "@[<v 2>group#%d %s %a%a@]" n.nid
+      (Instr.opclass_name (Instr.opclass insts.(0)))
+      pp_insts insts pp_children n.children
+  | Multi m ->
+    Fmt.pf ppf "@[<v 2>multi#%d %s {%a}%a@]" n.nid
+      (Opcode.binop_name m.m_op)
+      Fmt.(list ~sep:semi pp_insts)
+      m.m_groups pp_children n.children
+  | Gather vs ->
+    Fmt.pf ppf "gather#%d [%a]" n.nid
+      Fmt.(array ~sep:comma Printer.pp_value)
+      vs
+
+and pp_children ppf = function
+  | [] -> ()
+  | children ->
+    List.iter (fun c -> Fmt.pf ppf "@,%a" pp_node c) children
+
+let pp ppf g =
+  match g.root with
+  | None -> Fmt.string ppf "<empty graph>"
+  | Some r -> pp_node ppf r

@@ -1,0 +1,60 @@
+(** The SLP graph — the algorithm's core data structure.
+
+    Nodes are vectorizable groups, LSLP multi-nodes (chains of same-opcode
+    commutative groups), or gathers.  Children are operand columns in operand
+    order (post-reordering). *)
+
+open Lslp_ir
+
+type node = {
+  nid : int;
+  shape : shape;
+  mutable children : node list;
+}
+
+and shape =
+  | Group of Instr.t array
+  | Multi of multi
+  | Gather of Instr.value array
+
+and multi = {
+  m_op : Opcode.binop;
+  m_groups : Instr.t array list;  (** internal group bundles, root first *)
+}
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> shape -> node
+(** Create a node, record it, claim its instructions; the first node added
+    becomes the root. *)
+
+val claimed : t -> Instr.t -> bool
+(** Has this instruction been absorbed into a vectorizable group? *)
+
+val lane_of : t -> Instr.t -> (node * int) option
+(** The node and lane whose vector value carries this claimed instruction's
+    result ([None] for multi-node internals, which are reassociated away). *)
+
+val shuffle_pattern : t -> Instr.value array -> (node * int list) option
+(** When a gather column is a pure permutation of one vectorized node's
+    lanes, the node and the permutation (emitted as a single shuffle). *)
+
+val find_existing : t -> Instr.value array -> node option
+(** Node previously registered for exactly this per-lane value bundle
+    (diamond reuse). *)
+
+val register_bundle : t -> Instr.value array -> node -> unit
+
+val claimed_insts : t -> Instr.t list
+val nodes : t -> node list
+val root_exn : t -> node
+val lanes_of_node : node -> int
+
+val vector_bundles : t -> Instr.t array list
+(** Every bundle that will become one vector instruction (groups and
+    multi-node internals). *)
+
+val pp_node : node Fmt.t
+val pp : t Fmt.t

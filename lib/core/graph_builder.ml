@@ -1,0 +1,187 @@
+(* SLP-graph construction (paper Listing 3 / LSLP Listing 4).
+
+   Starting from a seed bundle (consecutive stores), recurse bottom-up
+   through operand columns:
+
+   - bundles failing the termination conditions become gather nodes;
+   - wide loads are leaves;
+   - commutative (and associative) bundles under the LSLP strategy enter
+     *coarsening mode*: operand columns with the same opcode whose values do
+     not escape are absorbed into the multi-node until the opcode changes, a
+     value escapes, or the configured size limit is reached; the collected
+     frontier columns are then reordered as one matrix and recursed into
+     (*normal mode*);
+   - under the SLP / SLP-NR strategies commutative bundles get the vanilla
+     (or no) two-operand reorder;
+   - everything else recurses in operand order. *)
+
+open Lslp_ir
+open Lslp_analysis
+
+type ctx = {
+  config : Config.t;
+  block : Block.t;
+  deps : Depgraph.t;
+  uses : Use_info.t;
+  graph : Graph.t;
+}
+
+let make_ctx config (f : Func.t) =
+  {
+    config;
+    block = f.Func.block;
+    deps = Depgraph.build f.Func.block;
+    uses = Use_info.compute f.Func.block;
+    graph = Graph.create ();
+  }
+
+let classify ctx (b : Bundle.t) =
+  Bundle.classify ~block:ctx.block ~deps:ctx.deps
+    ~in_graph:(Graph.claimed ctx.graph) b
+
+(* Can this operand value be absorbed into a multi-node of opcode [op]?
+   It must be the same commutative+associative opcode and must not escape:
+   its only use is its place in the chain (the paper's "operands don't
+   escape the multi-node" condition — intermediate values of the chain are
+   not preserved by the reassociated vector code). *)
+let absorbable ctx ~op (v : Instr.value) =
+  match v with
+  | Instr.Ins i ->
+    (match Instr.binop i with
+     | Some bop ->
+       Opcode.equal_binop bop op
+       && Opcode.is_commutative bop && Opcode.is_associative bop
+       && Use_info.has_single_use ctx.uses i
+       && Block.mem ctx.block i
+       && not (Graph.claimed ctx.graph i)
+     | None -> false)
+  | Instr.Const _ | Instr.Arg _ -> false
+
+let rec build_bundle ctx (b : Bundle.t) : Graph.node =
+  match Graph.find_existing ctx.graph b with
+  | Some node -> node (* diamond: the exact same column already has a node *)
+  | None -> build_bundle_fresh ctx b
+
+and build_bundle_fresh ctx (b : Bundle.t) : Graph.node =
+  let register node =
+    Graph.register_bundle ctx.graph b node;
+    node
+  in
+  match classify ctx b with
+  | Bundle.Rejected _ -> register (Graph.add_node ctx.graph (Graph.Gather b))
+  | Bundle.Vectorizable insts -> (
+    let i0 = insts.(0) in
+    match i0.Instr.kind with
+    | Instr.Load _ -> register (Graph.add_node ctx.graph (Graph.Group insts))
+    | Instr.Store _ ->
+      let node = register (Graph.add_node ctx.graph (Graph.Group insts)) in
+      let col = Bundle.operand_column insts ~index:0 in
+      node.Graph.children <- [ build_bundle ctx col ];
+      node
+    | Instr.Unop _ ->
+      let node = register (Graph.add_node ctx.graph (Graph.Group insts)) in
+      let col = Bundle.operand_column insts ~index:0 in
+      node.Graph.children <- [ build_bundle ctx col ];
+      node
+    | Instr.Binop (op, _, _)
+      when Opcode.is_commutative op
+           && ctx.config.Config.strategy = Config.Lookahead ->
+      register (build_multinode ctx insts op)
+    | Instr.Binop (op, _, _) when Opcode.is_commutative op ->
+      let node = register (Graph.add_node ctx.graph (Graph.Group insts)) in
+      let left, right =
+        match ctx.config.Config.strategy with
+        | Config.Vanilla -> Reorder.vanilla_pair insts
+        | Config.No_reorder | Config.Lookahead -> Reorder.no_reorder_pair insts
+      in
+      node.Graph.children <- [ build_bundle ctx left; build_bundle ctx right ];
+      node
+    | Instr.Binop (_, _, _) ->
+      let node = register (Graph.add_node ctx.graph (Graph.Group insts)) in
+      node.Graph.children <-
+        [ build_bundle ctx (Bundle.operand_column insts ~index:0);
+          build_bundle ctx (Bundle.operand_column insts ~index:1) ];
+      node
+    | Instr.Splat _ | Instr.Buildvec _ | Instr.Extract _ | Instr.Reduce _
+    | Instr.Shuffle _ ->
+      (* excluded by Bundle.classify (Unsupported_shape) *)
+      assert false)
+
+(* Listing 4 / Figure 6: coarsening mode.
+
+   Per lane, absorb the maximal same-opcode single-use chain rooted at that
+   lane's instruction (depth-first, operand order), collecting the frontier
+   leaves.  Lanes may have differently-shaped chains (the associativity
+   mismatch of §3.3); they are trimmed to the smallest per-lane chain size
+   so the frontier matrix is rectangular: k chain ops per lane always leave
+   exactly k+1 leaves.  The internal ops are bundled lane-wise in discovery
+   order — which ops pair up is irrelevant because the vector code is
+   regenerated as one fold over the reordered frontier. *)
+and build_multinode ctx (root_insts : Instr.t array) (op : Opcode.binop) =
+  let config_limit = Config.multinode_limit ctx.config in
+  let collect_lane ~limit (root : Instr.t) =
+    let ops = ref [ root ] in
+    let count = ref 1 in
+    let leaves = ref [] in
+    let rec go (i : Instr.t) =
+      List.iter
+        (fun v ->
+          if !count < limit && absorbable ctx ~op v then begin
+            match v with
+            | Instr.Ins child ->
+              ops := child :: !ops;
+              incr count;
+              go child
+            | Instr.Const _ | Instr.Arg _ -> assert false
+          end
+          else leaves := v :: !leaves)
+        (Instr.operands i)
+    in
+    go root;
+    (List.rev !ops, List.rev !leaves)
+  in
+  let limit = if Opcode.is_associative op then config_limit else 1 in
+  let maximal = Array.map (fun r -> collect_lane ~limit r) root_insts in
+  let k =
+    Array.fold_left
+      (fun acc (ops, _) -> min acc (List.length ops))
+      max_int maximal
+  in
+  let trimmed =
+    if Array.for_all (fun (ops, _) -> List.length ops = k) maximal then
+      maximal
+    else Array.map (fun r -> collect_lane ~limit:k r) root_insts
+  in
+  (* lane-wise bundles of internal ops, in discovery order *)
+  let m_groups =
+    List.init k (fun j ->
+        Array.map (fun (ops, _) -> List.nth ops j) trimmed)
+  in
+  (* frontier matrix: slot s, lane l = l-th lane's s-th leaf *)
+  let matrix =
+    Array.init (k + 1) (fun s ->
+        Array.map (fun (_, leaves) -> List.nth leaves s) trimmed)
+  in
+  let reordered =
+    match ctx.config.Config.strategy with
+    | Config.Lookahead -> Reorder.reorder_matrix ctx.config matrix
+    | Config.Vanilla | Config.No_reorder -> matrix
+  in
+  let node =
+    Graph.add_node ctx.graph (Graph.Multi { Graph.m_op = op; m_groups })
+  in
+  node.Graph.children <-
+    List.map (build_bundle ctx) (Array.to_list reordered);
+  node
+
+let build config (f : Func.t) (seed : Instr.t array) =
+  let ctx = make_ctx config f in
+  let root = build_bundle ctx (Bundle.of_insts seed) in
+  (ctx.graph, root)
+
+(* Entry point for reduction vectorization: build one node per leaf chunk
+   within a single shared graph (so diamonds across chunks still reuse). *)
+let build_columns config (f : Func.t) (columns : Bundle.t list) =
+  let ctx = make_ctx config f in
+  let nodes = List.map (build_bundle ctx) columns in
+  (ctx.graph, nodes)

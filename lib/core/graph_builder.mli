@@ -1,0 +1,14 @@
+(** SLP-graph construction: the paper's Listing 3 with LSLP's Listing-4
+    multi-node coarsening, parameterized by the reordering strategy. *)
+
+open Lslp_ir
+
+val build :
+  Config.t -> Func.t -> Instr.t array -> Graph.t * Graph.node
+(** Build the graph rooted at the given seed bundle (usually consecutive
+    stores).  Pure with respect to the function: no IR is mutated. *)
+
+val build_columns :
+  Config.t -> Func.t -> Bundle.t list -> Graph.t * Graph.node list
+(** Build one node per value column within a single shared graph — the
+    entry point reduction vectorization uses for its leaf chunks. *)

@@ -1,0 +1,145 @@
+(* The pass driver: the flowchart of the paper's Figure 1.
+
+   Collect seeds; for each seed group build the (L)SLP graph, evaluate its
+   cost against the threshold, and if profitable generate vector code and
+   clean up.  The function is transformed in place; a report records what
+   happened per region. *)
+
+open Lslp_ir
+
+let log_src = Logs.Src.create "lslp" ~doc:"(L)SLP vectorization pass"
+
+module Log = (val Logs.src_log log_src)
+
+type region = {
+  seed_desc : string;
+  lanes : int;
+  cost : Cost.summary;
+  vectorized : bool;
+  not_schedulable : bool;
+}
+
+type report = {
+  config_name : string;
+  regions : region list;
+  total_cost : int;     (* sum of costs of the regions actually vectorized *)
+  vectorized_regions : int;
+}
+
+let describe_seed (seed : Instr.t array) =
+  match Instr.address seed.(0) with
+  | Some a ->
+    Fmt.str "%s[%a] x%d" a.Instr.base Affine.pp a.Instr.index
+      (Array.length seed)
+  | None -> Fmt.str "seed x%d" (Array.length seed)
+
+let run ?(config = Config.lslp) (f : Func.t) : report =
+  let regions = ref [] in
+  let continue_ = ref true in
+  let consumed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  while !continue_ do
+    continue_ := false;
+    let seeds = Seeds.collect config f in
+    let fresh =
+      List.filter
+        (fun (s : Seeds.seed) ->
+          Array.for_all
+            (fun (i : Instr.t) ->
+              (not (Hashtbl.mem consumed i.id)) && Block.mem f.Func.block i)
+            s)
+        seeds
+    in
+    match fresh with
+    | [] -> ()
+    | seed :: _ ->
+      Array.iter (fun (i : Instr.t) -> Hashtbl.replace consumed i.id ()) seed;
+      Log.debug (fun m ->
+          m "%s: building graph for seed %s" config.Config.name
+            (describe_seed seed));
+      let graph, _root = Graph_builder.build config f seed in
+      let cost = Cost.evaluate config graph f.Func.block in
+      Log.debug (fun m ->
+          m "%s: seed %s -> %d nodes, cost %+d" config.Config.name
+            (describe_seed seed)
+            (List.length (Graph.nodes graph))
+            cost.Cost.total);
+      let region =
+        if Cost.profitable config cost then begin
+          match Codegen.run graph f with
+          | Codegen.Vectorized ->
+            Log.info (fun m ->
+                m "%s: vectorized %s (cost %+d)" config.Config.name
+                  (describe_seed seed) cost.Cost.total);
+            {
+              seed_desc = describe_seed seed;
+              lanes = Array.length seed;
+              cost;
+              vectorized = true;
+              not_schedulable = false;
+            }
+          | Codegen.Not_schedulable ->
+            {
+              seed_desc = describe_seed seed;
+              lanes = Array.length seed;
+              cost;
+              vectorized = false;
+              not_schedulable = true;
+            }
+        end
+        else
+          {
+            seed_desc = describe_seed seed;
+            lanes = Array.length seed;
+            cost;
+            vectorized = false;
+            not_schedulable = false;
+          }
+      in
+      regions := region :: !regions;
+      continue_ := true
+  done;
+  (* after the store seeds: the reduction-tree idiom (paper §2.2) *)
+  if config.Config.reductions then
+    List.iter
+      (fun (r : Reduction.region) ->
+        regions :=
+          {
+            seed_desc = r.Reduction.root_desc;
+            lanes = r.Reduction.lanes;
+            cost =
+              { Cost.per_node = []; extract_cost = 0; total = r.Reduction.cost };
+            vectorized = r.Reduction.vectorized;
+            not_schedulable = false;
+          }
+          :: !regions)
+      (Reduction.run ~config f);
+  let regions = List.rev !regions in
+  {
+    config_name = config.Config.name;
+    regions;
+    total_cost =
+      List.fold_left
+        (fun acc r -> if r.vectorized then acc + r.cost.Cost.total else acc)
+        0 regions;
+    vectorized_regions =
+      List.length (List.filter (fun r -> r.vectorized) regions);
+  }
+
+(* Convenience: clone, run, return (report, transformed clone). *)
+let run_cloned ?(config = Config.lslp) (f : Func.t) : report * Func.t =
+  let g = Func.clone f in
+  let report = run ~config g in
+  (report, g)
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>%s: %d region(s), %d vectorized, total cost %+d"
+    r.config_name (List.length r.regions) r.vectorized_regions r.total_cost;
+  List.iter
+    (fun reg ->
+      Fmt.pf ppf "@,  %s (VL=%d): cost %+d%s" reg.seed_desc reg.lanes
+        reg.cost.Cost.total
+        (if reg.vectorized then " [vectorized]"
+         else if reg.not_schedulable then " [not schedulable]"
+         else " [kept scalar]"))
+    r.regions;
+  Fmt.pf ppf "@]"

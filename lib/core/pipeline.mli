@@ -1,0 +1,29 @@
+(** The (L)SLP pass driver — the flowchart of the paper's Figure 1.
+
+    Repeatedly: collect seeds, build the graph for the next unconsumed seed,
+    cost it, vectorize when profitable.  Transforms the function in place. *)
+
+open Lslp_ir
+
+type region = {
+  seed_desc : string;
+  lanes : int;
+  cost : Cost.summary;
+  vectorized : bool;
+  not_schedulable : bool;
+}
+
+type report = {
+  config_name : string;
+  regions : region list;
+  total_cost : int;
+  vectorized_regions : int;
+}
+
+val run : ?config:Config.t -> Func.t -> report
+(** Run on [f], mutating it.  [config] defaults to {!Config.lslp}. *)
+
+val run_cloned : ?config:Config.t -> Func.t -> report * Func.t
+(** Like {!run} but on a deep copy, leaving the input untouched. *)
+
+val pp_report : report Fmt.t

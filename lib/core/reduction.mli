@@ -1,0 +1,29 @@
+(** Horizontal-reduction vectorization — the reduction-tree seed idiom the
+    paper lists in §2.2.
+
+    Chains of one commutative+associative opcode (with non-escaping
+    intermediates) are rewritten as W-wide chunk combines + one [Reduce] +
+    a scalar tail fold, when the cost model approves. *)
+
+open Lslp_ir
+
+type candidate = {
+  cand_op : Opcode.binop;
+  cand_root : Instr.t;
+  cand_chain : Instr.t list;
+  cand_leaves : Instr.value list;
+}
+
+val collect_candidates : Func.t -> candidate list
+(** Reduction-chain roots in program order, with their leaves. *)
+
+type region = {
+  root_desc : string;
+  lanes : int;
+  cost : int;
+  vectorized : bool;
+}
+
+val run : ?config:Config.t -> Func.t -> region list
+(** Vectorize every profitable reduction, mutating [f].  One region record
+    per candidate with at least a full chunk of leaves. *)

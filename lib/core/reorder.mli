@@ -1,0 +1,51 @@
+(** Operand reordering strategies.
+
+    [vanilla_pair] ports LLVM 4.0's reorderInputsAccordingToOpcode (the
+    paper's SLP baseline); [reorder_matrix] implements LSLP's mode-driven,
+    look-ahead-scored single-pass reorder over the (operand-slot × lane)
+    matrix (Listings 5-7). *)
+
+open Lslp_ir
+
+type mode = Const_mode | Load_mode | Opcode_mode | Splat_mode | Failed_mode
+
+val mode_to_string : mode -> string
+
+val consecutive_or_match : Instr.value -> Instr.value -> bool
+(** Constants match constants, loads match consecutive loads, other
+    instructions match on opcode class, arguments match themselves. *)
+
+val pair_score : Instr.value -> Instr.value -> int
+(** Graded base score for the look-ahead: identical values and consecutive
+    loads score 2, constants and same-opcode instructions 1, everything else
+    (including non-consecutive loads) 0. *)
+
+val lookahead_score :
+  combine:Config.score_combine ->
+  Instr.value ->
+  Instr.value ->
+  level:int ->
+  int
+(** Listing 7: recursive match count between two sub-DAGs down to [level]. *)
+
+val init_mode : Instr.value -> mode
+
+val get_best :
+  Config.t ->
+  mode ->
+  Instr.value ->
+  Instr.value list ->
+  Instr.value option * mode
+(** Listing 6: choose among candidates given the slot's mode and the
+    previous lane's pick; [None] means the slot defers (already FAILED). *)
+
+val reorder_matrix :
+  Config.t -> Instr.value array array -> Instr.value array array
+(** Listing 5 over [columns.(slot).(lane)].  Preserves each lane's multiset
+    of operands; lane 0 is kept as-is. *)
+
+val vanilla_pair : Instr.t array -> Instr.value array * Instr.value array
+(** LLVM-4.0-faithful two-operand reorder (peeled lane 0, splat /
+    same-opcode preservation, trailing consecutive-load pass). *)
+
+val no_reorder_pair : Instr.t array -> Instr.value array * Instr.value array

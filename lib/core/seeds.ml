@@ -1,0 +1,89 @@
+(* Seed collection (paper §2.2 step 1).
+
+   Like GCC's and LLVM's SLP, we look for runs of non-dependent stores to
+   adjacent memory locations and cut them into power-of-two windows, widest
+   first (up to the target's native lane count for the element type). *)
+
+open Lslp_ir
+open Lslp_analysis
+
+type seed = Instr.t array
+
+(* Split one consecutive run of stores into windows: greedily take the
+   largest power-of-two width that fits (>= 2). *)
+let rec windows max_lanes (run : Instr.t list) : seed list =
+  let n = List.length run in
+  if n < 2 then []
+  else begin
+    let width = ref 2 in
+    while !width * 2 <= min n max_lanes do
+      width := !width * 2
+    done;
+    let rec take k = function
+      | rest when k = 0 -> ([], rest)
+      | [] -> ([], [])
+      | x :: rest ->
+        let taken, leftover = take (k - 1) rest in
+        (x :: taken, leftover)
+    in
+    let first, rest = take !width run in
+    Array.of_list first :: windows max_lanes rest
+  end
+
+let collect (config : Config.t) (f : Func.t) : seed list =
+  let block = f.Func.block in
+  let stores = Block.find_all Instr.is_store block in
+  (* group by (array, element type) *)
+  let by_array = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Instr.t) ->
+      match Instr.address s with
+      | Some a when a.Instr.access_lanes = 1 ->
+        let key = a.Instr.base in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_array key) in
+        Hashtbl.replace by_array key ((a, s) :: cur)
+      | Some _ | None -> ())
+    stores;
+  let seeds = ref [] in
+  Hashtbl.iter
+    (fun _ accesses ->
+      match Addr.sort_by_offset (List.rev accesses) with
+      | None -> () (* symbolically incomparable: no seed *)
+      | Some sorted ->
+        (* split into maximal consecutive runs with unique offsets *)
+        let runs = ref [] and current = ref [] in
+        let flush () =
+          if !current <> [] then runs := List.rev !current :: !runs;
+          current := []
+        in
+        List.iter
+          (fun ((a : Instr.address), s) ->
+            match !current with
+            | [] -> current := [ (a, s) ]
+            | (prev, _) :: _ ->
+              if Addr.consecutive prev a then current := (a, s) :: !current
+              else begin
+                flush ();
+                current := [ (a, s) ]
+              end)
+          sorted;
+        flush ();
+        List.iter
+          (fun run ->
+            let insts = List.map snd run in
+            let elt =
+              match run with
+              | ((a : Instr.address), _) :: _ -> a.Instr.elt
+              | [] -> Types.I64
+            in
+            let max_lanes = Config.effective_max_lanes config elt in
+            seeds := !seeds @ windows max_lanes insts)
+          (List.rev !runs))
+    by_array;
+  (* deterministic order: by position of the first store *)
+  List.sort
+    (fun (a : seed) (b : seed) ->
+      Int.compare
+        (Block.position_exn block a.(0))
+        (Block.position_exn block b.(0)))
+    !seeds

@@ -1,0 +1,9 @@
+(** Seed collection: runs of adjacent, same-array scalar stores cut into
+    power-of-two windows (widest native width first). *)
+
+open Lslp_ir
+
+type seed = Instr.t array
+
+val collect : Config.t -> Func.t -> seed list
+(** Seeds ordered by the position of their first store. *)

@@ -1,0 +1,53 @@
+(* Abstract syntax of the kernel language.
+
+   A kernel is a straight-line function over i64/f64 scalars and arrays:
+   local single-assignment declarations and array-element stores.  Builtin
+   calls cover the math functions the SPEC kernels need (sqrt, fabs,
+   min/max).  Every node carries its source position for diagnostics. *)
+
+type ty = Ti64 | Tf64
+
+type param_ty = P_i64 | P_f64 | P_arr of ty
+
+type binop =
+  | B_add | B_sub | B_mul | B_div | B_rem
+  | B_and | B_or | B_xor
+  | B_shl | B_shr
+
+type expr = { desc : expr_desc; epos : Token.pos }
+
+and expr_desc =
+  | Int_lit of int64
+  | Float_lit of float
+  | Var of string
+  | Load of string * expr            (* array[index] *)
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Call of string * expr list       (* builtin: sqrt, fabs, min, max... *)
+
+type stmt = { sdesc : stmt_desc; spos : Token.pos }
+
+and stmt_desc =
+  | Decl of ty * string * expr       (* ty name = expr; *)
+  | Store of string * expr * expr    (* array[index] = expr; *)
+
+type kernel = {
+  kname : string;
+  params : (string * param_ty) list;
+  body : stmt list;
+}
+
+let pp_ty ppf = function
+  | Ti64 -> Fmt.string ppf "i64"
+  | Tf64 -> Fmt.string ppf "f64"
+
+let binop_symbol = function
+  | B_add -> "+" | B_sub -> "-" | B_mul -> "*" | B_div -> "/" | B_rem -> "%"
+  | B_and -> "&" | B_or -> "|" | B_xor -> "^"
+  | B_shl -> "<<" | B_shr -> ">>"
+
+(* Builtins and their arities; the lowering maps them to IR opcodes. *)
+let builtins = [ ("sqrt", 1); ("fabs", 1); ("fmin", 2); ("fmax", 2);
+                 ("min", 2); ("max", 2) ]
+
+let builtin_arity name = List.assoc_opt name builtins

@@ -1,0 +1,155 @@
+(* Hand-rolled lexer for the kernel language.
+
+   Supports //-line and block comments, decimal integer literals, float
+   literals (which must contain '.', 'e' or 'E' to distinguish them from
+   ints), identifiers and the operator/punctuation set of the language. *)
+
+exception Error of string * Token.pos
+
+let error pos fmt = Fmt.kstr (fun s -> raise (Error (s, pos))) fmt
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make src = { src; off = 0; line = 1; col = 1 }
+
+let peek st = if st.off < String.length st.src then Some st.src.[st.off] else None
+
+let peek2 st =
+  if st.off + 1 < String.length st.src then Some st.src.[st.off + 1] else None
+
+let advance st =
+  (match peek st with
+   | Some '\n' ->
+     st.line <- st.line + 1;
+     st.col <- 1
+   | Some _ -> st.col <- st.col + 1
+   | None -> ());
+  st.off <- st.off + 1
+
+let pos st : Token.pos = { line = st.line; col = st.col }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do advance st done;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = pos st in
+    advance st;
+    advance st;
+    let rec loop () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        loop ()
+      | None, _ -> error start "unterminated block comment"
+    in
+    loop ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = pos st in
+  let begin_off = st.off in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float = ref false in
+  (match peek st with
+   | Some '.' ->
+     is_float := true;
+     advance st;
+     while (match peek st with Some c -> is_digit c | None -> false) do
+       advance st
+     done
+   | Some _ | None -> ());
+  (match peek st with
+   | Some ('e' | 'E') ->
+     is_float := true;
+     advance st;
+     (match peek st with
+      | Some ('+' | '-') -> advance st
+      | Some _ | None -> ());
+     while (match peek st with Some c -> is_digit c | None -> false) do
+       advance st
+     done
+   | Some _ | None -> ());
+  let text = String.sub st.src begin_off (st.off - begin_off) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some x -> Token.FLOAT_LIT x
+    | None -> error start "malformed float literal %s" text
+  else
+    match Int64.of_string_opt text with
+    | Some n -> Token.INT_LIT n
+    | None -> error start "malformed integer literal %s" text
+
+let lex_ident st =
+  let begin_off = st.off in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  match String.sub st.src begin_off (st.off - begin_off) with
+  | "kernel" -> Token.KERNEL
+  | "i64" -> Token.TY_I64
+  | "f64" -> Token.TY_F64
+  | s -> Token.IDENT s
+
+let next_token st : Token.spanned =
+  skip_trivia st;
+  let p = pos st in
+  let simple tok = advance st; tok in
+  let tok =
+    match peek st with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number st
+    | Some c when is_ident_start c -> lex_ident st
+    | Some '(' -> simple Token.LPAREN
+    | Some ')' -> simple Token.RPAREN
+    | Some '[' -> simple Token.LBRACKET
+    | Some ']' -> simple Token.RBRACKET
+    | Some '{' -> simple Token.LBRACE
+    | Some '}' -> simple Token.RBRACE
+    | Some ',' -> simple Token.COMMA
+    | Some ';' -> simple Token.SEMI
+    | Some '=' -> simple Token.ASSIGN
+    | Some '+' -> simple Token.PLUS
+    | Some '-' -> simple Token.MINUS
+    | Some '*' -> simple Token.STAR
+    | Some '/' -> simple Token.SLASH
+    | Some '%' -> simple Token.PERCENT
+    | Some '&' -> simple Token.AMP
+    | Some '|' -> simple Token.PIPE
+    | Some '^' -> simple Token.CARET
+    | Some '<' when peek2 st = Some '<' ->
+      advance st; advance st; Token.SHL
+    | Some '>' when peek2 st = Some '>' ->
+      advance st; advance st; Token.SHR
+    | Some c -> error p "unexpected character %C" c
+  in
+  { Token.tok; pos = p }
+
+let tokenize src =
+  let st = make src in
+  let rec loop acc =
+    let t = next_token st in
+    match t.Token.tok with
+    | Token.EOF -> List.rev (t :: acc)
+    | _ -> loop (t :: acc)
+  in
+  loop []

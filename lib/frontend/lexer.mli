@@ -1,0 +1,7 @@
+(** Lexer for the kernel language. *)
+
+exception Error of string * Token.pos
+
+val tokenize : string -> Token.spanned list
+(** Full token stream, ending with [EOF].
+    @raise Error on malformed input, with the offending position. *)

@@ -1,0 +1,237 @@
+(* Lowering: kernel AST -> straight-line IR.
+
+   Responsibilities:
+   - type checking (i64 vs f64, operator/operand compatibility);
+   - single-assignment locals (each local is just a name for an IR value);
+   - affine subscript extraction: array indices must normalize to an affine
+     form over the kernel's i64 parameters, which keeps address arithmetic
+     out of the use-def graph (the SCEV-style split the vectorizer needs).
+     An i64 local whose definition is itself affine can appear in subscripts
+     and is substituted symbolically. *)
+
+open Lslp_ir
+
+exception Error of string * Token.pos
+
+let error pos fmt = Fmt.kstr (fun s -> raise (Error (s, pos))) fmt
+
+type local = {
+  l_ty : Ast.ty;
+  l_value : Instr.value;
+  l_affine : Affine.t option;  (* set for i64 locals with affine definitions *)
+}
+
+type env = {
+  builder : Builder.t;
+  params : (string * Ast.param_ty) list;
+  mutable locals : (string * local) list;
+}
+
+let lookup_local env name = List.assoc_opt name env.locals
+
+let lookup_param env name = List.assoc_opt name env.params
+
+(* Affine view of an i64 expression, when one exists. *)
+let rec affine_of env (e : Ast.expr) : Affine.t option =
+  match e.Ast.desc with
+  | Ast.Int_lit n -> Some (Affine.const (Int64.to_int n))
+  | Ast.Var x -> (
+    match lookup_param env x with
+    | Some Ast.P_i64 -> Some (Affine.sym x)
+    | Some (Ast.P_f64 | Ast.P_arr _) -> None
+    | None -> (
+      match lookup_local env x with
+      | Some { l_affine; _ } -> l_affine
+      | None -> None))
+  | Ast.Bin (op, a, b) -> (
+    match (affine_of env a, affine_of env b) with
+    | Some fa, Some fb -> (
+      match op with
+      | Ast.B_add -> Some (Affine.add fa fb)
+      | Ast.B_sub -> Some (Affine.sub fa fb)
+      | Ast.B_mul -> Affine.mul fa fb
+      | Ast.B_div | Ast.B_rem | Ast.B_and | Ast.B_or | Ast.B_xor
+      | Ast.B_shl | Ast.B_shr -> None)
+    | (None | Some _), _ -> None)
+  | Ast.Neg a -> Option.map Affine.neg (affine_of env a)
+  | Ast.Float_lit _ | Ast.Load _ | Ast.Call _ -> None
+
+let rec infer_ty env (e : Ast.expr) : Ast.ty =
+  match e.Ast.desc with
+  | Ast.Int_lit _ -> Ast.Ti64
+  | Ast.Float_lit _ -> Ast.Tf64
+  | Ast.Var x -> (
+    match lookup_param env x with
+    | Some Ast.P_i64 -> Ast.Ti64
+    | Some Ast.P_f64 -> Ast.Tf64
+    | Some (Ast.P_arr _) ->
+      error e.Ast.epos "array %s used as a scalar value" x
+    | None -> (
+      match lookup_local env x with
+      | Some l -> l.l_ty
+      | None -> error e.Ast.epos "undefined variable %s" x))
+  | Ast.Load (arr, _) -> (
+    match lookup_param env arr with
+    | Some (Ast.P_arr ty) -> ty
+    | Some (Ast.P_i64 | Ast.P_f64) ->
+      error e.Ast.epos "%s is not an array" arr
+    | None -> error e.Ast.epos "undefined array %s" arr)
+  | Ast.Bin (op, a, b) ->
+    let ta = infer_ty env a and tb = infer_ty env b in
+    if ta <> tb then
+      error e.Ast.epos "operands of %s have different types (%a vs %a)"
+        (Ast.binop_symbol op) Ast.pp_ty ta Ast.pp_ty tb;
+    (match op with
+     | Ast.B_and | Ast.B_or | Ast.B_xor | Ast.B_shl | Ast.B_shr | Ast.B_rem ->
+       if ta <> Ast.Ti64 then
+         error e.Ast.epos "%s requires i64 operands" (Ast.binop_symbol op)
+     | Ast.B_add | Ast.B_sub | Ast.B_mul | Ast.B_div -> ());
+    ta
+  | Ast.Neg a -> infer_ty env a
+  | Ast.Call (name, args) -> (
+    match name with
+    | "sqrt" | "fabs" | "fmin" | "fmax" ->
+      List.iter
+        (fun a ->
+          if infer_ty env a <> Ast.Tf64 then
+            error a.Ast.epos "%s requires f64 argument(s)" name)
+        args;
+      Ast.Tf64
+    | "min" | "max" ->
+      let tys = List.map (infer_ty env) args in
+      (match tys with
+       | [ ta; tb ] when ta = tb -> ta
+       | [ _; _ ] -> error e.Ast.epos "%s arguments must have equal types" name
+       | _ -> error e.Ast.epos "%s expects 2 arguments" name)
+    | _ -> error e.Ast.epos "unknown builtin %s" name)
+
+let binop_opcode pos (op : Ast.binop) (ty : Ast.ty) : Opcode.binop =
+  match (op, ty) with
+  | Ast.B_add, Ast.Ti64 -> Opcode.Add
+  | Ast.B_add, Ast.Tf64 -> Opcode.Fadd
+  | Ast.B_sub, Ast.Ti64 -> Opcode.Sub
+  | Ast.B_sub, Ast.Tf64 -> Opcode.Fsub
+  | Ast.B_mul, Ast.Ti64 -> Opcode.Mul
+  | Ast.B_mul, Ast.Tf64 -> Opcode.Fmul
+  | Ast.B_div, Ast.Ti64 -> Opcode.Sdiv
+  | Ast.B_div, Ast.Tf64 -> Opcode.Fdiv
+  | Ast.B_rem, Ast.Ti64 -> Opcode.Srem
+  | Ast.B_and, Ast.Ti64 -> Opcode.And
+  | Ast.B_or, Ast.Ti64 -> Opcode.Or
+  | Ast.B_xor, Ast.Ti64 -> Opcode.Xor
+  | Ast.B_shl, Ast.Ti64 -> Opcode.Shl
+  | Ast.B_shr, Ast.Ti64 -> Opcode.Lshr
+  | (Ast.B_rem | Ast.B_and | Ast.B_or | Ast.B_xor | Ast.B_shl | Ast.B_shr),
+    Ast.Tf64 ->
+    error pos "integer operator applied to f64"
+
+let subscript env arr (idx : Ast.expr) =
+  (match infer_ty env idx with
+   | Ast.Ti64 -> ()
+   | Ast.Tf64 -> error idx.Ast.epos "array subscript must be i64");
+  match affine_of env idx with
+  | Some a -> a
+  | None ->
+    error idx.Ast.epos
+      "subscript of %s is not affine in the kernel's i64 parameters" arr
+
+let rec lower_expr env (e : Ast.expr) : Instr.value =
+  match e.Ast.desc with
+  | Ast.Int_lit n -> Builder.iconst64 n
+  | Ast.Float_lit x -> Builder.fconst x
+  | Ast.Var x -> (
+    match lookup_local env x with
+    | Some l -> l.l_value
+    | None -> (
+      match lookup_param env x with
+      | Some (Ast.P_i64 | Ast.P_f64) -> Builder.arg env.builder x
+      | Some (Ast.P_arr _) ->
+        error e.Ast.epos "array %s used as a scalar value" x
+      | None -> error e.Ast.epos "undefined variable %s" x))
+  | Ast.Load (arr, idx) ->
+    let index = subscript env arr idx in
+    Builder.load env.builder ~base:arr index
+  | Ast.Bin (op, a, b) ->
+    let ty = infer_ty env e in
+    let va = lower_expr env a in
+    let vb = lower_expr env b in
+    Builder.binop env.builder (binop_opcode e.Ast.epos op ty) va vb
+  | Ast.Neg a ->
+    let ty = infer_ty env a in
+    let va = lower_expr env a in
+    let op = match ty with Ast.Ti64 -> Opcode.Neg | Ast.Tf64 -> Opcode.Fneg in
+    Builder.unop env.builder op va
+  | Ast.Call (name, args) -> (
+    let vargs = List.map (lower_expr env) args in
+    match (name, vargs, List.map (infer_ty env) args) with
+    | "sqrt", [ v ], _ -> Builder.unop env.builder Opcode.Fsqrt v
+    | "fabs", [ v ], _ -> Builder.unop env.builder Opcode.Fabs v
+    | "fmin", [ a; b ], _ -> Builder.binop env.builder Opcode.Fmin a b
+    | "fmax", [ a; b ], _ -> Builder.binop env.builder Opcode.Fmax a b
+    | "min", [ a; b ], Ast.Ti64 :: _ -> Builder.binop env.builder Opcode.Smin a b
+    | "min", [ a; b ], _ -> Builder.binop env.builder Opcode.Fmin a b
+    | "max", [ a; b ], Ast.Ti64 :: _ -> Builder.binop env.builder Opcode.Smax a b
+    | "max", [ a; b ], _ -> Builder.binop env.builder Opcode.Fmax a b
+    | _ -> error e.Ast.epos "unknown builtin %s" name)
+
+let lower_stmt env (s : Ast.stmt) =
+  match s.Ast.sdesc with
+  | Ast.Decl (ty, name, e) ->
+    if Option.is_some (lookup_local env name) then
+      error s.Ast.spos "local %s is already defined (locals are \
+                        single-assignment)" name;
+    if Option.is_some (lookup_param env name) then
+      error s.Ast.spos "local %s shadows a parameter" name;
+    let ety = infer_ty env e in
+    if ety <> ty then
+      error s.Ast.spos "local %s declared %a but initialized with %a" name
+        Ast.pp_ty ty Ast.pp_ty ety;
+    let l_affine =
+      match ty with Ast.Ti64 -> affine_of env e | Ast.Tf64 -> None
+    in
+    let l_value = lower_expr env e in
+    env.locals <- (name, { l_ty = ty; l_value; l_affine }) :: env.locals
+  | Ast.Store (arr, idx, e) -> (
+    match lookup_param env arr with
+    | Some (Ast.P_arr elt_ty) ->
+      let ety = infer_ty env e in
+      if ety <> elt_ty then
+        error s.Ast.spos "storing %a into %a array %s" Ast.pp_ty ety
+          Ast.pp_ty elt_ty arr;
+      let index = subscript env arr idx in
+      let v = lower_expr env e in
+      Builder.store env.builder ~base:arr index v
+    | Some (Ast.P_i64 | Ast.P_f64) ->
+      error s.Ast.spos "%s is not an array" arr
+    | None -> error s.Ast.spos "undefined array %s" arr)
+
+let arg_ty_of_param = function
+  | Ast.P_i64 -> Instr.Int_arg
+  | Ast.P_f64 -> Instr.Float_arg
+  | Ast.P_arr Ast.Ti64 -> Instr.Array_arg Types.I64
+  | Ast.P_arr Ast.Tf64 -> Instr.Array_arg Types.F64
+
+let lower_kernel (k : Ast.kernel) : Func.t =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then
+        raise (Error (Fmt.str "duplicate parameter %s" name,
+                      { Token.line = 0; col = 0 }));
+      Hashtbl.replace seen name ())
+    k.Ast.params;
+  let builder =
+    Builder.create ~name:k.Ast.kname
+      ~args:(List.map (fun (n, p) -> (n, arg_ty_of_param p)) k.Ast.params)
+  in
+  let env = { builder; params = k.Ast.params; locals = [] } in
+  List.iter (lower_stmt env) k.Ast.body;
+  let f = Builder.func builder in
+  (* run the early-CSE a clang-like pipeline would have run before SLP *)
+  ignore (Cse.run f);
+  Verifier.verify_exn f;
+  f
+
+let compile_string src = lower_kernel (Parser.parse_string src)
+
+let compile_program src = List.map lower_kernel (Parser.parse_program src)

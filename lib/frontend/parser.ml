@@ -1,0 +1,235 @@
+(* Recursive-descent parser for the kernel language.
+
+   Expression grammar with C-like precedence, lowest to highest:
+
+     bitor:   bitxor ('|' bitxor)*
+     bitxor:  bitand ('^' bitand)*
+     bitand:  shift ('&' shift)*
+     shift:   additive (('<<'|'>>') additive)*
+     additive: term (('+'|'-') term)*
+     term:    unary (('*'|'/'|'%') unary)*
+     unary:   '-' unary | primary
+     primary: literal | ident | ident '[' expr ']' | ident '(' args ')'
+            | '(' expr ')'
+*)
+
+exception Error of string * Token.pos
+
+let error pos fmt = Fmt.kstr (fun s -> raise (Error (s, pos))) fmt
+
+type state = { mutable toks : Token.spanned list }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> { Token.tok = Token.EOF; pos = { line = 0; col = 0 } }
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let expect st tok what =
+  let t = peek st in
+  if t.Token.tok = tok then advance st
+  else
+    error t.Token.pos "expected %s but found `%s`" what
+      (Token.to_string t.Token.tok)
+
+let expect_ident st what =
+  let t = peek st in
+  match t.Token.tok with
+  | Token.IDENT s ->
+    advance st;
+    (s, t.Token.pos)
+  | other ->
+    error t.Token.pos "expected %s but found `%s`" what (Token.to_string other)
+
+let rec parse_expr st = parse_bitor st
+
+and parse_bitor st =
+  let lhs = parse_bitxor st in
+  parse_left st lhs [ (Token.PIPE, Ast.B_or) ] parse_bitxor
+
+and parse_bitxor st =
+  let lhs = parse_bitand st in
+  parse_left st lhs [ (Token.CARET, Ast.B_xor) ] parse_bitand
+
+and parse_bitand st =
+  let lhs = parse_shift st in
+  parse_left st lhs [ (Token.AMP, Ast.B_and) ] parse_shift
+
+and parse_shift st =
+  let lhs = parse_additive st in
+  parse_left st lhs
+    [ (Token.SHL, Ast.B_shl); (Token.SHR, Ast.B_shr) ]
+    parse_additive
+
+and parse_additive st =
+  let lhs = parse_term st in
+  parse_left st lhs
+    [ (Token.PLUS, Ast.B_add); (Token.MINUS, Ast.B_sub) ]
+    parse_term
+
+and parse_term st =
+  let lhs = parse_unary st in
+  parse_left st lhs
+    [ (Token.STAR, Ast.B_mul); (Token.SLASH, Ast.B_div);
+      (Token.PERCENT, Ast.B_rem) ]
+    parse_unary
+
+and parse_left st lhs table next =
+  let t = peek st in
+  match List.assoc_opt t.Token.tok table with
+  | Some op ->
+    advance st;
+    let rhs = next st in
+    parse_left st
+      { Ast.desc = Ast.Bin (op, lhs, rhs); epos = lhs.Ast.epos }
+      table next
+  | None -> lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.Token.tok with
+  | Token.MINUS ->
+    advance st;
+    let e = parse_unary st in
+    { Ast.desc = Ast.Neg e; epos = t.Token.pos }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = peek st in
+  match t.Token.tok with
+  | Token.INT_LIT n ->
+    advance st;
+    { Ast.desc = Ast.Int_lit n; epos = t.Token.pos }
+  | Token.FLOAT_LIT x ->
+    advance st;
+    { Ast.desc = Ast.Float_lit x; epos = t.Token.pos }
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN "`)`";
+    e
+  | Token.IDENT name -> (
+    advance st;
+    match (peek st).Token.tok with
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET "`]`";
+      { Ast.desc = Ast.Load (name, idx); epos = t.Token.pos }
+    | Token.LPAREN ->
+      advance st;
+      let rec args acc =
+        if (peek st).Token.tok = Token.RPAREN then List.rev acc
+        else
+          let a = parse_expr st in
+          if (peek st).Token.tok = Token.COMMA then begin
+            advance st;
+            args (a :: acc)
+          end
+          else List.rev (a :: acc)
+      in
+      let actual = args [] in
+      expect st Token.RPAREN "`)`";
+      (match Ast.builtin_arity name with
+       | None -> error t.Token.pos "unknown builtin function %s" name
+       | Some n when n <> List.length actual ->
+         error t.Token.pos "%s expects %d argument(s), got %d" name n
+           (List.length actual)
+       | Some _ ->
+         { Ast.desc = Ast.Call (name, actual); epos = t.Token.pos })
+    | _ -> { Ast.desc = Ast.Var name; epos = t.Token.pos })
+  | other ->
+    error t.Token.pos "expected an expression, found `%s`"
+      (Token.to_string other)
+
+let parse_param st =
+  let t = peek st in
+  let ty =
+    match t.Token.tok with
+    | Token.TY_I64 -> Ast.Ti64
+    | Token.TY_F64 -> Ast.Tf64
+    | other ->
+      error t.Token.pos "expected parameter type, found `%s`"
+        (Token.to_string other)
+  in
+  advance st;
+  let name, _ = expect_ident st "parameter name" in
+  if (peek st).Token.tok = Token.LBRACKET then begin
+    advance st;
+    expect st Token.RBRACKET "`]` of array parameter";
+    (name, Ast.P_arr ty)
+  end
+  else
+    (name, match ty with Ast.Ti64 -> Ast.P_i64 | Ast.Tf64 -> Ast.P_f64)
+
+let parse_stmt st =
+  let t = peek st in
+  match t.Token.tok with
+  | Token.TY_I64 | Token.TY_F64 ->
+    let ty = if t.Token.tok = Token.TY_I64 then Ast.Ti64 else Ast.Tf64 in
+    advance st;
+    let name, _ = expect_ident st "local variable name" in
+    expect st Token.ASSIGN "`=`";
+    let e = parse_expr st in
+    expect st Token.SEMI "`;`";
+    { Ast.sdesc = Ast.Decl (ty, name, e); spos = t.Token.pos }
+  | Token.IDENT name ->
+    advance st;
+    expect st Token.LBRACKET "`[` (statements are declarations or stores)";
+    let idx = parse_expr st in
+    expect st Token.RBRACKET "`]`";
+    expect st Token.ASSIGN "`=`";
+    let e = parse_expr st in
+    expect st Token.SEMI "`;`";
+    { Ast.sdesc = Ast.Store (name, idx, e); spos = t.Token.pos }
+  | other ->
+    error t.Token.pos "expected a statement, found `%s`"
+      (Token.to_string other)
+
+let parse_kernel st =
+  expect st Token.KERNEL "`kernel`";
+  let kname, _ = expect_ident st "kernel name" in
+  expect st Token.LPAREN "`(`";
+  let rec params acc =
+    if (peek st).Token.tok = Token.RPAREN then List.rev acc
+    else
+      let p = parse_param st in
+      if (peek st).Token.tok = Token.COMMA then begin
+        advance st;
+        params (p :: acc)
+      end
+      else List.rev (p :: acc)
+  in
+  let params = params [] in
+  expect st Token.RPAREN "`)`";
+  expect st Token.LBRACE "`{`";
+  let rec stmts acc =
+    if (peek st).Token.tok = Token.RBRACE then List.rev acc
+    else stmts (parse_stmt st :: acc)
+  in
+  let body = stmts [] in
+  expect st Token.RBRACE "`}`";
+  { Ast.kname; params; body }
+
+let parse_string src =
+  let st = { toks = Lexer.tokenize src } in
+  let k = parse_kernel st in
+  (match (peek st).Token.tok with
+   | Token.EOF -> ()
+   | other ->
+     error (peek st).Token.pos "trailing input after kernel: `%s`"
+       (Token.to_string other));
+  k
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    match (peek st).Token.tok with
+    | Token.EOF -> List.rev acc
+    | _ -> loop (parse_kernel st :: acc)
+  in
+  loop []

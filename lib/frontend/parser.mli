@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the kernel language (C-like precedence). *)
+
+exception Error of string * Token.pos
+
+val parse_string : string -> Ast.kernel
+(** Parse exactly one kernel.
+    @raise Error (or {!Lexer.Error}) with a position on malformed input. *)
+
+val parse_program : string -> Ast.kernel list
+(** Parse a sequence of kernels. *)

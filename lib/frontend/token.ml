@@ -1,0 +1,41 @@
+(* Tokens of the kernel language. *)
+
+type pos = { line : int; col : int }
+
+type t =
+  | KERNEL
+  | TY_I64
+  | TY_F64
+  | IDENT of string
+  | INT_LIT of int64
+  | FLOAT_LIT of float
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | LBRACE | RBRACE
+  | COMMA | SEMI
+  | ASSIGN                      (* = *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET
+  | SHL | SHR                   (* << >> *)
+  | EOF
+
+type spanned = { tok : t; pos : pos }
+
+let to_string = function
+  | KERNEL -> "kernel"
+  | TY_I64 -> "i64"
+  | TY_F64 -> "f64"
+  | IDENT s -> s
+  | INT_LIT n -> Int64.to_string n
+  | FLOAT_LIT x -> string_of_float x
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | LBRACE -> "{" | RBRACE -> "}"
+  | COMMA -> "," | SEMI -> ";"
+  | ASSIGN -> "="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^"
+  | SHL -> "<<" | SHR -> ">>"
+  | EOF -> "<eof>"
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col

@@ -1,0 +1,148 @@
+(* Differential-testing oracle.
+
+   Sets up argument bindings and memory big enough for every access a kernel
+   makes, fills arrays with seeded pseudo-random data, runs two versions of
+   the kernel (typically scalar vs vectorized) on identical initial states,
+   and compares the final memories. *)
+
+open Lslp_ir
+
+type setup = {
+  int_args : (string * int64) list;
+  float_args : (string * float) list;
+  mem : Memory.t;
+}
+
+(* Every address evaluated under the argument bindings must land inside its
+   array; compute per-array extents from the function body. *)
+let array_extents (f : Func.t) ~(env : string -> int) =
+  let extents = Hashtbl.create 8 in
+  Block.iter
+    (fun i ->
+      match Instr.address i with
+      | Some a ->
+        let hi = Affine.eval ~env a.index + a.access_lanes in
+        let cur = Option.value ~default:0 (Hashtbl.find_opt extents a.base) in
+        Hashtbl.replace extents a.base (max cur hi)
+      | None -> ())
+    f.block;
+  extents
+
+let default_index = 16
+
+let setup ?(seed = 42) ?(index = default_index) (f : Func.t) =
+  let rng = Random.State.make [| seed |] in
+  let int_args =
+    List.map
+      (fun (a : Instr.arg) -> (a.arg_name, Int64.of_int index))
+      (Func.int_args f)
+  in
+  let float_args =
+    List.filter_map
+      (fun (a : Instr.arg) ->
+        match a.arg_ty with
+        | Instr.Float_arg ->
+          Some (a.arg_name, Random.State.float rng 8.0 +. 0.25)
+        | Instr.Int_arg | Instr.Array_arg _ -> None)
+      f.args
+  in
+  let env s =
+    match List.assoc_opt s int_args with
+    | Some v -> Int64.to_int v
+    | None -> 0
+  in
+  let extents = array_extents f ~env in
+  let mem = Memory.create () in
+  List.iter
+    (fun (a : Instr.arg) ->
+      match a.arg_ty with
+      | Instr.Array_arg elt ->
+        let size =
+          (Option.value ~default:0 (Hashtbl.find_opt extents a.arg_name))
+          + default_index + 8
+        in
+        (match elt with
+         | Types.I64 ->
+           Memory.set_int mem a.arg_name
+             (Array.init size (fun _ ->
+                  (* nonzero, mixed-sign, small enough that products stay
+                     meaningful *)
+                  let v = Int64.of_int (1 + Random.State.int rng 1000) in
+                  if Random.State.bool rng then Int64.neg v else v))
+         | Types.F64 ->
+           Memory.set_float mem a.arg_name
+             (Array.init size (fun _ ->
+                  Random.State.float rng 16.0 -. 8.0 +. 0.0625))
+         | Types.I32 ->
+           Memory.set_int32 mem a.arg_name
+             (Array.init size (fun _ ->
+                  let v = Int32.of_int (1 + Random.State.int rng 1000) in
+                  if Random.State.bool rng then Int32.neg v else v))
+         | Types.F32 ->
+           Memory.set_float32 mem a.arg_name
+             (Array.init size (fun _ ->
+                  Random.State.float rng 16.0 -. 8.0 +. 0.0625)))
+      | Instr.Int_arg | Instr.Float_arg -> ())
+    f.args;
+  { int_args; float_args; mem }
+
+type outcome = {
+  mismatches : Memory.mismatch list;
+  reference_cycles : int;
+  candidate_cycles : int;
+}
+
+let compare_runs ?(tol = 1e-6) ?cost ?(seed = 42) ~(reference : Func.t)
+    ~(candidate : Func.t) () =
+  let s = setup ~seed reference in
+  (* the candidate may access slightly different (wider) extents; size from
+     the union of both functions *)
+  let s2 = setup ~seed candidate in
+  let mem_ref = Memory.create () in
+  let bigger a b =
+    match (a, b) with
+    | Memory.Int_mem x, Memory.Int_mem y ->
+      if Array.length x >= Array.length y then Memory.Int_mem x
+      else Memory.Int_mem y
+    | Memory.Float_mem x, Memory.Float_mem y ->
+      if Array.length x >= Array.length y then Memory.Float_mem x
+      else Memory.Float_mem y
+    | Memory.Int32_mem x, Memory.Int32_mem y ->
+      if Array.length x >= Array.length y then Memory.Int32_mem x
+      else Memory.Int32_mem y
+    | Memory.Float32_mem x, Memory.Float32_mem y ->
+      if Array.length x >= Array.length y then Memory.Float32_mem x
+      else Memory.Float32_mem y
+    | a, _ -> a
+  in
+  List.iter
+    (fun name ->
+      let arr =
+        match (Memory.find_opt s.mem name, Memory.find_opt s2.mem name) with
+        | Some a, Some b -> bigger a b
+        | Some a, None | None, Some a -> a
+        | None, None -> assert false
+      in
+      match arr with
+      | Memory.Int_mem a -> Memory.set_int mem_ref name a
+      | Memory.Float_mem a -> Memory.set_float mem_ref name a
+      | Memory.Int32_mem a -> Memory.set_int32 mem_ref name a
+      | Memory.Float32_mem a -> Memory.set_float32 mem_ref name a)
+    (List.sort_uniq String.compare (Memory.arrays s.mem @ Memory.arrays s2.mem));
+  let mem_cand = Memory.snapshot mem_ref in
+  let stats_ref =
+    Eval.run ?cost reference ~int_args:s.int_args ~float_args:s.float_args
+      ~mem:mem_ref
+  in
+  let stats_cand =
+    Eval.run ?cost candidate ~int_args:s.int_args ~float_args:s.float_args
+      ~mem:mem_cand
+  in
+  {
+    mismatches = Memory.compare_memories ~tol mem_ref mem_cand;
+    reference_cycles = stats_ref.Eval.cycles;
+    candidate_cycles = stats_cand.Eval.cycles;
+  }
+
+let equivalent ?tol ?cost ?seed ~reference ~candidate () =
+  (compare_runs ?tol ?cost ?seed ~reference ~candidate ()).mismatches = []

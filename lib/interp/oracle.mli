@@ -1,0 +1,41 @@
+(** Differential-testing oracle: run two versions of a kernel (typically
+    scalar vs vectorized) on identical seeded inputs and compare final
+    memories and simulated cycle counts. *)
+
+open Lslp_ir
+
+type setup = {
+  int_args : (string * int64) list;
+  float_args : (string * float) list;
+  mem : Memory.t;
+}
+
+val setup : ?seed:int -> ?index:int -> Func.t -> setup
+(** Bind every integer argument to [index] (default 16), every float
+    argument to a seeded random value, and allocate each array large enough
+    for all accesses the body makes, filled with seeded pseudo-random data
+    (integers nonzero, so [sdiv]/[srem] kernels never trap). *)
+
+type outcome = {
+  mismatches : Memory.mismatch list;
+  reference_cycles : int;
+  candidate_cycles : int;
+}
+
+val compare_runs :
+  ?tol:float ->
+  ?cost:Lslp_costmodel.Model.t ->
+  ?seed:int ->
+  reference:Func.t ->
+  candidate:Func.t ->
+  unit ->
+  outcome
+
+val equivalent :
+  ?tol:float ->
+  ?cost:Lslp_costmodel.Model.t ->
+  ?seed:int ->
+  reference:Func.t ->
+  candidate:Func.t ->
+  unit ->
+  bool

@@ -1,0 +1,88 @@
+(* Affine index expressions: [c0 + c1*s1 + c2*s2 + ...] over named symbols.
+
+   This is the normal form our SCEV-lite analysis works on.  The paper's SLP
+   uses LLVM scalar evolution only to decide whether two memory accesses are
+   consecutive; differencing two affine forms answers that exactly whenever
+   subscripts are affine in the kernel's integer parameters (which all the
+   evaluated kernels satisfy).
+
+   Representation invariant: [terms] is sorted by symbol name and contains no
+   zero coefficients, so structural equality coincides with semantic
+   equality. *)
+
+type t = {
+  terms : (string * int) list;  (* sorted by symbol, coefficients <> 0 *)
+  const : int;
+}
+
+let const k = { terms = []; const = k }
+let zero = const 0
+
+let sym ?(coeff = 1) s =
+  if coeff = 0 then zero else { terms = [ (s, coeff) ]; const = 0 }
+
+let rec merge_terms xs ys =
+  match (xs, ys) with
+  | [], t | t, [] -> t
+  | ((sx, cx) as x) :: xs', ((sy, cy) as y) :: ys' ->
+    let cmp = String.compare sx sy in
+    if cmp < 0 then x :: merge_terms xs' ys
+    else if cmp > 0 then y :: merge_terms xs ys'
+    else
+      let c = cx + cy in
+      if c = 0 then merge_terms xs' ys' else (sx, c) :: merge_terms xs' ys'
+
+let add a b = { terms = merge_terms a.terms b.terms; const = a.const + b.const }
+
+let scale k a =
+  if k = 0 then zero
+  else
+    { terms = List.map (fun (s, c) -> (s, c * k)) a.terms;
+      const = a.const * k }
+
+let neg a = scale (-1) a
+let sub a b = add a (neg b)
+let add_const k a = { a with const = a.const + k }
+
+let mul a b =
+  match (a.terms, b.terms) with
+  | [], _ -> Some (scale a.const b)
+  | _, [] -> Some (scale b.const a)
+  | _ :: _, _ :: _ -> None
+
+let is_const a = a.terms = []
+
+let to_const a = if is_const a then Some a.const else None
+
+let equal a b = a.terms = b.terms && a.const = b.const
+
+let compare a b =
+  let c = compare a.terms b.terms in
+  if c <> 0 then c else Int.compare a.const b.const
+
+(* [diff_const a b] is [Some (a - b)] when the two forms differ only in their
+   constant part — the key query behind consecutive-access tests. *)
+let diff_const a b = if a.terms = b.terms then Some (a.const - b.const) else None
+
+let symbols a = List.map fst a.terms
+
+let eval ~env a =
+  List.fold_left (fun acc (s, c) -> acc + (c * env s)) a.const a.terms
+
+let pp ppf a =
+  let pp_term first ppf (s, c) =
+    if c = 1 then Fmt.pf ppf (if first then "%s" else " + %s") s
+    else if c = -1 then Fmt.pf ppf (if first then "-%s" else " - %s") s
+    else if c >= 0 then Fmt.pf ppf (if first then "%d*%s" else " + %d*%s") c s
+    else
+      Fmt.pf ppf (if first then "-%d*%s" else " - %d*%s") (abs c) s
+  in
+  match a.terms with
+  | [] -> Fmt.int ppf a.const
+  | t0 :: rest ->
+    pp_term true ppf t0;
+    List.iter (pp_term false ppf) rest;
+    if a.const > 0 then Fmt.pf ppf " + %d" a.const
+    else if a.const < 0 then Fmt.pf ppf " - %d" (abs a.const)
+
+let to_string a = Fmt.str "%a" pp a

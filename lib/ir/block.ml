@@ -1,0 +1,68 @@
+(* A basic block: an ordered sequence of instructions.
+
+   Blocks are small (the paper's kernels are tens to a few hundred
+   instructions), so we keep a plain list and rebuild the id -> position
+   table on demand, invalidating it on every mutation. *)
+
+type t = {
+  mutable insts : Instr.t list;      (* program order *)
+  mutable pos_cache : (int, int) Hashtbl.t option;
+}
+
+let create () = { insts = []; pos_cache = None }
+
+let invalidate b = b.pos_cache <- None
+
+let to_list b = b.insts
+
+let length b = List.length b.insts
+
+let append b i =
+  b.insts <- b.insts @ [ i ];
+  invalidate b
+
+let append_list b is =
+  b.insts <- b.insts @ is;
+  invalidate b
+
+let mem b i = List.exists (Instr.equal i) b.insts
+
+let positions b =
+  match b.pos_cache with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 64 in
+    List.iteri (fun pos (i : Instr.t) -> Hashtbl.replace tbl i.id pos) b.insts;
+    b.pos_cache <- Some tbl;
+    tbl
+
+let position b (i : Instr.t) = Hashtbl.find_opt (positions b) i.id
+
+let position_exn b i =
+  match position b i with
+  | Some p -> p
+  | None -> invalid_arg "Block.position_exn: instruction not in block"
+
+let insert_before b ~anchor is =
+  let rec go = function
+    | [] -> invalid_arg "Block.insert_before: anchor not in block"
+    | x :: rest when Instr.equal x anchor -> is @ (x :: rest)
+    | x :: rest -> x :: go rest
+  in
+  b.insts <- go b.insts;
+  invalidate b
+
+let remove_ids b ids =
+  b.insts <- List.filter (fun (i : Instr.t) -> not (List.mem i.id ids)) b.insts;
+  invalidate b
+
+let remove b i = remove_ids b [ i.Instr.id ]
+
+let set_order b insts =
+  b.insts <- insts;
+  invalidate b
+
+let iter f b = List.iter f b.insts
+let fold f acc b = List.fold_left f acc b.insts
+
+let find_all p b = List.filter p b.insts

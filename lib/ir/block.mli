@@ -1,0 +1,35 @@
+(** A basic block: an ordered, mutable sequence of instructions.
+
+    The SLP papers operate on straight-line code inside one block, so this is
+    the unit every analysis and transformation works over.  Program order is
+    significant: memory dependences are defined relative to it. *)
+
+type t
+
+val create : unit -> t
+val to_list : t -> Instr.t list
+val length : t -> int
+
+val append : t -> Instr.t -> unit
+val append_list : t -> Instr.t list -> unit
+
+val mem : t -> Instr.t -> bool
+
+val position : t -> Instr.t -> int option
+(** Position of an instruction in program order (0-based). *)
+
+val position_exn : t -> Instr.t -> int
+
+val insert_before : t -> anchor:Instr.t -> Instr.t list -> unit
+(** Insert a sequence immediately before [anchor].
+    @raise Invalid_argument if [anchor] is not in the block. *)
+
+val remove : t -> Instr.t -> unit
+val remove_ids : t -> int list -> unit
+
+val set_order : t -> Instr.t list -> unit
+(** Replace the block's contents/order wholesale (used by the scheduler). *)
+
+val iter : (Instr.t -> unit) -> t -> unit
+val fold : ('a -> Instr.t -> 'a) -> 'a -> t -> 'a
+val find_all : (Instr.t -> bool) -> t -> Instr.t list

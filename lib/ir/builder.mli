@@ -1,0 +1,39 @@
+(** Convenience layer for constructing scalar IR.
+
+    Infers result types, type-checks operands eagerly (raising {!Type_error}
+    with a readable message), appends instructions to the function's block in
+    order, and generates printable value names. *)
+
+type t
+
+exception Type_error of string
+
+val create : name:string -> args:(string * Instr.arg_ty) list -> t
+val func : t -> Func.t
+
+val iconst : int -> Instr.value
+val iconst64 : int64 -> Instr.value
+val fconst : float -> Instr.value
+val iconst32 : int -> Instr.value
+val fconst32 : float -> Instr.value
+
+val arg : t -> string -> Instr.value
+(** Reference a scalar (int/float) argument by name. *)
+
+val binop :
+  t -> ?name:string -> Opcode.binop -> Instr.value -> Instr.value ->
+  Instr.value
+
+val unop : t -> ?name:string -> Opcode.unop -> Instr.value -> Instr.value
+
+val load : t -> ?name:string -> base:string -> Affine.t -> Instr.value
+(** Scalar load [base[index]]. *)
+
+val store : t -> base:string -> Affine.t -> Instr.value -> unit
+(** Scalar store [base[index] = v]. *)
+
+val idx : ?sym:string -> int -> Affine.t
+(** [idx k] is the affine index [i + k] (with [?sym] overriding ["i"]). *)
+
+val cidx : int -> Affine.t
+(** Constant index. *)

@@ -1,0 +1,106 @@
+(* Local common-subexpression elimination.
+
+   The C compilers the paper builds on (clang -O3) run early-CSE/GVN long
+   before the SLP pass, so the IR the vectorizer sees has one instruction
+   per distinct subexpression.  Our frontend lowers each textual occurrence
+   separately; this pass restores the canonical form.
+
+   Pure instructions are keyed by (kind, operands) — commutative operands in
+   sorted order, so a*b and b*a unify.  Loads are keyed by address; a store
+   conservatively invalidates all available loads of the same array.  Single
+   forward pass (the block is straight-line). *)
+
+let value_key (v : Instr.value) =
+  match v with
+  | Instr.Ins i -> Fmt.str "i%d" i.id
+  | Instr.Arg a -> Fmt.str "a%s" a.arg_name
+  | Instr.Const (Instr.Cint n) -> Fmt.str "c%Ld" n
+  | Instr.Const (Instr.Cfloat x) -> Fmt.str "f%Ld" (Int64.bits_of_float x)
+  | Instr.Const (Instr.Cint32 n) -> Fmt.str "d%ld" n
+  | Instr.Const (Instr.Cfloat32 x) -> Fmt.str "g%ld" (Int32.bits_of_float x)
+
+let address_key (a : Instr.address) =
+  Fmt.str "%s[%s]:%d" a.base (Affine.to_string a.index) a.access_lanes
+
+let instr_key (i : Instr.t) =
+  let operand_keys () = List.map value_key (Instr.operands i) in
+  match i.kind with
+  | Instr.Binop (op, _, _) ->
+    let ops = operand_keys () in
+    let ops =
+      if Opcode.is_commutative op then List.sort String.compare ops else ops
+    in
+    Some (Fmt.str "b:%s:%s" (Opcode.binop_name op) (String.concat "," ops))
+  | Instr.Unop (op, _) ->
+    Some
+      (Fmt.str "u:%s:%s" (Opcode.unop_name op)
+         (String.concat "," (operand_keys ())))
+  | Instr.Load a -> Some (Fmt.str "l:%s" (address_key a))
+  | Instr.Splat _ ->
+    Some (Fmt.str "s:%s" (String.concat "," (operand_keys ())))
+  | Instr.Buildvec _ ->
+    Some (Fmt.str "v:%s" (String.concat "," (operand_keys ())))
+  | Instr.Extract (_, lane) ->
+    Some (Fmt.str "e:%d:%s" lane (String.concat "," (operand_keys ())))
+  | Instr.Reduce (op, _) ->
+    Some
+      (Fmt.str "r:%s:%s" (Opcode.binop_name op)
+         (String.concat "," (operand_keys ())))
+  | Instr.Shuffle (_, idx) ->
+    Some
+      (Fmt.str "h:%s:%s"
+         (String.concat "." (List.map string_of_int idx))
+         (String.concat "," (operand_keys ())))
+  | Instr.Store _ -> None
+
+let run_block block =
+  let available : (string, Instr.t) Hashtbl.t = Hashtbl.create 64 in
+  let replacement : (int, Instr.t) Hashtbl.t = Hashtbl.create 16 in
+  (* load keys currently available, grouped by array for invalidation *)
+  let live_loads : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+  let subst (v : Instr.value) =
+    match v with
+    | Instr.Ins i -> (
+      match Hashtbl.find_opt replacement i.id with
+      | Some j -> Instr.Ins j
+      | None -> v)
+    | Instr.Const _ | Instr.Arg _ -> v
+  in
+  Block.iter
+    (fun i ->
+      Instr.map_operands subst i;
+      match instr_key i with
+      | None -> (
+        match i.kind with
+        | Instr.Store (addr, _) ->
+          let keys =
+            Option.value ~default:[]
+              (Hashtbl.find_opt live_loads addr.Instr.base)
+          in
+          List.iter (Hashtbl.remove available) keys;
+          Hashtbl.remove live_loads addr.Instr.base
+        | Instr.Binop _ | Instr.Unop _ | Instr.Load _ | Instr.Splat _
+        | Instr.Buildvec _ | Instr.Extract _ | Instr.Reduce _
+        | Instr.Shuffle _ -> ())
+      | Some key -> (
+        match Hashtbl.find_opt available key with
+        | Some earlier -> Hashtbl.replace replacement i.id earlier
+        | None ->
+          Hashtbl.replace available key i;
+          (match i.kind with
+           | Instr.Load a ->
+             let cur =
+               Option.value ~default:[]
+                 (Hashtbl.find_opt live_loads a.Instr.base)
+             in
+             Hashtbl.replace live_loads a.Instr.base (key :: cur)
+           | Instr.Binop _ | Instr.Unop _ | Instr.Store _ | Instr.Splat _
+           | Instr.Buildvec _ | Instr.Extract _ | Instr.Reduce _
+           | Instr.Shuffle _ -> ())))
+    block;
+  let removed = Hashtbl.length replacement in
+  Block.remove_ids block
+    (Hashtbl.fold (fun id _ acc -> id :: acc) replacement []);
+  removed
+
+let run (f : Func.t) = run_block f.Func.block

@@ -1,0 +1,7 @@
+(** Local common-subexpression elimination (the early-CSE the real pipeline
+    runs before SLP).  Commutative operands are canonicalized, loads are
+    invalidated by same-array stores.  Returns the number of instructions
+    removed. *)
+
+val run_block : Block.t -> int
+val run : Func.t -> int

@@ -1,0 +1,23 @@
+(* Dead code elimination.
+
+   After SLP/LSLP code generation replaces a tree of scalar instructions with
+   vector ones, the scalars become dead (their stores were removed
+   explicitly); this pass sweeps them.  Iterates to a fixed point so whole
+   dead trees disappear. *)
+
+let run_block block =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let uses = Use_info.compute block in
+    let dead = Block.find_all (fun i -> Use_info.is_dead uses i) block in
+    if dead <> [] then begin
+      changed := true;
+      removed := !removed + List.length dead;
+      Block.remove_ids block (List.map (fun (i : Instr.t) -> i.id) dead)
+    end
+  done;
+  !removed
+
+let run (f : Func.t) = run_block f.block

@@ -1,0 +1,5 @@
+(** Dead code elimination: iteratively removes instructions with no users and
+    no side effects.  Returns the number of instructions removed. *)
+
+val run_block : Block.t -> int
+val run : Func.t -> int

@@ -1,0 +1,55 @@
+(* A kernel function: named arguments plus one straight-line block.
+
+   The paper's algorithm requires every vectorizable group to live in a
+   single basic block, and all evaluated kernels are straight-line bodies, so
+   a function is one block.  Array arguments are assumed pairwise non-
+   aliasing (they model distinct global arrays / restrict pointers). *)
+
+type t = {
+  fname : string;
+  args : Instr.arg list;
+  block : Block.t;
+}
+
+let create ~name ~args = { fname = name; args; block = Block.create () }
+
+let find_arg f name =
+  List.find_opt (fun (a : Instr.arg) -> String.equal a.arg_name name) f.args
+
+let array_args f =
+  List.filter
+    (fun (a : Instr.arg) ->
+      match a.arg_ty with
+      | Array_arg _ -> true
+      | Int_arg | Float_arg -> false)
+    f.args
+
+let int_args f =
+  List.filter
+    (fun (a : Instr.arg) ->
+      match a.arg_ty with
+      | Int_arg -> true
+      | Float_arg | Array_arg _ -> false)
+    f.args
+
+let clone f =
+  (* Deep-copy the block so a pass can be run destructively on the copy while
+     the original stays intact (used to compare scalar vs vectorized code). *)
+  let mapping = Hashtbl.create 64 in
+  let remap_value (v : Instr.value) =
+    match v with
+    | Instr.Ins i ->
+      (match Hashtbl.find_opt mapping i.Instr.id with
+       | Some i' -> Instr.Ins i'
+       | None -> v (* reference to an instruction outside the block *))
+    | Instr.Const _ | Instr.Arg _ -> v
+  in
+  let g = create ~name:f.fname ~args:f.args in
+  List.iter
+    (fun (i : Instr.t) ->
+      let i' = Instr.create ~name:i.name i.kind i.ty in
+      Hashtbl.replace mapping i.id i';
+      Block.append g.block i')
+    (Block.to_list f.block);
+  Block.iter (fun i -> Instr.map_operands remap_value i) g.block;
+  g

@@ -1,0 +1,21 @@
+(** A kernel function: named arguments plus one straight-line basic block.
+
+    Array arguments model distinct (non-aliasing) arrays, as in the paper's
+    kernels where each array is a separate global. *)
+
+type t = {
+  fname : string;
+  args : Instr.arg list;
+  block : Block.t;
+}
+
+val create : name:string -> args:Instr.arg list -> t
+
+val find_arg : t -> string -> Instr.arg option
+val array_args : t -> Instr.arg list
+val int_args : t -> Instr.arg list
+
+val clone : t -> t
+(** Deep copy: fresh instructions with remapped operands.  Passes can then be
+    run destructively on the copy while the original remains usable (e.g. as
+    the scalar baseline in differential tests). *)

@@ -1,0 +1,194 @@
+(* Instructions and values.
+
+   Instructions have identity (a fresh [id]) and are mutable so that passes
+   can rewrite operands in place; values are constants, function arguments or
+   references to instructions.  Addresses pair an array symbol with an affine
+   element index, which keeps address computation out of the use-def graph
+   exactly the way LLVM's GEP/SCEV split does for the SLP vectorizer. *)
+
+type const =
+  | Cint of int64
+  | Cfloat of float
+  | Cint32 of int32
+  | Cfloat32 of float  (* kept single-rounded *)
+
+type address = {
+  base : string;             (* array argument the access goes through *)
+  elt : Types.scalar;        (* element type of the array *)
+  index : Affine.t;          (* element index, affine in integer arguments *)
+  access_lanes : int;        (* 1 = scalar access, n >= 2 = vector access *)
+}
+
+type t = {
+  id : int;
+  mutable kind : kind;
+  mutable ty : Types.t;
+  mutable name : string;     (* printing hint; not semantically meaningful *)
+}
+
+and kind =
+  | Binop of Opcode.binop * value * value
+  | Unop of Opcode.unop * value
+  | Load of address
+  | Store of address * value
+  (* Vector-only instructions, produced by SLP/LSLP code generation: *)
+  | Splat of value                  (* broadcast a scalar into all lanes *)
+  | Buildvec of value list          (* gather scalars into a vector *)
+  | Extract of value * int          (* extract lane [i] of a vector *)
+  | Reduce of Opcode.binop * value  (* horizontal reduction of all lanes *)
+  | Shuffle of value * int list     (* single-source lane permutation *)
+
+and value = Const of const | Arg of arg | Ins of t
+
+and arg = { arg_name : string; arg_ty : arg_ty }
+
+and arg_ty = Int_arg | Float_arg | Array_arg of Types.scalar
+
+let counter = ref 0
+
+let fresh_id () =
+  incr counter;
+  !counter
+
+let create ?(name = "") kind ty = { id = fresh_id (); kind; ty; name }
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash a = a.id
+
+let const_ty = function
+  | Cint _ -> Types.i64
+  | Cfloat _ -> Types.f64
+  | Cint32 _ -> Types.i32
+  | Cfloat32 _ -> Types.f32
+
+let arg_value_ty a =
+  match a.arg_ty with
+  | Int_arg -> Some Types.i64
+  | Float_arg -> Some Types.f64
+  | Array_arg _ -> None (* arrays are not first-class values *)
+
+let value_ty = function
+  | Const c -> Some (const_ty c)
+  | Arg a -> arg_value_ty a
+  | Ins i -> Some i.ty
+
+let operands i =
+  match i.kind with
+  | Binop (_, a, b) -> [ a; b ]
+  | Unop (_, a) | Splat a | Extract (a, _) | Reduce (_, a)
+  | Shuffle (a, _) -> [ a ]
+  | Load _ -> []
+  | Store (_, v) -> [ v ]
+  | Buildvec vs -> vs
+
+let set_operands i ops =
+  match (i.kind, ops) with
+  | Binop (op, _, _), [ a; b ] -> i.kind <- Binop (op, a, b)
+  | Unop (op, _), [ a ] -> i.kind <- Unop (op, a)
+  | Splat _, [ a ] -> i.kind <- Splat a
+  | Extract (_, lane), [ a ] -> i.kind <- Extract (a, lane)
+  | Reduce (op, _), [ a ] -> i.kind <- Reduce (op, a)
+  | Shuffle (_, idx), [ a ] -> i.kind <- Shuffle (a, idx)
+  | Load _, [] -> ()
+  | Store (addr, _), [ v ] -> i.kind <- Store (addr, v)
+  | Buildvec old, vs when List.length old = List.length vs ->
+    i.kind <- Buildvec vs
+  | ( (Binop _ | Unop _ | Splat _ | Extract _ | Reduce _ | Shuffle _
+      | Load _ | Store _ | Buildvec _),
+      _ ) ->
+    invalid_arg "Instr.set_operands: operand count mismatch"
+
+let map_operands f i = set_operands i (List.map f (operands i))
+
+let is_store i = match i.kind with
+  | Store _ -> true
+  | Binop _ | Unop _ | Load _ | Splat _ | Buildvec _ | Extract _ | Reduce _
+  | Shuffle _ -> false
+
+let is_load i = match i.kind with
+  | Load _ -> true
+  | Binop _ | Unop _ | Store _ | Splat _ | Buildvec _ | Extract _ | Reduce _
+  | Shuffle _ -> false
+
+let is_memory_access i = is_store i || is_load i
+
+let has_side_effect = is_store
+
+let address i =
+  match i.kind with
+  | Load a | Store (a, _) -> Some a
+  | Binop _ | Unop _ | Splat _ | Buildvec _ | Extract _ | Reduce _
+  | Shuffle _ -> None
+
+let binop i = match i.kind with
+  | Binop (op, _, _) -> Some op
+  | Unop _ | Load _ | Store _ | Splat _ | Buildvec _ | Extract _ | Reduce _
+  | Shuffle _ -> None
+
+(* Opcode classes used by isomorphism checks: two instructions can share a
+   vectorizable group iff they have the same class. *)
+type opclass =
+  | C_binop of Opcode.binop
+  | C_unop of Opcode.unop
+  | C_load
+  | C_store
+  | C_splat
+  | C_buildvec
+  | C_extract
+  | C_reduce of Opcode.binop
+  | C_shuffle
+
+let opclass i =
+  match i.kind with
+  | Binop (op, _, _) -> C_binop op
+  | Unop (op, _) -> C_unop op
+  | Load _ -> C_load
+  | Store _ -> C_store
+  | Splat _ -> C_splat
+  | Buildvec _ -> C_buildvec
+  | Extract _ -> C_extract
+  | Reduce (op, _) -> C_reduce op
+  | Shuffle _ -> C_shuffle
+
+let equal_opclass (a : opclass) (b : opclass) = a = b
+
+let opclass_name = function
+  | C_binop op -> Opcode.binop_name op
+  | C_unop op -> Opcode.unop_name op
+  | C_load -> "load"
+  | C_store -> "store"
+  | C_splat -> "splat"
+  | C_buildvec -> "buildvec"
+  | C_extract -> "extract"
+  | C_reduce op -> "reduce." ^ Opcode.binop_name op
+  | C_shuffle -> "shuffle"
+
+let is_commutative i =
+  match i.kind with
+  | Binop (op, _, _) -> Opcode.is_commutative op
+  | Unop _ | Load _ | Store _ | Splat _ | Buildvec _ | Extract _ | Reduce _
+  | Shuffle _ -> false
+
+let equal_const (a : const) (b : const) =
+  match (a, b) with
+  | Cint x, Cint y -> Int64.equal x y
+  | Cfloat x, Cfloat y ->
+    (* bitwise equality so that nan = nan and -0. <> 0. — constants are
+       compared for grouping, not arithmetic *)
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Cint32 x, Cint32 y -> Int32.equal x y
+  | Cfloat32 x, Cfloat32 y ->
+    Int32.equal (Int32.bits_of_float x) (Int32.bits_of_float y)
+  | (Cint _ | Cfloat _ | Cint32 _ | Cfloat32 _), _ -> false
+
+let equal_value (a : value) (b : value) =
+  match (a, b) with
+  | Const x, Const y -> equal_const x y
+  | Arg x, Arg y -> String.equal x.arg_name y.arg_name
+  | Ins x, Ins y -> equal x y
+  | (Const _ | Arg _ | Ins _), _ -> false
+
+let value_id = function
+  | Ins i -> Some i.id
+  | Const _ | Arg _ -> None

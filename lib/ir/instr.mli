@@ -1,0 +1,98 @@
+(** Instructions and values of the straight-line IR.
+
+    Instructions carry a unique [id] (identity semantics) and mutable [kind]
+    so passes can rewrite operands in place.  Memory is accessed through
+    {!address} records — an array symbol plus an affine element index — which
+    keeps address arithmetic out of the use-def graph, mirroring the
+    GEP+SCEV split that LLVM's SLP vectorizer relies on. *)
+
+type const =
+  | Cint of int64
+  | Cfloat of float
+  | Cint32 of int32
+  | Cfloat32 of float  (** kept single-rounded *)
+
+type address = {
+  base : string;       (** array argument the access goes through *)
+  elt : Types.scalar;  (** element type of the array *)
+  index : Affine.t;    (** element index, affine in integer arguments *)
+  access_lanes : int;  (** 1 = scalar access, n >= 2 = vector access *)
+}
+
+type t = private {
+  id : int;
+  mutable kind : kind;
+  mutable ty : Types.t;
+  mutable name : string;
+}
+
+and kind =
+  | Binop of Opcode.binop * value * value
+  | Unop of Opcode.unop * value
+  | Load of address
+  | Store of address * value
+  | Splat of value          (** broadcast a scalar into all lanes *)
+  | Buildvec of value list  (** gather scalars into a vector *)
+  | Extract of value * int  (** extract one lane of a vector *)
+  | Reduce of Opcode.binop * value
+      (** horizontal reduction of all lanes into a scalar *)
+  | Shuffle of value * int list
+      (** single-source lane permutation: lane k of the result is lane
+          [List.nth idx k] of the source *)
+
+and value = Const of const | Arg of arg | Ins of t
+
+and arg = { arg_name : string; arg_ty : arg_ty }
+
+and arg_ty = Int_arg | Float_arg | Array_arg of Types.scalar
+
+val create : ?name:string -> kind -> Types.t -> t
+(** Fresh instruction with a new unique id.  Prefer {!Builder} in client
+    code; this is the low-level constructor. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val const_ty : const -> Types.t
+val value_ty : value -> Types.t option
+(** Type of a value; [None] for array arguments, which are not first-class. *)
+
+val operands : t -> value list
+val set_operands : t -> value list -> unit
+(** Replace the operands, keeping the kind.
+    @raise Invalid_argument if the operand count does not match. *)
+
+val map_operands : (value -> value) -> t -> unit
+
+val is_store : t -> bool
+val is_load : t -> bool
+val is_memory_access : t -> bool
+val has_side_effect : t -> bool
+val address : t -> address option
+val binop : t -> Opcode.binop option
+val is_commutative : t -> bool
+
+(** Opcode classes: two instructions are candidates for the same vectorizable
+    group iff their classes are equal. *)
+type opclass =
+  | C_binop of Opcode.binop
+  | C_unop of Opcode.unop
+  | C_load
+  | C_store
+  | C_splat
+  | C_buildvec
+  | C_extract
+  | C_reduce of Opcode.binop
+  | C_shuffle
+
+val opclass : t -> opclass
+val equal_opclass : opclass -> opclass -> bool
+val opclass_name : opclass -> string
+
+val equal_const : const -> const -> bool
+val equal_value : value -> value -> bool
+(** Instruction values compare by identity; constants bitwise; arguments by
+    name. *)
+
+val value_id : value -> int option

@@ -1,0 +1,80 @@
+(* Instruction opcodes and their algebraic properties.
+
+   Commutativity and associativity drive the whole LSLP algorithm: only
+   commutative opcodes are legal reordering candidates, and only opcodes that
+   are both commutative and associative may form multi-nodes (reassociating a
+   chain is only sound for associative operations).  Floating-point add/mul
+   are treated as commutative *and* associative because the paper compiles
+   with [-ffast-math]. *)
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Srem
+  | And | Or | Xor
+  | Shl | Lshr | Ashr
+  | Smin | Smax
+  | Fadd | Fsub | Fmul | Fdiv
+  | Fmin | Fmax
+
+type unop = Neg | Fneg | Fsqrt | Fabs
+
+let all_binops =
+  [ Add; Sub; Mul; Sdiv; Srem; And; Or; Xor; Shl; Lshr; Ashr; Smin; Smax;
+    Fadd; Fsub; Fmul; Fdiv; Fmin; Fmax ]
+
+let all_unops = [ Neg; Fneg; Fsqrt; Fabs ]
+
+let is_commutative = function
+  | Add | Mul | And | Or | Xor | Smin | Smax | Fadd | Fmul | Fmin | Fmax ->
+    true
+  | Sub | Sdiv | Srem | Shl | Lshr | Ashr | Fsub | Fdiv -> false
+
+(* With -ffast-math semantics, every commutative opcode here is also
+   associative, but keep the two notions separate: a future opcode could be
+   commutative without being associative (e.g. IEEE fadd). *)
+let is_associative = function
+  | Add | Mul | And | Or | Xor | Smin | Smax | Fadd | Fmul | Fmin | Fmax ->
+    true
+  | Sub | Sdiv | Srem | Shl | Lshr | Ashr | Fsub | Fdiv -> false
+
+let binop_is_float = function
+  | Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax -> true
+  | Add | Sub | Mul | Sdiv | Srem | And | Or | Xor | Shl | Lshr | Ashr
+  | Smin | Smax -> false
+
+let unop_is_float = function
+  | Fneg | Fsqrt | Fabs -> true
+  | Neg -> false
+
+(* The *default* scalar an opcode operates on: what the (i64/f64-only)
+   kernel-language frontend instantiates.  The IR itself is width-
+   polymorphic — see [binop_accepts]. *)
+let binop_operand_scalar op : Types.scalar =
+  if binop_is_float op then F64 else I64
+
+let unop_operand_scalar op : Types.scalar =
+  if unop_is_float op then F64 else I64
+
+(* Width-polymorphic class check: float opcodes work on f32/f64 lanes,
+   integer opcodes on i32/i64 lanes. *)
+let binop_accepts op (s : Types.scalar) =
+  Types.is_float_scalar s = binop_is_float op
+
+let unop_accepts op (s : Types.scalar) =
+  Types.is_float_scalar s = unop_is_float op
+
+let equal_binop (a : binop) (b : binop) = a = b
+let equal_unop (a : unop) (b : unop) = a = b
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Sdiv -> "sdiv"
+  | Srem -> "srem" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+  | Smin -> "smin" | Smax -> "smax"
+  | Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+  | Fmin -> "fmin" | Fmax -> "fmax"
+
+let unop_name = function
+  | Neg -> "neg" | Fneg -> "fneg" | Fsqrt -> "fsqrt" | Fabs -> "fabs"
+
+let pp_binop ppf op = Fmt.string ppf (binop_name op)
+let pp_unop ppf op = Fmt.string ppf (unop_name op)

@@ -1,0 +1,44 @@
+(** Instruction opcodes and their algebraic properties.
+
+    Commutativity gates operand reordering; associativity (together with
+    commutativity) gates multi-node formation.  Floating-point arithmetic is
+    modelled with [-ffast-math] semantics, matching the paper's experimental
+    setup, so [Fadd]/[Fmul] count as commutative and associative. *)
+
+type binop =
+  | Add | Sub | Mul | Sdiv | Srem
+  | And | Or | Xor
+  | Shl | Lshr | Ashr
+  | Smin | Smax
+  | Fadd | Fsub | Fmul | Fdiv
+  | Fmin | Fmax
+
+type unop = Neg | Fneg | Fsqrt | Fabs
+
+val all_binops : binop list
+val all_unops : unop list
+
+val is_commutative : binop -> bool
+val is_associative : binop -> bool
+
+val binop_is_float : binop -> bool
+val unop_is_float : unop -> bool
+
+val binop_operand_scalar : binop -> Types.scalar
+(** The *default* scalar the (64-bit-only) frontend instantiates this opcode
+    at.  The IR itself is width-polymorphic: see {!binop_accepts}. *)
+
+val unop_operand_scalar : unop -> Types.scalar
+
+val binop_accepts : binop -> Types.scalar -> bool
+(** Class check: float opcodes accept f32/f64, integer opcodes i32/i64. *)
+
+val unop_accepts : unop -> Types.scalar -> bool
+
+val equal_binop : binop -> binop -> bool
+val equal_unop : unop -> unop -> bool
+
+val binop_name : binop -> string
+val unop_name : unop -> string
+val pp_binop : binop Fmt.t
+val pp_unop : unop Fmt.t

@@ -1,0 +1,75 @@
+(* Textual form of the IR, LLVM-flavoured.  The printer is total: any
+   well-formed or ill-formed instruction prints without raising, so it is
+   safe to use in error paths and debug logs. *)
+
+let pp_const ppf = function
+  | Instr.Cint n -> Fmt.pf ppf "%Ld" n
+  | Instr.Cfloat x -> Fmt.pf ppf "%h" x
+  | Instr.Cint32 n -> Fmt.pf ppf "%ldl" n
+  | Instr.Cfloat32 x -> Fmt.pf ppf "%hf" x
+
+let pp_const_readable ppf = function
+  | Instr.Cint n -> Fmt.pf ppf "%Ld" n
+  | Instr.Cfloat x ->
+    (* prefer a short decimal form when it round-trips *)
+    let s = Fmt.str "%.12g" x in
+    if float_of_string s = x then Fmt.string ppf s else Fmt.pf ppf "%h" x
+  | Instr.Cint32 n -> Fmt.pf ppf "%ldl" n
+  | Instr.Cfloat32 x ->
+    let s = Fmt.str "%.7g" x in
+    if float_of_string s = x then Fmt.pf ppf "%sf" s else Fmt.pf ppf "%hf" x
+
+(* Labels embed the instruction id so they are always unique, even when two
+   instructions share a printing hint. *)
+let inst_label (i : Instr.t) =
+  if String.equal i.name "" then Fmt.str "%%v%d" i.id
+  else Fmt.str "%%%s.%d" i.name i.id
+
+let pp_value ppf = function
+  | Instr.Const c -> pp_const_readable ppf c
+  | Instr.Arg a -> Fmt.string ppf a.arg_name
+  | Instr.Ins i -> Fmt.string ppf (inst_label i)
+
+let pp_address ppf (a : Instr.address) =
+  if a.access_lanes > 1 then
+    Fmt.pf ppf "<%d x %a> %s[%a]" a.access_lanes Types.pp_scalar a.elt a.base
+      Affine.pp a.index
+  else Fmt.pf ppf "%s[%a]" a.base Affine.pp a.index
+
+let pp_instr ppf (i : Instr.t) =
+  let lhs ppf () = Fmt.pf ppf "%s : %a = " (inst_label i) Types.pp i.ty in
+  match i.kind with
+  | Instr.Binop (op, x, y) ->
+    Fmt.pf ppf "%a%a %a, %a" lhs () Opcode.pp_binop op pp_value x pp_value y
+  | Instr.Unop (op, x) ->
+    Fmt.pf ppf "%a%a %a" lhs () Opcode.pp_unop op pp_value x
+  | Instr.Load a -> Fmt.pf ppf "%aload %a" lhs () pp_address a
+  | Instr.Store (a, v) -> Fmt.pf ppf "store %a, %a" pp_address a pp_value v
+  | Instr.Splat v -> Fmt.pf ppf "%asplat %a" lhs () pp_value v
+  | Instr.Buildvec vs ->
+    Fmt.pf ppf "%abuildvec [%a]" lhs () Fmt.(list ~sep:(any ", ") pp_value) vs
+  | Instr.Extract (v, lane) ->
+    Fmt.pf ppf "%aextract %a, %d" lhs () pp_value v lane
+  | Instr.Reduce (op, v) ->
+    Fmt.pf ppf "%areduce.%a %a" lhs () Opcode.pp_binop op pp_value v
+  | Instr.Shuffle (v, idx) ->
+    Fmt.pf ppf "%ashuffle %a, [%a]" lhs () pp_value v
+      Fmt.(list ~sep:(any ", ") int) idx
+
+let pp_arg ppf (a : Instr.arg) =
+  match a.arg_ty with
+  | Instr.Int_arg -> Fmt.pf ppf "i64 %s" a.arg_name
+  | Instr.Float_arg -> Fmt.pf ppf "f64 %s" a.arg_name
+  | Instr.Array_arg elt ->
+    Fmt.pf ppf "%a %s[]" Types.pp_scalar elt a.arg_name
+
+let pp_func ppf (f : Func.t) =
+  Fmt.pf ppf "@[<v>kernel %s(%a) {@," f.fname
+    Fmt.(list ~sep:(any ", ") pp_arg)
+    f.args;
+  Block.iter (fun i -> Fmt.pf ppf "  %a@," pp_instr i) f.block;
+  Fmt.pf ppf "}@]"
+
+let instr_to_string i = Fmt.str "%a" pp_instr i
+let func_to_string f = Fmt.str "%a" pp_func f
+let value_to_string v = Fmt.str "%a" pp_value v

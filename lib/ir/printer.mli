@@ -1,0 +1,18 @@
+(** Textual form of the IR (LLVM-flavoured).  Total: never raises, even on
+    ill-formed code, so it can be used in error messages and debug output. *)
+
+val pp_const : Instr.const Fmt.t
+(** Exact (hex-float) form. *)
+
+val pp_const_readable : Instr.const Fmt.t
+(** Short decimal form when it round-trips, hex-float otherwise. *)
+
+val pp_value : Instr.value Fmt.t
+val pp_address : Instr.address Fmt.t
+val pp_instr : Instr.t Fmt.t
+val pp_arg : Instr.arg Fmt.t
+val pp_func : Func.t Fmt.t
+
+val instr_to_string : Instr.t -> string
+val func_to_string : Func.t -> string
+val value_to_string : Instr.value -> string

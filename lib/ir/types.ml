@@ -1,0 +1,71 @@
+(* Types for IR values.
+
+   The kernel language (and the SPEC kernels the paper evaluates) only use
+   64-bit integers ([long]/[unsigned long]) and doubles, so the scalar type
+   universe is deliberately small.  Vector types carry their lane count. *)
+
+type scalar = I64 | F64 | I32 | F32
+
+type t =
+  | Scalar of scalar
+  | Vec of scalar * int
+  | Void
+
+let i64 = Scalar I64
+let f64 = Scalar F64
+let i32 = Scalar I32
+let f32 = Scalar F32
+
+let vec elt lanes =
+  if lanes < 2 then invalid_arg "Types.vec: lane count must be >= 2";
+  Vec (elt, lanes)
+
+let scalar_of = function
+  | Scalar s -> Some s
+  | Vec (s, _) -> Some s
+  | Void -> None
+
+let lanes = function
+  | Scalar _ -> 1
+  | Vec (_, n) -> n
+  | Void -> 0
+
+let is_float_scalar = function
+  | F64 | F32 -> true
+  | I64 | I32 -> false
+
+let is_float = function
+  | Scalar s | Vec (s, _) -> is_float_scalar s
+  | Void -> false
+
+let is_vector = function
+  | Vec _ -> true
+  | Scalar _ | Void -> false
+
+(* Element size in bytes; used for address arithmetic and bit-width checks. *)
+let scalar_size_bytes = function
+  | I64 | F64 -> 8
+  | I32 | F32 -> 4
+
+let widen ty n =
+  match ty with
+  | Scalar s -> vec s n
+  | Vec _ -> invalid_arg "Types.widen: already a vector type"
+  | Void -> invalid_arg "Types.widen: void"
+
+let equal_scalar (a : scalar) (b : scalar) = a = b
+
+let equal (a : t) (b : t) = a = b
+
+let pp_scalar ppf = function
+  | I64 -> Fmt.string ppf "i64"
+  | F64 -> Fmt.string ppf "f64"
+  | I32 -> Fmt.string ppf "i32"
+  | F32 -> Fmt.string ppf "f32"
+
+let pp ppf = function
+  | Scalar s -> pp_scalar ppf s
+  | Vec (s, n) -> Fmt.pf ppf "<%d x %a>" n pp_scalar s
+  | Void -> Fmt.string ppf "void"
+
+let to_string ty = Fmt.str "%a" pp ty

@@ -1,0 +1,34 @@
+(* Def-use information, recomputed per pass.
+
+   Use lists are derived data: recomputing them from the block is cheap at
+   kernel scale and avoids the invalidation bugs that come with maintaining
+   mutable use lists across rewrites. *)
+
+type t = {
+  users : (int, Instr.t list) Hashtbl.t;  (* def id -> users, program order *)
+}
+
+let compute block =
+  let users = Hashtbl.create 64 in
+  let note_use (user : Instr.t) (v : Instr.value) =
+    match v with
+    | Instr.Ins def ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt users def.id) in
+      Hashtbl.replace users def.id (user :: cur)
+    | Instr.Const _ | Instr.Arg _ -> ()
+  in
+  Block.iter (fun i -> List.iter (note_use i) (Instr.operands i)) block;
+  Hashtbl.iter (fun k v -> Hashtbl.replace users k (List.rev v)) users;
+  { users }
+
+let users t (i : Instr.t) =
+  Option.value ~default:[] (Hashtbl.find_opt t.users i.Instr.id)
+
+let num_uses t i = List.length (users t i)
+
+let has_single_use t i = num_uses t i = 1
+
+let is_dead t i = (not (Instr.has_side_effect i)) && num_uses t i = 0
+
+let users_outside t i ~inside =
+  List.filter (fun (u : Instr.t) -> not (inside u)) (users t i)

@@ -1,0 +1,23 @@
+(** Def-use information for a block, recomputed on demand.
+
+    LSLP needs use counts in two places: the multi-node "escape" rule (an
+    intermediate value used outside the chain cannot be swallowed into a
+    multi-node) and the extract-cost for vectorized values with external
+    scalar users. *)
+
+type t
+
+val compute : Block.t -> t
+
+val users : t -> Instr.t -> Instr.t list
+(** Users in program order (an instruction using a value twice appears
+    twice). *)
+
+val num_uses : t -> Instr.t -> int
+val has_single_use : t -> Instr.t -> bool
+
+val is_dead : t -> Instr.t -> bool
+(** No users and no side effect. *)
+
+val users_outside : t -> Instr.t -> inside:(Instr.t -> bool) -> Instr.t list
+(** Users for which [inside] is false. *)

@@ -1,0 +1,174 @@
+(* IR well-formedness checker.
+
+   Run after construction and after every transformation in tests: a
+   vectorizer bug that produces use-before-def or a lane-count mismatch is
+   caught here rather than as a wrong answer three layers up. *)
+
+type error = { instr : Instr.t option; message : string }
+
+let pp_error ppf e =
+  match e.instr with
+  | Some i -> Fmt.pf ppf "%s: in `%a`" e.message Printer.pp_instr i
+  | None -> Fmt.string ppf e.message
+
+let error_to_string e = Fmt.str "%a" pp_error e
+
+exception Invalid of error list
+
+let check_func (f : Func.t) =
+  let errors = ref [] in
+  let err ?instr fmt =
+    Fmt.kstr (fun message -> errors := { instr; message } :: !errors) fmt
+  in
+  let defined = Hashtbl.create 64 in
+  let arg_names = Hashtbl.create 8 in
+  List.iter
+    (fun (a : Instr.arg) ->
+      if Hashtbl.mem arg_names a.arg_name then
+        err "duplicate argument name %s" a.arg_name;
+      Hashtbl.replace arg_names a.arg_name a.arg_ty)
+    f.args;
+  let seen_ids = Hashtbl.create 64 in
+  let check_value instr (v : Instr.value) =
+    match v with
+    | Instr.Ins def ->
+      if not (Hashtbl.mem defined def.Instr.id) then
+        err ~instr "use of %s before its definition (or of a value not in \
+                    the block)" (Printer.value_to_string v)
+    | Instr.Arg a ->
+      (match Hashtbl.find_opt arg_names a.arg_name with
+       | None -> err ~instr "reference to unknown argument %s" a.arg_name
+       | Some (Instr.Array_arg _) ->
+         err ~instr "array argument %s used as scalar value" a.arg_name
+       | Some (Instr.Int_arg | Instr.Float_arg) -> ())
+    | Instr.Const _ -> ()
+  in
+  let value_ty instr v =
+    match Instr.value_ty v with
+    | Some ty -> ty
+    | None ->
+      err ~instr "operand has no value type";
+      Types.Void
+  in
+  let expect_ty instr what expected v =
+    let ty = value_ty instr v in
+    if not (Types.equal ty expected) then
+      err ~instr "%s: expected %a, got %a" what Types.pp expected Types.pp ty
+  in
+  let check_address instr (a : Instr.address) =
+    (match Hashtbl.find_opt arg_names a.base with
+     | Some (Instr.Array_arg elt) ->
+       if not (Types.equal_scalar elt a.elt) then
+         err ~instr "address element type %a does not match array %s (%a)"
+           Types.pp_scalar a.elt a.base Types.pp_scalar elt
+     | Some (Instr.Int_arg | Instr.Float_arg) ->
+       err ~instr "%s is not an array argument" a.base
+     | None -> err ~instr "unknown array %s" a.base);
+    if a.access_lanes < 1 then err ~instr "non-positive access width";
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt arg_names s with
+        | Some Instr.Int_arg -> ()
+        | Some _ -> err ~instr "index symbol %s is not an i64 argument" s
+        | None -> err ~instr "index symbol %s is not an argument" s)
+      (Affine.symbols a.index)
+  in
+  let access_ty (a : Instr.address) =
+    if a.access_lanes = 1 then Types.Scalar a.elt
+    else Types.Vec (a.elt, a.access_lanes)
+  in
+  let check_instr (i : Instr.t) =
+    if Hashtbl.mem seen_ids i.Instr.id then
+      err ~instr:i "instruction appears twice in the block";
+    Hashtbl.replace seen_ids i.Instr.id ();
+    List.iter (check_value i) (Instr.operands i);
+    (match i.kind with
+     | Instr.Binop (op, x, y) ->
+       (match i.ty with
+        | Types.Scalar s | Types.Vec (s, _) ->
+          if not (Opcode.binop_accepts op s) then
+            err ~instr:i "opcode %s cannot operate on %a lanes"
+              (Opcode.binop_name op) Types.pp_scalar s
+        | Types.Void -> err ~instr:i "binop with void result");
+       expect_ty i "left operand" i.ty x;
+       expect_ty i "right operand" i.ty y
+     | Instr.Unop (op, x) ->
+       (match i.ty with
+        | Types.Scalar s | Types.Vec (s, _) ->
+          if not (Opcode.unop_accepts op s) then
+            err ~instr:i "opcode %s cannot operate on %a lanes"
+              (Opcode.unop_name op) Types.pp_scalar s
+        | Types.Void -> err ~instr:i "unop with void result");
+       expect_ty i "operand" i.ty x
+     | Instr.Load a ->
+       check_address i a;
+       if not (Types.equal i.ty (access_ty a)) then
+         err ~instr:i "load result type does not match access width"
+     | Instr.Store (a, v) ->
+       check_address i a;
+       expect_ty i "stored value" (access_ty a) v;
+       if not (Types.equal i.ty Types.Void) then
+         err ~instr:i "store must have void type"
+     | Instr.Splat v ->
+       (match i.ty with
+        | Types.Vec (s, _) -> expect_ty i "splat operand" (Types.Scalar s) v
+        | Types.Scalar _ | Types.Void ->
+          err ~instr:i "splat must produce a vector")
+     | Instr.Buildvec vs ->
+       (match i.ty with
+        | Types.Vec (s, n) ->
+          if List.length vs <> n then
+            err ~instr:i "buildvec arity %d does not match %d lanes"
+              (List.length vs) n;
+          List.iter (expect_ty i "buildvec element" (Types.Scalar s)) vs
+        | Types.Scalar _ | Types.Void ->
+          err ~instr:i "buildvec must produce a vector")
+     | Instr.Extract (v, lane) ->
+       (match (Instr.value_ty v, i.ty) with
+        | Some (Types.Vec (s, n)), Types.Scalar s' ->
+          if not (Types.equal_scalar s s') then
+            err ~instr:i "extract element type mismatch";
+          if lane < 0 || lane >= n then
+            err ~instr:i "extract lane %d out of range [0,%d)" lane n
+        | Some _, _ ->
+          err ~instr:i "extract requires a vector operand and scalar result"
+        | None, _ -> err ~instr:i "extract of non-value")
+     | Instr.Reduce (op, v) ->
+       (match (Instr.value_ty v, i.ty) with
+        | Some (Types.Vec (s, _)), Types.Scalar s' ->
+          if not (Types.equal_scalar s s') then
+            err ~instr:i "reduce element type mismatch";
+          if not (Opcode.binop_accepts op s) then
+            err ~instr:i "reduce opcode does not match element type";
+          if not (Opcode.is_commutative op && Opcode.is_associative op) then
+            err ~instr:i "reduce requires a commutative+associative opcode"
+        | Some _, _ ->
+          err ~instr:i "reduce requires a vector operand and scalar result"
+        | None, _ -> err ~instr:i "reduce of non-value")
+     | Instr.Shuffle (v, idx) ->
+       (match (Instr.value_ty v, i.ty) with
+        | Some (Types.Vec (s, n)), Types.Vec (s', n') ->
+          if not (Types.equal_scalar s s') then
+            err ~instr:i "shuffle element type mismatch";
+          if List.length idx <> n' then
+            err ~instr:i "shuffle index count %d does not match %d lanes"
+              (List.length idx) n';
+          List.iter
+            (fun k ->
+              if k < 0 || k >= n then
+                err ~instr:i "shuffle index %d out of range [0,%d)" k n)
+            idx
+        | Some _, _ ->
+          err ~instr:i "shuffle requires vector operand and vector result"
+        | None, _ -> err ~instr:i "shuffle of non-value"));
+    Hashtbl.replace defined i.Instr.id ()
+  in
+  Block.iter check_instr f.block;
+  List.rev !errors
+
+let verify_exn f =
+  match check_func f with
+  | [] -> ()
+  | errors -> raise (Invalid errors)
+
+let is_valid f = check_func f = []

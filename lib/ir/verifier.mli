@@ -1,0 +1,20 @@
+(** IR well-formedness checking.
+
+    Catches use-before-def, type and lane-count mismatches, unknown
+    arguments, duplicate instructions and malformed addresses.  Tests run it
+    after every transformation. *)
+
+type error = { instr : Instr.t option; message : string }
+
+val pp_error : error Fmt.t
+val error_to_string : error -> string
+
+exception Invalid of error list
+
+val check_func : Func.t -> error list
+(** All violations found, in program order ([[]] = well-formed). *)
+
+val verify_exn : Func.t -> unit
+(** @raise Invalid with the full error list if the function is ill-formed. *)
+
+val is_valid : Func.t -> bool

@@ -1,0 +1,99 @@
+(* The kernel catalog: Table 2 of the paper plus the whole-benchmark
+   composition used by Figures 11-12. *)
+
+open Lslp_ir
+
+type kernel = {
+  key : string;        (* e.g. "453.boy-surface" *)
+  benchmark : string;  (* e.g. "453.povray" *)
+  origin : string;     (* Filename:Line from Table 2, or paper section *)
+  source : string;     (* kernel-language source *)
+}
+
+let table2 =
+  [
+    { key = "453.boy-surface"; benchmark = "453.povray";
+      origin = "fnintern.cpp:355"; source = Sources.boy_surface };
+    { key = "453.intersect-quadratic"; benchmark = "453.povray";
+      origin = "poly.cpp:813"; source = Sources.intersect_quadratic };
+    { key = "453.calc-z3"; benchmark = "453.povray";
+      origin = "quatern.cpp:433"; source = Sources.calc_z3 };
+    { key = "453.vsumsqr"; benchmark = "453.povray";
+      origin = "vector.h:362"; source = Sources.vsumsqr };
+    { key = "453.hreciprocal"; benchmark = "453.povray";
+      origin = "hcmplx.cpp:113"; source = Sources.hreciprocal };
+    { key = "453.mesh1"; benchmark = "453.povray";
+      origin = "fnintern.cpp:759"; source = Sources.mesh1 };
+    { key = "433.mult-su2-mat"; benchmark = "433.milc";
+      origin = "m_su2_mat_vec_a.c:23"; source = Sources.mult_su2 };
+    { key = "453.quartic-cylinder"; benchmark = "453.povray";
+      origin = "fnintern.cpp:924"; source = Sources.quartic_cylinder };
+    { key = "motivation-loads"; benchmark = "Section 3.1";
+      origin = "Figure 2"; source = Sources.motivation_loads };
+    { key = "motivation-opcodes"; benchmark = "Section 3.2";
+      origin = "Figure 3"; source = Sources.motivation_opcodes };
+    { key = "motivation-multi"; benchmark = "Section 3.3";
+      origin = "Figure 4"; source = Sources.motivation_multi };
+  ]
+
+let extras =
+  [
+    { key = "435.lj-force"; benchmark = "435.gromacs";
+      origin = "reconstruction"; source = Sources_full.lj_force };
+    { key = "454.mat3"; benchmark = "454.calculix";
+      origin = "reconstruction"; source = Sources_full.calculix_mat3 };
+    { key = "481.update"; benchmark = "481.wrf";
+      origin = "reconstruction"; source = Sources_full.wrf_update };
+    { key = "410.block"; benchmark = "410.bwaves";
+      origin = "reconstruction"; source = Sources_full.bwaves_block };
+    { key = "416.contract"; benchmark = "416.gamess";
+      origin = "reconstruction"; source = Sources_full.gamess_contract };
+    { key = "filler-chain"; benchmark = "synthetic";
+      origin = "scalar filler"; source = Sources_full.filler_chain };
+    { key = "common-region"; benchmark = "synthetic";
+      origin = "config-insensitive region"; source = Sources_full.common_region };
+  ]
+
+let all = table2 @ extras
+
+let find key =
+  match List.find_opt (fun k -> String.equal k.key key) all with
+  | Some k -> k
+  | None -> invalid_arg (Fmt.str "Catalog.find: unknown kernel %s" key)
+
+let compile k : Func.t = Lslp_frontend.Lower.compile_string k.source
+
+let compile_key key = compile (find key)
+
+(* Whole benchmarks (Figures 11-12): the vectorizable regions each full
+   SPEC benchmark contributes, and how many copies of the scalar filler
+   dilute them.  Dilution reproduces the paper's observation that the
+   improved regions are not hot, so whole-benchmark effects are small. *)
+type benchmark = {
+  bname : string;
+  kernel_keys : string list;
+  filler_copies : int;   (* scalar-only code diluting execution time *)
+  common_copies : int;   (* regions every configuration vectorizes alike *)
+}
+
+let full_benchmarks =
+  [
+    { bname = "453.povray";
+      kernel_keys =
+        [ "453.boy-surface"; "453.intersect-quadratic"; "453.calc-z3";
+          "453.vsumsqr"; "453.hreciprocal"; "453.mesh1";
+          "453.quartic-cylinder" ];
+      filler_copies = 700; common_copies = 25 };
+    { bname = "435.gromacs"; kernel_keys = [ "435.lj-force" ];
+      filler_copies = 400; common_copies = 18 };
+    { bname = "454.calculix"; kernel_keys = [ "454.mat3" ];
+      filler_copies = 350; common_copies = 12 };
+    { bname = "481.wrf"; kernel_keys = [ "481.update" ];
+      filler_copies = 500; common_copies = 20 };
+    { bname = "433.milc"; kernel_keys = [ "433.mult-su2-mat" ];
+      filler_copies = 300; common_copies = 8 };
+    { bname = "410.bwaves"; kernel_keys = [ "410.block" ];
+      filler_copies = 450; common_copies = 15 };
+    { bname = "416.gamess"; kernel_keys = [ "416.contract" ];
+      filler_copies = 600; common_copies = 22 };
+  ]

@@ -1,0 +1,40 @@
+(** The kernel catalog: the paper's Table 2 plus the whole-benchmark
+    composition used by Figures 11-12. *)
+
+open Lslp_ir
+
+type kernel = {
+  key : string;
+  benchmark : string;
+  origin : string;
+  source : string;
+}
+
+val table2 : kernel list
+(** The 8 SPEC kernels + 3 motivating examples of Table 2, in the paper's
+    order. *)
+
+val extras : kernel list
+(** Stand-ins for the remaining whole benchmarks plus the scalar filler. *)
+
+val all : kernel list
+
+val find : string -> kernel
+(** @raise Invalid_argument on unknown keys. *)
+
+val compile : kernel -> Func.t
+(** Compile a fresh copy (every call returns new instructions). *)
+
+val compile_key : string -> Func.t
+
+type benchmark = {
+  bname : string;
+  kernel_keys : string list;
+  filler_copies : int;
+      (** copies of the scalar filler diluting execution time *)
+  common_copies : int;
+      (** copies of the configuration-insensitive vectorizable region that
+          keep whole-benchmark cost ratios near 100% *)
+}
+
+val full_benchmarks : benchmark list

@@ -1,0 +1,185 @@
+(* Kernel-language sources for the paper's evaluation kernels (Table 2).
+
+   The SPEC CPU2006 kernels are reconstructed from the published mathematics
+   of the routines the paper points at (POV-Ray algebraic-surface
+   evaluators, the MILC SU(2) matrix-vector product, quaternion z^3, ...).
+   What matters to the (L)SLP comparison is the *shape* of the straight-line
+   code — which operations are commutative, how operands are associated and
+   ordered across lanes — and the reconstructions preserve exactly that:
+   each kernel contains adjacent stores whose per-lane expressions are
+   isomorphic up to commutation/association, the situation Sections 3.1-3.3
+   of the paper analyse. *)
+
+(* §3.1 Figure 2: load address mismatch. *)
+let motivation_loads = {|
+kernel motivation_loads(i64 A[], i64 B[], i64 C[], i64 i) {
+  A[i+0] = (B[i+0] << 1) & (C[i+0] << 2);
+  A[i+1] = (C[i+1] << 3) & (B[i+1] << 4);
+}
+|}
+
+(* §3.2 Figure 3: opcode mismatch (0x11..0x14 written in decimal). *)
+let motivation_opcodes = {|
+kernel motivation_opcodes(i64 A[], i64 B[], i64 C[], i64 D[], i64 E[], i64 i) {
+  A[i+0] = ((B[2*i] << 1) & 17) + ((C[2*i] + 2) & 18);
+  A[i+1] = ((D[2*i] + 3) & 19) + ((E[2*i] << 4) & 20);
+}
+|}
+
+(* §3.3 Figure 4: associativity mismatch, fixed by multi-nodes. *)
+let motivation_multi = {|
+kernel motivation_multi(i64 A[], i64 B[], i64 C[], i64 D[], i64 E[], i64 i) {
+  A[i+0] = A[i+0] & (B[i+0] + C[i+0]) & (D[i+0] + E[i+0]);
+  A[i+1] = (D[i+1] + E[i+1]) & (B[i+1] + C[i+1]) & A[i+1];
+}
+|}
+
+(* 453.povray fnintern.cpp:355 (f_boy_surface): dense polynomial over
+   (x,y,z); the four accumulated terms are written with different
+   associations and operand orders per component, exactly the multi-node
+   case. *)
+let boy_surface = {|
+kernel boy_surface(f64 P[], f64 X[], f64 Y[], f64 Z[], i64 i) {
+  P[4*i+0] = X[4*i+0] * Y[4*i+0]
+           + (Y[4*i+0] * Z[4*i+0] + Z[4*i+0] * X[4*i+0])
+           + X[4*i+0] * X[4*i+0];
+  P[4*i+1] = (Y[4*i+1] * Z[4*i+1] + X[4*i+1] * X[4*i+1])
+           + (X[4*i+1] * Y[4*i+1] + Z[4*i+1] * X[4*i+1]);
+  P[4*i+2] = Z[4*i+2] * X[4*i+2] + X[4*i+2] * X[4*i+2]
+           + (X[4*i+2] * Y[4*i+2] + Y[4*i+2] * Z[4*i+2]);
+  P[4*i+3] = (X[4*i+3] * Y[4*i+3] + Y[4*i+3] * Z[4*i+3])
+           + (Z[4*i+3] * X[4*i+3] + X[4*i+3] * X[4*i+3]);
+}
+|}
+
+(* 453.povray poly.cpp:813 (solve_quadratic inside Intersect_Quadratic):
+   two rays' quadratics solved side by side.  The discriminant is written in
+   the fast-math-canonical form b*b + (-4)*(a*c); both discriminant operands
+   are then fmul instructions, so the vanilla opcode heuristic cannot order
+   them — only look-ahead (which sees the consecutive a/b/c loads one level
+   down) recovers the wide loads, the §3.1 situation one level deep. *)
+let intersect_quadratic = {|
+kernel intersect_quadratic(f64 T[], f64 A[], f64 B[], f64 C[], i64 i) {
+  f64 a0 = A[2*i+0];
+  f64 a1 = A[2*i+1];
+  f64 b0 = B[2*i+0];
+  f64 b1 = B[2*i+1];
+  f64 c0 = C[2*i+0];
+  f64 c1 = C[2*i+1];
+  f64 d0 = b0 * b0 + (0.0 - 4.0) * (a0 * c0);
+  f64 d1 = (c1 * a1) * (0.0 - 4.0) + b1 * b1;
+  f64 s0 = sqrt(d0);
+  f64 s1 = sqrt(d1);
+  T[2*i+0] = (s0 - b0) / (a0 + a0);
+  T[2*i+1] = (s1 - b1) / (a1 + a1);
+}
+|}
+
+(* 453.povray quatern.cpp:433 (calc-z3): quaternion z^3.  With
+   z = (x, v) the cube is (x(x^2 - 3|v|^2), v(3x^2 - |v|^2)); four adjacent
+   stores, commutative mul/add chains.  All four components are scaled by
+   the shared factor c (the x-component's distinct factor is folded
+   upstream), which the reorderer must recognize as a splat. *)
+let calc_z3 = {|
+kernel calc_z3(f64 R[], f64 Q[], i64 i) {
+  f64 x2 = Q[4*i+0] * Q[4*i+0];
+  f64 vv = Q[4*i+1] * Q[4*i+1] + (Q[4*i+2] * Q[4*i+2] + Q[4*i+3] * Q[4*i+3]);
+  f64 c = x2 + x2 + x2 - vv;
+  R[4*i+0] = Q[4*i+0] * c;
+  R[4*i+1] = Q[4*i+1] * c;
+  R[4*i+2] = c * Q[4*i+2];
+  R[4*i+3] = Q[4*i+3] * c;
+}
+|}
+
+(* 453.povray vector.h:362 (VSumSqr): |v|^2 for four packed 3-component
+   vectors.  Each lane reads three components at stride 3, so even after
+   the squares pair correctly the leaf loads are not consecutive and get
+   gathered — the "only three loads, not four" situation §5.2 discusses for
+   this kernel.  As in the paper, SLP and LSLP end up with *exactly equal*
+   static costs here (no pairing beats any other once every load column is
+   a gather). *)
+let vsumsqr = {|
+kernel vsumsqr(f64 R[], f64 V[], i64 i) {
+  R[4*i+0] = V[12*i+0] * V[12*i+0] + (V[12*i+1] * V[12*i+1] + V[12*i+2] * V[12*i+2]);
+  R[4*i+1] = V[12*i+4] * V[12*i+4] + (V[12*i+3] * V[12*i+3] + V[12*i+5] * V[12*i+5]);
+  R[4*i+2] = (V[12*i+8] * V[12*i+8] + V[12*i+7] * V[12*i+7]) + V[12*i+6] * V[12*i+6];
+  R[4*i+3] = V[12*i+9] * V[12*i+9] + (V[12*i+11] * V[12*i+11] + V[12*i+10] * V[12*i+10]);
+}
+|}
+
+(* 453.povray hcmplx.cpp:113 (HReciprocal): hypercomplex reciprocal,
+   out = conj(x) / |x|^2.  The squared modulus is a commutative reduction
+   consumed as a splat by all four lanes. *)
+let hreciprocal = {|
+kernel hreciprocal(f64 R[], f64 H[], i64 i) {
+  f64 x0 = H[4*i+0];
+  f64 x1 = H[4*i+1];
+  f64 x2 = H[4*i+2];
+  f64 x3 = H[4*i+3];
+  f64 mod = x0 * x0 + x1 * x1 + (x2 * x2 + x3 * x3);
+  R[4*i+0] = x0 / mod;
+  R[4*i+1] = (0.0 - x1) / mod;
+  R[4*i+2] = (0.0 - x2) / mod;
+  R[4*i+3] = (0.0 - x3) / mod;
+}
+|}
+
+(* 453.povray fnintern.cpp:759 (f_mesh1): periodic mesh surface built from
+   products of trig-polynomial factors; reconstructed with the same
+   sum-of-products shape per component. *)
+let mesh1 = {|
+kernel mesh1(f64 R[], f64 U[], f64 V[], i64 i) {
+  f64 u0 = U[2*i+0];
+  f64 u1 = U[2*i+1];
+  f64 v0 = V[2*i+0];
+  f64 v1 = V[2*i+1];
+  f64 p0 = u0 * v0;
+  f64 p1 = u1 * v1;
+  R[2*i+0] = p0 * p0 + (u0 * u0 + v0 * v0) * 0.5;
+  R[2*i+1] = p1 * p1 + 0.5 * (v1 * v1 + u1 * u1);
+}
+|}
+
+(* 433.milc m_su2_mat_vec_a.c:23 (mult_su2_mat_vec_elem_a): SU(2) matrix
+   times vector in complex arithmetic.  The real-part subtractions are
+   written in negated-coefficient form (x - y == x + (0-y)), the
+   canonicalization fast-math pipelines apply before SLP runs; that makes
+   all four output lanes isomorphic fadd chains, with the negated
+   coefficients showing up as ALU-produced gather elements — the structure
+   behind the paper's cost-vs-performance anomaly on this kernel. *)
+let mult_su2 = {|
+kernel mult_su2(f64 R[], f64 M[], f64 V[], i64 i) {
+  f64 a0r = M[4*i+0];
+  f64 a0i = M[4*i+1];
+  f64 a1r = M[4*i+2];
+  f64 a1i = M[4*i+3];
+  f64 na0i = 0.0 - a0i;
+  f64 na1i = 0.0 - a1i;
+  f64 b0r = V[4*i+0];
+  f64 b0i = V[4*i+1];
+  f64 b1r = V[4*i+2];
+  f64 b1i = V[4*i+3];
+  R[4*i+0] = a0r * b0r + na0i * b0i + (a1r * b1r + na1i * b1i);
+  R[4*i+1] = a0r * b0i + b0r * a0i + (b1i * a1r + a1i * b1r);
+  R[4*i+2] = a0r * b1r + na0i * b1i + (b0r * a1r + b0i * na1i);
+  R[4*i+3] = b1i * a0r + a0i * b1r + (a1r * b0i + b0r * a1i);
+}
+|}
+
+(* 453.povray fnintern.cpp:924 (f_quartic_cylinder): quartic cylinder field
+   function evaluated for two points.  The two lanes compute the same field
+   value through different associations of the (non-commutative) subtraction
+   chain, so the squared factor's operand column mixes fsub- and fadd-rooted
+   scalars: an ALU-value gather no reordering can repair.  That is the
+   structure behind the paper's §5.2 observation that this kernel's
+   vectorization looks profitable to the cost model yet runs slower than
+   O3 — under every configuration. *)
+let quartic_cylinder = {|
+kernel quartic_cylinder(f64 R[], f64 X[], f64 Y[], i64 i) {
+  f64 g0 = (X[2*i+0] - Y[2*i+0]) - 1.5;
+  f64 g1 = (0.0 - Y[2*i+1]) + (X[2*i+1] - 1.5);
+  R[2*i+0] = g0 * g0 + 2.5;
+  R[2*i+1] = g1 * g1 + 2.5;
+}
+|}

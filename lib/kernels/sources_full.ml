@@ -1,0 +1,102 @@
+(* Kernels standing in for the remaining whole benchmarks of Figures 11-12
+   (435.gromacs, 454.calculix, 481.wrf, 410.bwaves, 416.gamess), plus the
+   scalar filler used to dilute kernels into "whole programs".
+
+   The paper's whole-benchmark experiment only needs regions with the same
+   qualitative behaviour (some improved by reordering, some not, most code
+   untouched); these kernels supply the vectorizable regions and
+   [filler_chain] supplies the cold scalar bulk. *)
+
+(* 435.gromacs: Lennard-Jones force inner step for two neighbours at once;
+   r^-6 / r^-12 terms with commuted multiplies. *)
+let lj_force = {|
+kernel lj_force(f64 F[], f64 R2[], f64 C6[], f64 C12[], i64 i) {
+  f64 ra = R2[2*i+0];
+  f64 rb = R2[2*i+1];
+  f64 ia = 1.0 / ra;
+  f64 ib = 1.0 / rb;
+  f64 i3a = ia * ia * ia;
+  f64 i3b = ib * (ib * ib);
+  F[2*i+0] = C12[2*i+0] * (i3a * i3a) - C6[2*i+0] * i3a;
+  F[2*i+1] = (i3b * i3b) * C12[2*i+1] - i3b * C6[2*i+1];
+}
+|}
+
+(* 454.calculix: 3x3 matrix times vector (one row pair), the dense linear
+   algebra kernel shape. *)
+let calculix_mat3 = {|
+kernel calculix_mat3(f64 Y[], f64 M[], f64 X[], i64 i) {
+  f64 x0 = X[3*i+0];
+  f64 x1 = X[3*i+1];
+  f64 x2 = X[3*i+2];
+  Y[2*i+0] = M[6*i+0] * x0 + (M[6*i+1] * x1 + M[6*i+2] * x2);
+  Y[2*i+1] = (x1 * M[6*i+4] + x0 * M[6*i+3]) + M[6*i+5] * x2;
+}
+|}
+
+(* 481.wrf: a pointwise update combining two fields with weights, the
+   typical straight-line body of a WRF physics loop. *)
+let wrf_update = {|
+kernel wrf_update(f64 Q[], f64 T[], f64 P[], f64 W[], i64 i) {
+  Q[2*i+0] = T[2*i+0] * W[2*i+0] + P[2*i+0] * 0.25;
+  Q[2*i+1] = W[2*i+1] * T[2*i+1] + 0.25 * P[2*i+1];
+}
+|}
+
+(* 410.bwaves: one cell of the block tri-diagonal update. *)
+let bwaves_block = {|
+kernel bwaves_block(f64 Z[], f64 A[], f64 B[], f64 C[], i64 i) {
+  Z[2*i+0] = A[2*i+0] * B[2*i+0] + C[2*i+0] * B[2*i+1] + A[2*i+1];
+  Z[2*i+1] = B[2*i+1] * A[2*i+1] + B[2*i+0] * C[2*i+1] + A[2*i+0];
+}
+|}
+
+(* 416.gamess: an electron-repulsion-style contraction of four factors,
+   associated differently per lane. *)
+let gamess_contract = {|
+kernel gamess_contract(f64 G[], f64 S[], f64 T[], i64 i) {
+  f64 s0 = S[2*i+0];
+  f64 s1 = S[2*i+1];
+  f64 t0 = T[2*i+0];
+  f64 t1 = T[2*i+1];
+  G[2*i+0] = s0 * t0 * (s0 + t0) + s0 * 0.5;
+  G[2*i+1] = (t1 + s1) * (t1 * s1) + 0.5 * s1;
+}
+|}
+
+(* Scalar filler: a long dependence chain that no SLP variant can touch
+   (single lane, serial dependences).  Used to embed kernels into
+   "whole programs" for the Figure 11/12 experiments. *)
+let filler_chain = {|
+kernel filler_chain(f64 S[], i64 i) {
+  f64 a0 = S[i] * 1.0001 + 0.5;
+  f64 a1 = a0 * a0 - 0.25;
+  f64 a2 = a1 * 1.0001 + a0;
+  f64 a3 = a2 * a2 - a1;
+  f64 a4 = a3 * 1.0001 + a2;
+  f64 a5 = a4 * a4 - a3;
+  f64 a6 = a5 * 1.0001 + a4;
+  f64 a7 = a6 * a6 - a5;
+  f64 a8 = a7 * 1.0001 + a6;
+  f64 a9 = a8 * a8 - a7;
+  f64 b0 = a9 * 1.0001 + a8;
+  f64 b1 = b0 * b0 - a9;
+  f64 b2 = b1 * 1.0001 + b0;
+  f64 b3 = b2 * b2 - b1;
+  f64 b4 = b3 * 1.0001 + b2;
+  f64 b5 = b4 * b4 - b3;
+  S[i] = b5;
+}
+|}
+
+(* A region every configuration vectorizes identically (aligned operands,
+   consecutive loads).  Whole benchmarks contain many such regions; they are
+   what keeps the Figure-11 cost ratios near 100%. *)
+let common_region = {|
+kernel common_region(f64 R[], f64 A[], f64 B[], i64 i) {
+  R[4*i+0] = A[4*i+0] * 0.5 + B[4*i+0];
+  R[4*i+1] = A[4*i+1] * 0.5 + B[4*i+1];
+  R[4*i+2] = A[4*i+2] * 0.5 + B[4*i+2];
+  R[4*i+3] = A[4*i+3] * 0.5 + B[4*i+3];
+}
+|}

@@ -1,0 +1,59 @@
+The lslpc driver end to end.  Kernel listing:
+
+  $ lslpc kernels | head -4
+  453.boy-surface            453.povray   fnintern.cpp:355
+  453.intersect-quadratic    453.povray   poly.cpp:813
+  453.calc-z3                453.povray   quatern.cpp:433
+  453.vsumsqr                453.povray   vector.h:362
+
+Compiling a catalog kernel under LSLP reports the vectorized region and its
+cost (the paper's Figure 4 example: cost -10):
+
+  $ lslpc compile --kernel motivation-multi --config lslp
+  LSLP: 1 region(s), 1 vectorized, total cost -10
+    A[i] x2 (VL=2): cost -10 [vectorized]
+  
+
+Vanilla SLP only gets the partial graph (the paper: cost -2):
+
+  $ lslpc compile --kernel motivation-multi --config slp
+  SLP: 1 region(s), 1 vectorized, total cost -2
+    A[i] x2 (VL=2): cost -2 [vectorized]
+  
+
+Running simulates scalar vs vectorized and checks equivalence:
+
+  $ lslpc run --kernel motivation-loads --config lslp | tail -4
+  scalar cycles:     12
+  vectorized cycles: 6
+  speedup:           2.000x
+  equivalence:       OK
+
+Configuration knobs parse (look-ahead depth, multi-node size):
+
+  $ lslpc compile --kernel motivation-loads --config lslp-la:0 --quiet
+  $ lslpc compile --kernel motivation-loads --config lslp-multi:2 --quiet
+  $ lslpc compile --kernel motivation-loads --config bogus 2>&1 | head -1
+  lslpc: option '--config': unknown configuration bogus
+
+Kernel files from disk work, including reductions:
+
+  $ lslpc run ../../examples/kernels/norm4.k | tail -2
+  speedup:           2.000x
+  equivalence:       OK
+
+Parse errors are reported with positions:
+
+  $ echo 'kernel broken(f64 A[], i64 i) { A[i] = ; }' > broken.k
+  $ lslpc compile broken.k
+  error at 1:40: expected an expression, found `;`
+  [1]
+
+The show subcommand prints source and IR:
+
+  $ lslpc show motivation-loads | head -5
+  // motivation-loads (Section 3.1, Figure 2)
+  kernel motivation_loads(i64 A[], i64 B[], i64 C[], i64 i) {
+    A[i+0] = (B[i+0] << 1) & (C[i+0] << 2);
+    A[i+1] = (C[i+1] << 3) & (B[i+1] << 4);
+  }

@@ -1,0 +1,126 @@
+(* Unit + property tests for affine index expressions. *)
+
+open Lslp_ir
+open Helpers
+
+let unit_tests =
+  [
+    tc "const is constant" (fun () ->
+        check_bool "is_const" true (Affine.is_const (Affine.const 5));
+        check (Alcotest.option Alcotest.int) "to_const" (Some 5)
+          (Affine.to_const (Affine.const 5)));
+    tc "sym is not constant" (fun () ->
+        check_bool "is_const" false (Affine.is_const (Affine.sym "i")));
+    tc "zero coefficient collapses to zero" (fun () ->
+        check_bool "equal" true (Affine.equal (Affine.sym ~coeff:0 "i") Affine.zero));
+    tc "add combines coefficients" (fun () ->
+        let a = Affine.add (Affine.sym ~coeff:2 "i") (Affine.sym ~coeff:3 "i") in
+        check_bool "2i+3i = 5i" true (Affine.equal a (Affine.sym ~coeff:5 "i")));
+    tc "add cancels to zero" (fun () ->
+        let a = Affine.add (Affine.sym "i") (Affine.sym ~coeff:(-1) "i") in
+        check_bool "i - i = 0" true (Affine.equal a Affine.zero));
+    tc "sub of equal forms is zero" (fun () ->
+        let a = Affine.add_const 3 (Affine.sym ~coeff:2 "j") in
+        check_bool "a - a = 0" true (Affine.equal (Affine.sub a a) Affine.zero));
+    tc "scale distributes" (fun () ->
+        let a = Affine.add_const 1 (Affine.sym "i") in
+        let b = Affine.scale 4 a in
+        check (Alcotest.option Alcotest.int) "diff" (Some 0)
+          (Affine.diff_const b
+             (Affine.add_const 4 (Affine.sym ~coeff:4 "i"))));
+    tc "mul by constant works" (fun () ->
+        match Affine.mul (Affine.const 3) (Affine.sym "i") with
+        | Some a -> check_bool "3*i" true (Affine.equal a (Affine.sym ~coeff:3 "i"))
+        | None -> Alcotest.fail "expected Some");
+    tc "mul of two symbols is undefined" (fun () ->
+        check_bool "non-affine" true
+          (Affine.mul (Affine.sym "i") (Affine.sym "j") = None));
+    tc "diff_const sees constant offsets" (fun () ->
+        let a = Affine.add_const 2 (Affine.sym "i") in
+        let b = Affine.add_const 5 (Affine.sym "i") in
+        check (Alcotest.option Alcotest.int) "b - a" (Some 3)
+          (Affine.diff_const b a));
+    tc "diff_const rejects different symbols" (fun () ->
+        check (Alcotest.option Alcotest.int) "i vs j" None
+          (Affine.diff_const (Affine.sym "i") (Affine.sym "j")));
+    tc "diff_const rejects different coefficients" (fun () ->
+        check (Alcotest.option Alcotest.int) "2i vs i" None
+          (Affine.diff_const (Affine.sym ~coeff:2 "i") (Affine.sym "i")));
+    tc "eval" (fun () ->
+        let a =
+          Affine.add (Affine.sym ~coeff:3 "i")
+            (Affine.add_const 7 (Affine.sym ~coeff:(-1) "j"))
+        in
+        let env = function "i" -> 10 | "j" -> 4 | _ -> 0 in
+        check_int "3*10 - 4 + 7" 33 (Affine.eval ~env a));
+    tc "symbols sorted and unique" (fun () ->
+        let a = Affine.add (Affine.sym "z") (Affine.add (Affine.sym "a") (Affine.sym "z")) in
+        check (Alcotest.list Alcotest.string) "syms" [ "a"; "z" ]
+          (Affine.symbols a));
+    tc "printing" (fun () ->
+        check_string "const" "7" (Affine.to_string (Affine.const 7));
+        check_string "sym" "i" (Affine.to_string (Affine.sym "i"));
+        check_string "sum" "2*i + 3"
+          (Affine.to_string (Affine.add_const 3 (Affine.sym ~coeff:2 "i")));
+        check_string "neg" "-i - 1"
+          (Affine.to_string (Affine.add_const (-1) (Affine.sym ~coeff:(-1) "i"))));
+    tc "compare is a total order consistent with equal" (fun () ->
+        let a = Affine.add_const 1 (Affine.sym "i") in
+        let b = Affine.add_const 1 (Affine.sym "i") in
+        check_int "equal forms compare 0" 0 (Affine.compare a b));
+  ]
+
+(* Property tests: the affine algebra is a module over Z. *)
+let gen_affine =
+  let open QCheck2.Gen in
+  let sym_name = oneofl [ "i"; "j"; "k" ] in
+  let term = pair sym_name (int_range (-5) 5) in
+  let* terms = list_size (int_range 0 3) term in
+  let* c = int_range (-100) 100 in
+  return
+    (List.fold_left
+       (fun acc (s, coeff) -> Affine.add acc (Affine.sym ~coeff s))
+       (Affine.const c) terms)
+
+let env_of_seed seed s =
+  match s with "i" -> seed | "j" -> (seed * 3) + 1 | _ -> 7 - seed
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let property_tests =
+  [
+    prop "add commutes" (QCheck2.Gen.pair gen_affine gen_affine)
+      (fun (a, b) -> Affine.equal (Affine.add a b) (Affine.add b a));
+    prop "add associates"
+      (QCheck2.Gen.triple gen_affine gen_affine gen_affine)
+      (fun (a, b, c) ->
+        Affine.equal
+          (Affine.add a (Affine.add b c))
+          (Affine.add (Affine.add a b) c));
+    prop "sub then add roundtrips" (QCheck2.Gen.pair gen_affine gen_affine)
+      (fun (a, b) -> Affine.equal (Affine.add (Affine.sub a b) b) a);
+    prop "eval is linear" (QCheck2.Gen.pair gen_affine gen_affine)
+      (fun (a, b) ->
+        let env = env_of_seed 5 in
+        Affine.eval ~env (Affine.add a b)
+        = Affine.eval ~env a + Affine.eval ~env b);
+    prop "scale matches repeated add" gen_affine (fun a ->
+        Affine.equal (Affine.scale 3 a) (Affine.add a (Affine.add a a)));
+    prop "diff_const agrees with eval"
+      (QCheck2.Gen.pair gen_affine gen_affine)
+      (fun (a, b) ->
+        match Affine.diff_const a b with
+        | None -> true
+        | Some d ->
+          List.for_all
+            (fun seed ->
+              let env = env_of_seed seed in
+              Affine.eval ~env a - Affine.eval ~env b = d)
+            [ 0; 1; 5; -3 ]);
+    prop "equal forms print equally" (QCheck2.Gen.pair gen_affine gen_affine)
+      (fun (a, b) ->
+        (not (Affine.equal a b))
+        || String.equal (Affine.to_string a) (Affine.to_string b));
+  ]
+
+let suite = unit_tests @ property_tests

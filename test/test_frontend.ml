@@ -1,0 +1,219 @@
+(* Tests for the kernel-language frontend: lexer, parser, lowering. *)
+
+open Lslp_ir
+open Helpers
+
+let lex src = List.map (fun t -> t.Lslp_frontend.Token.tok)
+    (Lslp_frontend.Lexer.tokenize src)
+
+let lexer_tests =
+  let open Lslp_frontend.Token in
+  [
+    tc "keywords and identifiers" (fun () ->
+        check_int "count" 4 (List.length (lex "kernel i64 f64 foo") - 1);
+        check_bool "kernel" true (List.hd (lex "kernel") = KERNEL);
+        check_bool "ident" true (List.hd (lex "kernel_x") = IDENT "kernel_x"));
+    tc "integer literals" (fun () ->
+        check_bool "42" true (List.hd (lex "42") = INT_LIT 42L));
+    tc "float literals need . or e" (fun () ->
+        check_bool "2.5" true (List.hd (lex "2.5") = FLOAT_LIT 2.5);
+        check_bool "1e3" true (List.hd (lex "1e3") = FLOAT_LIT 1000.0);
+        check_bool "2" true (List.hd (lex "2") = INT_LIT 2L));
+    tc "operators" (fun () ->
+        check_bool "shift left" true (List.hd (lex "<<") = SHL);
+        check_bool "shift right" true (List.hd (lex ">>") = SHR);
+        check_bool "amp" true (List.hd (lex "&") = AMP));
+    tc "comments skipped" (fun () ->
+        check_int "line comment" 1 (List.length (lex "// hello\n") ));
+    tc "block comments skipped" (fun () ->
+        check_int "block" 2 (List.length (lex "/* a\nb */ x")));
+    tc "unterminated block comment errors" (fun () ->
+        check_bool "raises" true
+          (try ignore (lex "/* oops"); false
+           with Lslp_frontend.Lexer.Error _ -> true));
+    tc "unknown character errors with position" (fun () ->
+        try ignore (lex "a\n  ?"); Alcotest.fail "expected error"
+        with Lslp_frontend.Lexer.Error (_, pos) ->
+          check_int "line" 2 pos.line;
+          check_int "col" 3 pos.col);
+    tc "eof token terminates stream" (fun () ->
+        match List.rev (lex "x") with
+        | EOF :: _ -> ()
+        | _ -> Alcotest.fail "missing EOF");
+  ]
+
+let parse = Lslp_frontend.Parser.parse_string
+
+let parser_tests =
+  let open Lslp_frontend.Ast in
+  [
+    tc "empty kernel" (fun () ->
+        let k = parse "kernel f() {}" in
+        check_string "name" "f" k.kname;
+        check_int "params" 0 (List.length k.params);
+        check_int "body" 0 (List.length k.body));
+    tc "parameter kinds" (fun () ->
+        let k = parse "kernel f(i64 n, f64 x, i64 A[], f64 B[]) {}" in
+        check_bool "n" true (List.assoc "n" k.params = P_i64);
+        check_bool "x" true (List.assoc "x" k.params = P_f64);
+        check_bool "A" true (List.assoc "A" k.params = P_arr Ti64);
+        check_bool "B" true (List.assoc "B" k.params = P_arr Tf64));
+    tc "precedence: * binds tighter than +" (fun () ->
+        let k = parse "kernel f(i64 A[], i64 i) { A[i] = 1 + 2 * 3; }" in
+        match (List.hd k.body).sdesc with
+        | Store (_, _, { desc = Bin (B_add, _, { desc = Bin (B_mul, _, _); _ }); _ }) -> ()
+        | _ -> Alcotest.fail "wrong shape");
+    tc "precedence: shift binds looser than +" (fun () ->
+        let k = parse "kernel f(i64 A[], i64 i) { A[i] = 1 + 2 << 3; }" in
+        match (List.hd k.body).sdesc with
+        | Store (_, _, { desc = Bin (B_shl, { desc = Bin (B_add, _, _); _ }, _); _ }) -> ()
+        | _ -> Alcotest.fail "wrong shape");
+    tc "precedence: & ^ | chain C-style" (fun () ->
+        let k = parse "kernel f(i64 A[], i64 i) { A[i] = 1 | 2 ^ 3 & 4; }" in
+        match (List.hd k.body).sdesc with
+        | Store (_, _, { desc = Bin (B_or, _, { desc = Bin (B_xor, _, { desc = Bin (B_and, _, _); _ }); _ }); _ }) -> ()
+        | _ -> Alcotest.fail "wrong shape");
+    tc "left associativity of -" (fun () ->
+        let k = parse "kernel f(i64 A[], i64 i) { A[i] = 1 - 2 - 3; }" in
+        match (List.hd k.body).sdesc with
+        | Store (_, _, { desc = Bin (B_sub, { desc = Bin (B_sub, _, _); _ }, _); _ }) -> ()
+        | _ -> Alcotest.fail "wrong shape");
+    tc "unary minus" (fun () ->
+        let k = parse "kernel f(f64 A[], i64 i) { A[i] = -A[i]; }" in
+        match (List.hd k.body).sdesc with
+        | Store (_, _, { desc = Neg _; _ }) -> ()
+        | _ -> Alcotest.fail "wrong shape");
+    tc "builtin call arity checked" (fun () ->
+        check_bool "sqrt/2 rejected" true
+          (try ignore (parse "kernel f(f64 A[], i64 i) { A[i] = sqrt(1.0, 2.0); }"); false
+           with Lslp_frontend.Parser.Error _ -> true));
+    tc "unknown builtin rejected" (fun () ->
+        check_bool "rejected" true
+          (try ignore (parse "kernel f(f64 A[], i64 i) { A[i] = frob(1.0); }"); false
+           with Lslp_frontend.Parser.Error _ -> true));
+    tc "trailing garbage rejected" (fun () ->
+        check_bool "rejected" true
+          (try ignore (parse "kernel f() {} x"); false
+           with Lslp_frontend.Parser.Error _ -> true));
+    tc "parse_program reads several kernels" (fun () ->
+        let ks =
+          Lslp_frontend.Parser.parse_program "kernel a() {} kernel b() {}"
+        in
+        check_int "two kernels" 2 (List.length ks));
+    tc "error carries position" (fun () ->
+        try ignore (parse "kernel f(\n  bogus x) {}"); Alcotest.fail "no error"
+        with Lslp_frontend.Parser.Error (_, pos) ->
+          check_int "line" 2 pos.line);
+  ]
+
+let lower_err src =
+  try
+    ignore (compile src);
+    None
+  with Lslp_frontend.Lower.Error (msg, _) -> Some msg
+
+let lowering_tests =
+  [
+    tc "simple kernel lowers and verifies" (fun () ->
+        let f = compile "kernel f(f64 A[], i64 i) { A[i] = A[i] * 2.0; }" in
+        Verifier.verify_exn f;
+        check_int "three instructions" 3 (Block.length f.Func.block));
+    tc "locals are values, not instructions" (fun () ->
+        let f = compile {|
+kernel f(f64 A[], i64 i) {
+  f64 x = A[i];
+  A[i+1] = x;
+}
+|} in
+        check_int "load + store" 2 (Block.length f.Func.block));
+    tc "affine local substituted in subscripts" (fun () ->
+        let f = compile {|
+kernel f(f64 A[], i64 i) {
+  i64 j = 2 * i + 1;
+  A[j] = 1.0;
+}
+|} in
+        let st = List.hd (Block.find_all Instr.is_store f.Func.block) in
+        match Instr.address st with
+        | Some a ->
+          check (Alcotest.option Alcotest.int) "offset from 2i" (Some 1)
+            (Affine.diff_const a.Instr.index (Affine.sym ~coeff:2 "i"))
+        | None -> Alcotest.fail "no address");
+    tc "type mismatch rejected" (fun () ->
+        check_bool "f64 + i64" true
+          (lower_err "kernel f(f64 A[], i64 i) { A[i] = A[i] + 1; }" <> None));
+    tc "integer ops on floats rejected" (fun () ->
+        check_bool "shift on f64" true
+          (lower_err "kernel f(f64 A[], i64 i) { A[i] = A[i] << 1; }" <> None));
+    tc "non-affine subscript rejected" (fun () ->
+        check_bool "i*i" true
+          (lower_err "kernel f(f64 A[], i64 i) { A[i*i] = 1.0; }" <> None));
+    tc "float subscript rejected" (fun () ->
+        check_bool "A[x]" true
+          (lower_err "kernel f(f64 A[], f64 x) { A[x] = 1.0; }" <> None));
+    tc "undefined variable rejected" (fun () ->
+        check_bool "y" true
+          (lower_err "kernel f(f64 A[], i64 i) { A[i] = y; }" <> None));
+    tc "redefined local rejected" (fun () ->
+        check_bool "single assignment" true
+          (lower_err {|
+kernel f(f64 A[], i64 i) {
+  f64 x = 1.0;
+  f64 x = 2.0;
+  A[i] = x;
+}
+|} <> None));
+    tc "local shadowing parameter rejected" (fun () ->
+        check_bool "shadow" true
+          (lower_err "kernel f(f64 A[], i64 i) { i64 i = 1; A[i] = 1.0; }"
+           <> None));
+    tc "array used as scalar rejected" (fun () ->
+        check_bool "A + 1" true
+          (lower_err "kernel f(i64 A[], i64 i) { A[i] = A + 1; }" <> None));
+    tc "store type must match array" (fun () ->
+        check_bool "int into f64 array" true
+          (lower_err "kernel f(f64 A[], i64 i) { A[i] = 1; }" <> None));
+    tc "builtins lower to the right opcodes" (fun () ->
+        let f = compile {|
+kernel f(f64 A[], i64 A2[], i64 i) {
+  A[i] = sqrt(fabs(fmin(A[i], fmax(A[i+1], 1.0))));
+  A2[i] = min(A2[i], max(A2[i+1], 3));
+}
+|} in
+        let has op = count_insts (fun i -> Instr.binop i = Some op) f > 0 in
+        check_bool "fmin" true (has Opcode.Fmin);
+        check_bool "fmax" true (has Opcode.Fmax);
+        check_bool "smin" true (has Opcode.Smin);
+        check_bool "smax" true (has Opcode.Smax);
+        check_int "fsqrt" 1
+          (count_insts
+             (fun i -> match i.Instr.kind with
+                | Instr.Unop (Opcode.Fsqrt, _) -> true | _ -> false)
+             f));
+    tc "negation picks neg/fneg by type" (fun () ->
+        let f = compile {|
+kernel f(f64 A[], i64 B[], i64 i) {
+  A[i] = -A[i];
+  B[i] = -B[i];
+}
+|} in
+        let has_unop op =
+          count_insts
+            (fun i -> match i.Instr.kind with
+               | Instr.Unop (o, _) -> o = op | _ -> false)
+            f > 0
+        in
+        check_bool "fneg" true (has_unop Opcode.Fneg);
+        check_bool "neg" true (has_unop Opcode.Neg));
+    tc "duplicate parameter rejected" (fun () ->
+        check_bool "dup" true
+          (lower_err "kernel f(i64 i, i64 i) {}" <> None));
+    tc "every catalog kernel compiles and verifies" (fun () ->
+        List.iter
+          (fun (k : Lslp_kernels.Catalog.kernel) ->
+            let f = Lslp_kernels.Catalog.compile k in
+            Verifier.verify_exn f)
+          Lslp_kernels.Catalog.all);
+  ]
+
+let suite = lexer_tests @ parser_tests @ lowering_tests

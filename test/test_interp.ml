@@ -1,0 +1,183 @@
+(* Tests for the interpreter: arithmetic semantics, memory, vector
+   execution, the cycle simulator and the differential oracle. *)
+
+open Lslp_ir
+open Lslp_interp
+open Helpers
+
+let int_binop_tests =
+  let open Eval in
+  [
+    tc "wrapping arithmetic" (fun () ->
+        check_bool "max+1 wraps" true
+          (Int64.equal (int_binop Opcode.Add Int64.max_int 1L) Int64.min_int);
+        check_bool "mul wraps" true
+          (Int64.equal
+             (int_binop Opcode.Mul 0x8000000000000000L 2L) 0L));
+    tc "division traps on zero" (fun () ->
+        check_bool "raises" true
+          (try ignore (int_binop Opcode.Sdiv 1L 0L); false
+           with Eval.Trap _ -> true);
+        check_bool "srem raises" true
+          (try ignore (int_binop Opcode.Srem 1L 0L); false
+           with Eval.Trap _ -> true));
+    tc "shift amounts masked to 6 bits (x86 semantics)" (fun () ->
+        check_bool "shl 64 = shl 0" true
+          (Int64.equal (int_binop Opcode.Shl 3L 64L) 3L);
+        check_bool "shl 65 = shl 1" true
+          (Int64.equal (int_binop Opcode.Shl 3L 65L) 6L));
+    tc "logical vs arithmetic shift right" (fun () ->
+        check_bool "lshr" true
+          (Int64.equal (int_binop Opcode.Lshr (-1L) 1L) Int64.max_int);
+        check_bool "ashr" true
+          (Int64.equal (int_binop Opcode.Ashr (-2L) 1L) (-1L)));
+    tc "min/max" (fun () ->
+        check_bool "smin" true (Int64.equal (int_binop Opcode.Smin (-3L) 2L) (-3L));
+        check_bool "smax" true (Int64.equal (int_binop Opcode.Smax (-3L) 2L) 2L));
+    tc "bitwise" (fun () ->
+        check_bool "and" true (Int64.equal (int_binop Opcode.And 6L 3L) 2L);
+        check_bool "or" true (Int64.equal (int_binop Opcode.Or 6L 3L) 7L);
+        check_bool "xor" true (Int64.equal (int_binop Opcode.Xor 6L 3L) 5L));
+    tc "float opcode on ints traps" (fun () ->
+        check_bool "raises" true
+          (try ignore (int_binop Opcode.Fadd 1L 1L); false
+           with Eval.Trap _ -> true));
+    tc "float ops" (fun () ->
+        check_bool "fadd" true (Eval.float_binop Opcode.Fadd 1.5 2.0 = 3.5);
+        check_bool "fdiv" true (Eval.float_binop Opcode.Fdiv 1.0 4.0 = 0.25);
+        check_bool "fmin" true (Eval.float_binop Opcode.Fmin 1.0 2.0 = 1.0);
+        check_bool "fmax" true (Eval.float_binop Opcode.Fmax 1.0 2.0 = 2.0));
+    tc "unops" (fun () ->
+        check_bool "neg" true (Eval.scalar_unop Opcode.Neg (Eval.VI 5L) = Eval.VI (-5L));
+        check_bool "fneg" true (Eval.scalar_unop Opcode.Fneg (Eval.VF 2.0) = Eval.VF (-2.0));
+        check_bool "fsqrt" true (Eval.scalar_unop Opcode.Fsqrt (Eval.VF 9.0) = Eval.VF 3.0);
+        check_bool "fabs" true (Eval.scalar_unop Opcode.Fabs (Eval.VF (-2.0)) = Eval.VF 2.0));
+  ]
+
+let memory_tests =
+  [
+    tc "bounds checking" (fun () ->
+        let m = Memory.create () in
+        Memory.alloc m "A" Types.I64 ~size:4;
+        check_bool "oob read raises" true
+          (try ignore (Memory.read_int m "A" 4); false
+           with Memory.Fault _ -> true);
+        check_bool "negative raises" true
+          (try ignore (Memory.read_int m "A" (-1)); false
+           with Memory.Fault _ -> true));
+    tc "type confusion detected" (fun () ->
+        let m = Memory.create () in
+        Memory.alloc m "A" Types.F64 ~size:4;
+        check_bool "raises" true
+          (try ignore (Memory.read_int m "A" 0); false
+           with Memory.Fault _ -> true));
+    tc "unallocated array detected" (fun () ->
+        let m = Memory.create () in
+        check_bool "raises" true
+          (try ignore (Memory.read_float m "Z" 0); false
+           with Memory.Fault _ -> true));
+    tc "snapshot is independent" (fun () ->
+        let m = Memory.create () in
+        Memory.set_int m "A" [| 1L; 2L |];
+        let s = Memory.snapshot m in
+        Memory.write_int m "A" 0 99L;
+        check_bool "snapshot unchanged" true
+          (Int64.equal (Memory.read_int s "A" 0) 1L));
+    tc "compare_memories exact for ints, tolerant for floats" (fun () ->
+        let a = Memory.create () and b = Memory.create () in
+        Memory.set_int a "I" [| 1L |];
+        Memory.set_int b "I" [| 1L |];
+        Memory.set_float a "F" [| 1.0 |];
+        Memory.set_float b "F" [| 1.0 +. 1e-13 |];
+        check_int "no mismatch" 0 (List.length (Memory.compare_memories a b));
+        Memory.write_int b "I" 0 2L;
+        check_int "int mismatch" 1 (List.length (Memory.compare_memories a b)));
+    tc "float_close handles nan and scale" (fun () ->
+        check_bool "nan vs nan" true
+          (Memory.float_close ~tol:1e-9 Float.nan Float.nan);
+        check_bool "relative" true
+          (Memory.float_close ~tol:1e-9 1e18 (1e18 +. 1.0));
+        check_bool "not close" false (Memory.float_close ~tol:1e-9 1.0 1.1));
+  ]
+
+let exec_kernel src ~ints ~mem_setup =
+  let f = compile src in
+  let mem = Memory.create () in
+  mem_setup mem;
+  let stats = Eval.run f ~int_args:ints ~float_args:[] ~mem in
+  (mem, stats)
+
+let execution_tests =
+  [
+    tc "scalar kernel end to end" (fun () ->
+        let mem, _ =
+          exec_kernel {|
+kernel k(i64 A[], i64 B[], i64 i) {
+  A[i] = (B[i] << 1) + 3;
+}
+|}
+            ~ints:[ ("i", 1L) ]
+            ~mem_setup:(fun mem ->
+              Memory.set_int mem "A" [| 0L; 0L |];
+              Memory.set_int mem "B" [| 10L; 20L |])
+        in
+        check_bool "A[1] = 43" true (Int64.equal (Memory.read_int mem "A" 1) 43L));
+    tc "affine subscripts with coefficients" (fun () ->
+        let mem, _ =
+          exec_kernel {|
+kernel k(f64 A[], f64 B[], i64 i) {
+  A[2*i+1] = B[3*i] * 2.0;
+}
+|}
+            ~ints:[ ("i", 2L) ]
+            ~mem_setup:(fun mem ->
+              Memory.set_float mem "A" (Array.make 8 0.0);
+              Memory.set_float mem "B" (Array.make 8 5.0))
+        in
+        check_bool "A[5] = 10" true (Memory.read_float mem "A" 5 = 10.0));
+    tc "vector instructions execute lanewise" (fun () ->
+        (* build a vector function by vectorizing a scalar one *)
+        let f = kernel "motivation-loads" in
+        let _, g = vectorize f in
+        check_bool "has vector op" true (count_insts is_vector_op g > 0);
+        assert_sound ~reference:f ~candidate:g ());
+    tc "simulator counts cycles and instructions" (fun () ->
+        let _, stats =
+          exec_kernel {|
+kernel k(i64 A[], i64 i) {
+  A[i] = A[i] + 1;
+}
+|}
+            ~ints:[ ("i", 0L) ]
+            ~mem_setup:(fun mem -> Memory.set_int mem "A" [| 7L |])
+        in
+        check_int "3 instructions" 3 stats.Eval.executed;
+        check_int "3 cycles (load+add+store)" 3 stats.Eval.cycles);
+    tc "vectorized code costs fewer simulated cycles" (fun () ->
+        let f = kernel "motivation-multi" in
+        let _, g = vectorize f in
+        let o = Oracle.compare_runs ~reference:f ~candidate:g () in
+        check_bool "faster" true (o.candidate_cycles < o.reference_cycles));
+    tc "oracle catches an injected bug" (fun () ->
+        let f = compile {|
+kernel k(i64 A[], i64 i) { A[i] = A[i] + 1; }
+|} in
+        let g = compile {|
+kernel k(i64 A[], i64 i) { A[i] = A[i] + 2; }
+|} in
+        check_bool "mismatch detected" false
+          (Oracle.equivalent ~reference:f ~candidate:g ()));
+    tc "oracle seeds are deterministic" (fun () ->
+        let f = kernel "453.boy-surface" in
+        let a = Oracle.compare_runs ~seed:9 ~reference:f ~candidate:f () in
+        let b = Oracle.compare_runs ~seed:9 ~reference:f ~candidate:f () in
+        check_int "same cycles" a.reference_cycles b.reference_cycles;
+        check_int "self-equivalent" 0 (List.length a.mismatches));
+    tc "sdiv kernels never see zero divisors from the oracle" (fun () ->
+        let f = compile {|
+kernel k(i64 A[], i64 B[], i64 i) { A[i] = A[i] / B[i]; }
+|} in
+        check_bool "runs" true (Oracle.equivalent ~reference:f ~candidate:f ()));
+  ]
+
+let suite = int_binop_tests @ memory_tests @ execution_tests

@@ -1,0 +1,140 @@
+(* Golden results for the evaluation kernels (the paper's Table 2) and
+   soundness of every kernel under every configuration. *)
+
+open Lslp_core
+open Helpers
+
+(* (kernel, SLP-NR cost, SLP cost, LSLP cost) — the static vectorization
+   costs this reproduction measures (Figure 10's metric; EXPERIMENTS.md maps
+   them to the paper's bars).  These pins protect the algorithm's observable
+   decisions from silent regressions. *)
+let golden =
+  [
+    ("453.boy-surface", 0, 0, -33);
+    ("453.intersect-quadratic", -15, -15, -28);
+    ("453.calc-z3", 0, -4, -4);
+    ("453.vsumsqr", 0, -6, -6);
+    ("453.hreciprocal", -20, -20, -20);
+    ("453.mesh1", 0, -2, -10);
+    ("433.mult-su2-mat", 0, -4, 0);
+    ("453.quartic-cylinder", -1, -1, -1);
+    ("motivation-loads", 0, 0, -6);
+    ("motivation-opcodes", 0, 0, -2);
+    (* (the +4 SLP graph cost of Figure 3 is pinned in test_cost; the
+       region is rejected, so the accepted-cost metric here reads 0) *)
+    ("motivation-multi", -2, -2, -10);
+  ]
+
+let golden_tests =
+  List.map
+    (fun (key, nr, slp, lslp) ->
+      tc (Fmt.str "golden costs: %s" key) (fun () ->
+          let f = kernel key in
+          check_int "SLP-NR" nr (total_cost Config.slp_nr f);
+          check_int "SLP" slp (total_cost Config.slp f);
+          check_int "LSLP" lslp (total_cost Config.lslp f)))
+    golden
+
+let ordering_tests =
+  [
+    tc "LSLP matches or beats SLP on the motivating examples" (fun () ->
+        (* Not a suite-wide invariant: the paper itself observes that local
+           heuristics cannot guarantee a globally better solution (§5.2,
+           SLP slightly better than LSLP on 433.milc) — and our
+           mult-su2-mat shows the same inversion. *)
+        List.iter
+          (fun (key, _, slp, lslp) ->
+            if String.length key > 10 && String.sub key 0 10 = "motivation"
+            then check_bool key true (lslp <= slp))
+          golden);
+    tc "geomean speedup: LSLP clearly ahead of both baselines" (fun () ->
+        let geo config =
+          let ratios =
+            List.map
+              (fun (k : Lslp_kernels.Catalog.kernel) ->
+                let f = Lslp_kernels.Catalog.compile k in
+                let _, g = vectorize ~config f in
+                let o =
+                  Lslp_interp.Oracle.compare_runs ~reference:f ~candidate:g ()
+                in
+                log
+                  (float_of_int o.Lslp_interp.Oracle.reference_cycles
+                  /. float_of_int o.Lslp_interp.Oracle.candidate_cycles))
+              Lslp_kernels.Catalog.table2
+          in
+          exp (List.fold_left ( +. ) 0.0 ratios
+               /. float_of_int (List.length ratios))
+        in
+        let nr = geo Config.slp_nr and slp = geo Config.slp
+        and lslp = geo Config.lslp in
+        check_bool "lslp > slp" true (lslp > slp);
+        check_bool "lslp > slp-nr" true (lslp > nr);
+        check_bool "lslp gains overall" true (lslp > 1.0));
+  ]
+
+let soundness_tests =
+  [
+    tc "every kernel x config is verified and equivalent" (fun () ->
+        List.iter
+          (fun (k : Lslp_kernels.Catalog.kernel) ->
+            let f = Lslp_kernels.Catalog.compile k in
+            List.iter
+              (fun config ->
+                let _, g = vectorize ~config f in
+                assert_sound ~seeds:[ 3; 11 ] ~reference:f ~candidate:g ())
+              [ Config.slp_nr; Config.slp; Config.lslp; Config.lslp_la 0;
+                Config.lslp_la 2; Config.lslp_multi 1; Config.lslp_multi 2 ])
+          Lslp_kernels.Catalog.all);
+    tc "anomaly kernels: TTI profit but machine regression" (fun () ->
+        (* §5.2's cost-model/performance inconsistency, reproduced.
+           quartic-cylinder regresses under every configuration; mult-su2
+           under SLP (LSLP's graph is rejected outright for that kernel). *)
+        List.iter
+          (fun (key, config) ->
+            let f = kernel key in
+            let report, g = vectorize ~config f in
+            check_bool (key ^ " vectorized") true
+              (report.Pipeline.vectorized_regions > 0);
+            check_bool (key ^ " TTI negative") true
+              (report.Pipeline.total_cost < 0);
+            let o =
+              Lslp_interp.Oracle.compare_runs ~reference:f ~candidate:g ()
+            in
+            check_bool (key ^ " machine slower") true
+              (o.candidate_cycles > o.reference_cycles))
+          [ ("453.quartic-cylinder", Config.lslp);
+            ("453.quartic-cylinder", Config.slp);
+            ("433.mult-su2-mat", Config.slp) ]);
+    tc "mesh1 reproduces the SLP-NR-beats-SLP observation" (fun () ->
+        let f = kernel "453.mesh1" in
+        let speed config =
+          let _, g = vectorize ~config f in
+          let o = Lslp_interp.Oracle.compare_runs ~reference:f ~candidate:g () in
+          float_of_int o.reference_cycles /. float_of_int o.candidate_cycles
+        in
+        check_bool "SLP-NR >= SLP" true (speed Config.slp_nr >= speed Config.slp);
+        check_bool "LSLP best" true (speed Config.lslp > speed Config.slp));
+    tc "vsumsqr: LSLP cost equals SLP cost (the paper's observation)"
+      (fun () ->
+        let f = kernel "453.vsumsqr" in
+        check_int "equal" (total_cost Config.slp f) (total_cost Config.lslp f));
+    tc "filler chain is never vectorized" (fun () ->
+        let f = kernel "filler-chain" in
+        List.iter
+          (fun config ->
+            check_int (config.Config.name) 0 (vectorized_regions config f))
+          [ Config.slp_nr; Config.slp; Config.lslp ]);
+    tc "catalog lookup fails loudly" (fun () ->
+        check_bool "raises" true
+          (try ignore (Lslp_kernels.Catalog.find "nope"); false
+           with Invalid_argument _ -> true));
+    tc "full benchmarks reference only known kernels" (fun () ->
+        List.iter
+          (fun (b : Lslp_kernels.Catalog.benchmark) ->
+            List.iter
+              (fun key -> ignore (Lslp_kernels.Catalog.find key))
+              b.kernel_keys)
+          Lslp_kernels.Catalog.full_benchmarks);
+  ]
+
+let suite = golden_tests @ ordering_tests @ soundness_tests

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "lslp"
+    [
+      ("affine", Test_affine.suite);
+      ("ir", Test_ir.suite);
+      ("verifier-printer", Test_verifier.suite);
+      ("frontend", Test_frontend.suite);
+      ("analysis", Test_analysis.suite);
+      ("costmodel", Test_costmodel.suite);
+      ("interp", Test_interp.suite);
+      ("reorder", Test_reorder.suite);
+      ("graph", Test_graph.suite);
+      ("cost", Test_cost.suite);
+      ("codegen", Test_codegen.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("kernels", Test_kernels.suite);
+      ("figure8", Test_figure8.suite);
+      ("width", Test_width.suite);
+      ("reduction", Test_reduction.suite);
+      ("properties", Test_qcheck.suite);
+    ]

@@ -1,0 +1,330 @@
+(* Tests for the operand-reordering engine: pair scores, the recursive
+   look-ahead score (pinned to the paper's Figure 7 example), get_best mode
+   transitions, the matrix reorder (Listing 5) and the LLVM-4.0-faithful
+   vanilla reorder. *)
+
+open Lslp_ir
+open Lslp_core
+open Helpers
+
+(* Build lane instructions inside one block so analyses work. *)
+type env = { b : Builder.t }
+
+let mk_env () =
+  {
+    b =
+      Builder.create ~name:"reorder"
+        ~args:
+          [ ("A", Instr.Array_arg Types.I64); ("B", Instr.Array_arg Types.I64);
+            ("C", Instr.Array_arg Types.I64); ("D", Instr.Array_arg Types.I64);
+            ("i", Instr.Int_arg) ];
+  }
+
+let load env base k = Builder.load env.b ~base (Builder.idx k)
+let shl env v k = Builder.binop env.b Opcode.Shl v (Builder.iconst k)
+let ins = function Instr.Ins i -> i | _ -> assert false
+
+let pair_score_tests =
+  [
+    tc "identical values score 2" (fun () ->
+        let env = mk_env () in
+        let x = load env "B" 0 in
+        check_int "x,x" 2 (Reorder.pair_score x x);
+        check_int "const self" 2
+          (Reorder.pair_score (Builder.iconst 3) (Builder.iconst 3)));
+    tc "consecutive loads score 2, non-consecutive 0" (fun () ->
+        let env = mk_env () in
+        let b0 = load env "B" 0 and b1 = load env "B" 1 in
+        let c1 = load env "C" 1 in
+        check_int "B0,B1" 2 (Reorder.pair_score b0 b1);
+        check_int "B1,B0 (reverse)" 0 (Reorder.pair_score b1 b0);
+        check_int "B0,C1" 0 (Reorder.pair_score b0 c1));
+    tc "distinct constants score 1" (fun () ->
+        check_int "1,4" 1
+          (Reorder.pair_score (Builder.iconst 1) (Builder.iconst 4)));
+    tc "same-opcode instructions score 1" (fun () ->
+        let env = mk_env () in
+        let s1 = shl env (load env "B" 0) 1 in
+        let s2 = shl env (load env "C" 0) 2 in
+        check_int "shl,shl" 1 (Reorder.pair_score s1 s2));
+    tc "different kinds score 0" (fun () ->
+        let env = mk_env () in
+        let s = shl env (load env "B" 0) 1 in
+        check_int "inst,const" 0 (Reorder.pair_score s (Builder.iconst 1)));
+  ]
+
+(* The paper's Figure 7: last = B[i+0] << 1; candidates are
+   (B[i+1] << 2) — the matching one — and (C[i+1] << 3).  The figure's
+   scores are 2 vs 1 with boolean matches; with our graded scores the
+   ranking must be the same (matching candidate strictly higher). *)
+let figure7_tests =
+  [
+    tc "figure 7 ranking" (fun () ->
+        let env = mk_env () in
+        let last = shl env (load env "B" 0) 1 in
+        let good = shl env (load env "B" 1) 2 in
+        let bad = shl env (load env "C" 1) 3 in
+        let score v =
+          Reorder.lookahead_score ~combine:Config.Score_sum last v ~level:1
+        in
+        check_bool "good > bad" true (score good > score bad);
+        check_int "bad = 1 (consts only)" 1 (score bad));
+    tc "level 0 degenerates to the base score" (fun () ->
+        let env = mk_env () in
+        let last = shl env (load env "B" 0) 1 in
+        let good = shl env (load env "B" 1) 2 in
+        check_int "same opclass" 1
+          (Reorder.lookahead_score ~combine:Config.Score_sum last good ~level:0));
+    tc "bijective pairing: squares do not outscore the diagonal" (fun () ->
+        (* score(x*y, x'*y') must beat score(x*y, y'*y'): an all-pairs sum
+           would tie them, the bijective pairing must not *)
+        let env = mk_env () in
+        let x = load env "B" 0 and y = load env "C" 0 in
+        let x' = load env "B" 1 and y' = load env "C" 1 in
+        let fm a b = Builder.binop env.b Opcode.Mul a b in
+        let xy = fm x y in
+        let xy' = fm x' y' in
+        let yy' = fm y' y' in
+        let score v =
+          Reorder.lookahead_score ~combine:Config.Score_sum xy v ~level:1
+        in
+        check_bool "diagonal wins" true (score xy' > score yy'));
+    tc "max combine takes the best pair only" (fun () ->
+        let env = mk_env () in
+        let last = shl env (load env "B" 0) 1 in
+        let good = shl env (load env "B" 1) 2 in
+        let sum =
+          Reorder.lookahead_score ~combine:Config.Score_sum last good ~level:1
+        in
+        let mx =
+          Reorder.lookahead_score ~combine:Config.Score_max last good ~level:1
+        in
+        check_bool "sum >= max" true (sum >= mx);
+        check_bool "max positive" true (mx > 0));
+    tc "non-commutative operands are not cross-paired" (fun () ->
+        let env = mk_env () in
+        let a = load env "B" 0 and b = load env "C" 0 in
+        let a' = load env "B" 1 and b' = load env "C" 1 in
+        let sub x y = Builder.binop env.b Opcode.Sub x y in
+        let s1 = sub a b in
+        let aligned = sub a' b' in
+        let swapped = sub (ins b' |> fun i -> Instr.Ins i) a' in
+        let score v =
+          Reorder.lookahead_score ~combine:Config.Score_sum s1 v ~level:1
+        in
+        check_bool "aligned beats swapped" true (score aligned > score swapped));
+  ]
+
+let get_best_tests =
+  [
+    tc "single matching candidate is trivially chosen" (fun () ->
+        let env = mk_env () in
+        let b0 = load env "B" 0 and b1 = load env "B" 1 in
+        let c1 = shl env (load env "C" 1) 1 in
+        let best, mode =
+          Reorder.get_best Config.lslp Reorder.Load_mode b0 [ c1; b1 ]
+        in
+        check_bool "picked b1" true
+          (match best with Some v -> Instr.equal_value v b1 | None -> false);
+        check_bool "mode stays LOAD" true (mode = Reorder.Load_mode));
+    tc "no match fails the slot and consumes the default" (fun () ->
+        let env = mk_env () in
+        let b0 = load env "B" 0 in
+        let c9 = load env "C" 9 in
+        let best, mode =
+          Reorder.get_best Config.lslp Reorder.Load_mode b0 [ c9 ]
+        in
+        check_bool "default returned" true
+          (match best with Some v -> Instr.equal_value v c9 | None -> false);
+        check_bool "mode FAILED" true (mode = Reorder.Failed_mode));
+    tc "failed slots defer" (fun () ->
+        let best, mode =
+          Reorder.get_best Config.lslp Reorder.Failed_mode (Builder.iconst 0)
+            [ Builder.iconst 1 ]
+        in
+        check_bool "deferred" true (best = None);
+        check_bool "stays failed" true (mode = Reorder.Failed_mode));
+    tc "look-ahead breaks opcode ties" (fun () ->
+        let env = mk_env () in
+        let last = shl env (load env "B" 0) 1 in
+        let good = shl env (load env "B" 1) 4 in
+        let bad = shl env (load env "C" 1) 3 in
+        let best, _ =
+          Reorder.get_best Config.lslp Reorder.Opcode_mode last [ bad; good ]
+        in
+        check_bool "good chosen" true
+          (match best with Some v -> Instr.equal_value v good | None -> false));
+    tc "depth 0 disables the tie-break" (fun () ->
+        let env = mk_env () in
+        let last = shl env (load env "B" 0) 1 in
+        let good = shl env (load env "B" 1) 4 in
+        let bad = shl env (load env "C" 1) 3 in
+        let best, _ =
+          Reorder.get_best (Config.lslp_la 0) Reorder.Opcode_mode last
+            [ bad; good ]
+        in
+        check_bool "first match taken" true
+          (match best with Some v -> Instr.equal_value v bad | None -> false));
+    tc "splat mode looks for the same value" (fun () ->
+        let env = mk_env () in
+        let x = load env "B" 0 in
+        let y = load env "C" 0 in
+        let best, mode =
+          Reorder.get_best Config.lslp Reorder.Splat_mode x [ y; x ]
+        in
+        check_bool "x found" true
+          (match best with Some v -> Instr.equal_value v x | None -> false);
+        check_bool "stays splat" true (mode = Reorder.Splat_mode));
+    tc "init_mode classification" (fun () ->
+        let env = mk_env () in
+        check_bool "const" true
+          (Reorder.init_mode (Builder.iconst 1) = Reorder.Const_mode);
+        check_bool "load" true
+          (Reorder.init_mode (load env "B" 0) = Reorder.Load_mode);
+        check_bool "op" true
+          (Reorder.init_mode (shl env (load env "B" 0) 1) = Reorder.Opcode_mode));
+  ]
+
+let matrix_tests =
+  [
+    tc "figure 2's operand matrix is straightened" (fun () ->
+        (* slots x lanes: lane0 [shl(B0,1); shl(C0,2)],
+           lane1 [shl(C1,3); shl(B1,4)] — LSLP must swap lane 1 *)
+        let env = mk_env () in
+        let s_b0 = shl env (load env "B" 0) 1 in
+        let s_c0 = shl env (load env "C" 0) 2 in
+        let s_c1 = shl env (load env "C" 1) 3 in
+        let s_b1 = shl env (load env "B" 1) 4 in
+        let matrix = [| [| s_b0; s_c1 |]; [| s_c0; s_b1 |] |] in
+        let result = Reorder.reorder_matrix Config.lslp matrix in
+        check_bool "slot0 = B chain" true
+          (Instr.equal_value result.(0).(1) s_b1);
+        check_bool "slot1 = C chain" true
+          (Instr.equal_value result.(1).(1) s_c1));
+    tc "lane 0 is never reordered" (fun () ->
+        let env = mk_env () in
+        let a = load env "B" 0 and b = load env "C" 0 in
+        let a' = load env "B" 1 and b' = load env "C" 1 in
+        let matrix = [| [| b; a' |]; [| a; b' |] |] in
+        let result = Reorder.reorder_matrix Config.lslp matrix in
+        check_bool "slot0 lane0 kept" true (Instr.equal_value result.(0).(0) b);
+        check_bool "slot1 lane0 kept" true (Instr.equal_value result.(1).(0) a));
+    tc "each lane's multiset of operands is preserved" (fun () ->
+        let env = mk_env () in
+        let vals =
+          Array.init 3 (fun s ->
+              Array.init 4 (fun l -> load env "B" ((s * 4) + l)))
+        in
+        let result = Reorder.reorder_matrix Config.lslp vals in
+        for lane = 0 to 3 do
+          let column m = List.init 3 (fun s -> m.(s).(lane)) in
+          let key vs =
+            List.sort compare
+              (List.map (fun v -> (ins v).Instr.id) vs)
+          in
+          check_bool "same multiset" true (key (column vals) = key (column result))
+        done);
+    tc "splat mode engages across lanes" (fun () ->
+        (* one slot is the same value in all lanes; it must stay together *)
+        let env = mk_env () in
+        let c = shl env (load env "D" 0) 1 in
+        let b0 = load env "B" 0 and b1 = load env "B" 1
+        and b2 = load env "B" 2 and b3 = load env "B" 3 in
+        let matrix =
+          [| [| b0; b1; c; b3 |]; [| c; c; b2; c |] |]
+        in
+        let result = Reorder.reorder_matrix Config.lslp matrix in
+        (* slot1 should end all-c except lane0 decided by stripping *)
+        let slot_of lane v =
+          if Instr.equal_value result.(0).(lane) v then 0 else 1
+        in
+        let s_lane1 = slot_of 1 c and s_lane2 = slot_of 2 c in
+        check_int "c stays in one slot" s_lane1 s_lane2);
+    tc "constants prefer constants" (fun () ->
+        let env = mk_env () in
+        let b0 = load env "B" 0 and b1 = load env "B" 1 in
+        let matrix =
+          [| [| Builder.iconst 1; b1 |]; [| b0; Builder.iconst 7 |] |]
+        in
+        let result = Reorder.reorder_matrix Config.lslp matrix in
+        check_bool "const slot" true
+          (match result.(0).(1) with Instr.Const _ -> true | _ -> false);
+        check_bool "load slot" true (Instr.equal_value result.(1).(1) b1));
+    tc "empty matrix" (fun () ->
+        check_int "no slots" 0
+          (Array.length (Reorder.reorder_matrix Config.lslp [||])));
+  ]
+
+(* Vanilla (LLVM 4.0) reorder behaviors. *)
+let vanilla_tests =
+  [
+    tc "listing 1: opcode mismatch fixed by swap" (fun () ->
+        let env = mk_env () in
+        let l1 = load env "B" 0 and l2 = load env "B" 1 in
+        let s1 = Builder.binop env.b Opcode.Sub (load env "C" 0) (load env "C" 2) in
+        let s2 = Builder.binop env.b Opcode.Sub (load env "C" 1) (load env "C" 3) in
+        let add1 = Builder.binop env.b Opcode.Add s1 l1 in
+        let add2 = Builder.binop env.b Opcode.Add l2 s2 in
+        let left, right = Reorder.vanilla_pair [| ins add1; ins add2 |] in
+        check_bool "left = subs" true
+          (Instr.equal_value left.(0) s1 && Instr.equal_value left.(1) s2);
+        check_bool "right = loads" true
+          (Instr.equal_value right.(0) l1 && Instr.equal_value right.(1) l2));
+    tc "figure 2: same-opcode operands are not touched" (fun () ->
+        let env = mk_env () in
+        let s_b0 = shl env (load env "B" 0) 1 in
+        let s_c0 = shl env (load env "C" 0) 2 in
+        let s_c1 = shl env (load env "C" 1) 3 in
+        let s_b1 = shl env (load env "B" 1) 4 in
+        let and1 = Builder.binop env.b Opcode.And s_b0 s_c0 in
+        let and2 = Builder.binop env.b Opcode.And s_c1 s_b1 in
+        let left, _right = Reorder.vanilla_pair [| ins and1; ins and2 |] in
+        check_bool "lane1 left unchanged (mismatch remains)" true
+          (Instr.equal_value left.(1) s_c1));
+    tc "peel: lane-0 constant moves right" (fun () ->
+        let env = mk_env () in
+        let s = shl env (load env "B" 0) 1 in
+        let s' = Builder.binop env.b Opcode.Add (load env "C" 0) (Builder.iconst 2) in
+        let and1 = Builder.binop env.b Opcode.And s (Builder.iconst 17) in
+        let and2 = Builder.binop env.b Opcode.And s' (Builder.iconst 19) in
+        let left, right = Reorder.vanilla_pair [| ins and1; ins and2 |] in
+        check_bool "lane0 left is const" true
+          (match left.(0) with Instr.Const _ -> true | _ -> false);
+        check_bool "lane0 right is shl" true (Instr.equal_value right.(0) s));
+    tc "splat on the right is preserved" (fun () ->
+        let env = mk_env () in
+        let c = shl env (load env "D" 0) 1 in
+        let x0 = load env "B" 0 and x1 = load env "B" 1 in
+        let m0 = Builder.binop env.b Opcode.Mul x0 c in
+        let m1 = Builder.binop env.b Opcode.Mul c x1 in
+        let left, right = Reorder.vanilla_pair [| ins m0; ins m1 |] in
+        check_bool "right all c" true
+          (Instr.equal_value right.(0) c && Instr.equal_value right.(1) c);
+        check_bool "left loads" true
+          (Instr.equal_value left.(0) x0 && Instr.equal_value left.(1) x1));
+    tc "trailing pass extends consecutive load chains" (fun () ->
+        (* load a0|b0 then b1|a1: the final pass swaps lane 1 *)
+        let env = mk_env () in
+        let a0 = load env "B" 0 and a1 = load env "B" 1 in
+        let b0 = load env "C" 0 and b1 = load env "C" 1 in
+        let add1 = Builder.binop env.b Opcode.Add a0 b0 in
+        let add2 = Builder.binop env.b Opcode.Add b1 a1 in
+        let left, right = Reorder.vanilla_pair [| ins add1; ins add2 |] in
+        check_bool "left = a0,a1" true
+          (Instr.equal_value left.(0) a0 && Instr.equal_value left.(1) a1);
+        check_bool "right = b0,b1" true
+          (Instr.equal_value right.(0) b0 && Instr.equal_value right.(1) b1));
+    tc "no_reorder keeps operands as written" (fun () ->
+        let env = mk_env () in
+        let a0 = load env "B" 0 and b0 = load env "C" 0 in
+        let add1 = Builder.binop env.b Opcode.Add a0 b0 in
+        let add2 = Builder.binop env.b Opcode.Add b0 a0 in
+        let left, right = Reorder.no_reorder_pair [| ins add1; ins add2 |] in
+        check_bool "kept" true
+          (Instr.equal_value left.(0) a0 && Instr.equal_value left.(1) b0
+           && Instr.equal_value right.(0) b0 && Instr.equal_value right.(1) a0));
+  ]
+
+let suite =
+  pair_score_tests @ figure7_tests @ get_best_tests @ matrix_tests
+  @ vanilla_tests

@@ -1,0 +1,20 @@
+# Convenience wrappers around dune.
+
+.PHONY: all test check bench clean
+
+all:
+	dune build
+
+test:
+	dune runtest
+
+# Build + tests + `lslpc analyze` (with the legality validator) over every
+# example kernel.  The commit gate.
+check:
+	dune build @check
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

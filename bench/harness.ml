@@ -23,7 +23,18 @@ let measure ?(config_list = configs_main) key =
   let f = Catalog.compile_key key in
   List.map
     (fun config ->
+      (* legality validation is cheap relative to simulation, so every
+         measured transformation is also proof-checked *)
+      let config = Config.with_validate true config in
       let report, g = Pipeline.run_cloned ~config f in
+      (match report.Pipeline.diagnostics with
+       | [] -> ()
+       | diags ->
+         List.iter
+           (fun d -> Fmt.epr "%a@." Lslp_check.Diagnostic.pp d)
+           diags;
+         Fmt.failwith "%s under %s failed legality validation" key
+           config.Config.name);
       let o = Lslp_interp.Oracle.compare_runs ~reference:f ~candidate:g () in
       assert (o.Lslp_interp.Oracle.mismatches = []);
       {

@@ -5,12 +5,15 @@
               graphs / costs
      run      compile and execute scalar vs vectorized in the simulator,
               reporting cycles, speedup and an equivalence check
+     analyze  explain the vectorizer's decisions: one remark per region
+              considered, plus the output of the legality validator
      kernels  list the built-in kernel catalog
      show     print a catalog kernel's source and IR
 
    Example:
      lslpc compile --config lslp --dump-ir examples/kernels/foo.k
      lslpc run --kernel 453.boy-surface --config slp
+     lslpc analyze --kernel 464.motivation-multi --config lslp --json
 *)
 
 open Cmdliner
@@ -83,12 +86,29 @@ let handle_errors f =
     Fmt.epr "error: %s@." msg;
     exit 1
 
+let verify_output_arg =
+  Arg.(value & flag
+       & info [ "verify-output" ]
+           ~doc:"Run the legality validator on the transformed function and \
+                 fail on any violation.")
+
+(* Shared by compile/run --verify-output and analyze: print the validator's
+   findings, return true when any of them is an error. *)
+let print_diagnostics diags =
+  List.iter (fun d -> Fmt.pr "%a@." Lslp_check.Diagnostic.pp d) diags;
+  Fmt.pr "legality: %s@." (Lslp_check.Diagnostic.summary diags);
+  Lslp_check.Diagnostic.errors diags <> []
+
 (* ---- compile ---------------------------------------------------- *)
 
 let compile_cmd =
-  let run file kernel config dump_ir dump_graph quiet verbose =
+  let run file kernel config dump_ir dump_graph quiet verify_output verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
+    let config =
+      if verify_output then Lslp_core.Config.with_validate true config
+      else config
+    in
     let f = load_kernel file kernel in
     if dump_ir then
       Fmt.pr "=== scalar IR ===@.%a@.@." Lslp_ir.Printer.pp_func f;
@@ -108,6 +128,9 @@ let compile_cmd =
     if not quiet then Fmt.pr "%a@.@." Lslp_core.Pipeline.pp_report report;
     if dump_ir then
       Fmt.pr "=== %s IR ===@.%a@." config.name Lslp_ir.Printer.pp_func g;
+    if verify_output
+       && print_diagnostics report.Lslp_core.Pipeline.diagnostics
+    then exit 1;
     match Lslp_ir.Verifier.check_func g with
     | [] -> ()
     | errors ->
@@ -127,20 +150,27 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Vectorize a kernel and report what happened")
     Term.(const run $ file_arg $ kernel_arg $ config_arg $ dump_ir
-          $ dump_graph $ quiet $ verbose_arg)
+          $ dump_graph $ quiet $ verify_output_arg $ verbose_arg)
 
 (* ---- run --------------------------------------------------------- *)
 
 let run_cmd =
-  let run file kernel config seed verbose =
+  let run file kernel config seed verify_output verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
+    let config =
+      if verify_output then Lslp_core.Config.with_validate true config
+      else config
+    in
     let f = load_kernel file kernel in
     let report, g = Lslp_core.Pipeline.run_cloned ~config f in
     let outcome =
       Lslp_interp.Oracle.compare_runs ~seed ~reference:f ~candidate:g ()
     in
     Fmt.pr "%a@.@." Lslp_core.Pipeline.pp_report report;
+    if verify_output
+       && print_diagnostics report.Lslp_core.Pipeline.diagnostics
+    then exit 1;
     Fmt.pr "scalar cycles:     %d@." outcome.reference_cycles;
     Fmt.pr "vectorized cycles: %d@." outcome.candidate_cycles;
     Fmt.pr "speedup:           %.3fx@."
@@ -161,6 +191,44 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Vectorize a kernel, simulate scalar vs vector, compare")
     Term.(const run $ file_arg $ kernel_arg $ config_arg $ seed
+          $ verify_output_arg $ verbose_arg)
+
+(* ---- analyze ------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run file kernel config json verbose =
+    handle_errors @@ fun () ->
+    setup_logs verbose;
+    let config =
+      Lslp_core.Config.(config |> with_remarks true |> with_validate true)
+    in
+    let f = load_kernel file kernel in
+    let report, _g = Lslp_core.Pipeline.run_cloned ~config f in
+    let remarks = report.Lslp_core.Pipeline.remarks in
+    let diags = report.Lslp_core.Pipeline.diagnostics in
+    if json then begin
+      Fmt.pr "%s@."
+        (Lslp_check.Remark.report_to_json ~config_name:config.name
+           ~func_name:f.Lslp_ir.Func.fname ~diagnostics:diags remarks);
+      if Lslp_check.Diagnostic.errors diags <> [] then exit 1
+    end
+    else begin
+      Fmt.pr "%s: %s, %d region(s) considered@." config.name
+        f.Lslp_ir.Func.fname (List.length remarks);
+      List.iter (fun r -> Fmt.pr "%a@." Lslp_check.Remark.pp r) remarks;
+      if print_diagnostics diags then exit 1
+    end
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as a JSON document.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Explain the vectorizer's decisions: one remark per region \
+          considered, with the legality validator's verdict")
+    Term.(const run $ file_arg $ kernel_arg $ config_arg $ json
           $ verbose_arg)
 
 (* ---- kernels ------------------------------------------------------ *)
@@ -197,4 +265,7 @@ let () =
     Cmd.info "lslpc" ~version:"1.0.0"
       ~doc:"Look-ahead SLP vectorizing compiler for the kernel language"
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; run_cmd; kernels_cmd; show_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ compile_cmd; run_cmd; analyze_cmd; kernels_cmd; show_cmd ]))

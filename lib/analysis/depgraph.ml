@@ -88,6 +88,8 @@ let build block =
   done;
   { insts; pos_of; preds; reach }
 
+let mem t (i : Instr.t) = Hashtbl.mem t.pos_of i.id
+
 let position t (i : Instr.t) =
   match Hashtbl.find_opt t.pos_of i.id with
   | Some p -> p

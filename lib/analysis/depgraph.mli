@@ -10,8 +10,13 @@ type t
 
 val build : Block.t -> t
 
+val mem : t -> Instr.t -> bool
+(** Was this instruction part of the block the graph was built from?
+    Instructions created later (by code generation) are not members. *)
+
 val depends : t -> Instr.t -> on:Instr.t -> bool
-(** Transitive (strict) dependence. *)
+(** Transitive (strict) dependence.
+    @raise Invalid_argument if either instruction is not a member. *)
 
 val independent : t -> Instr.t list -> bool
 (** No member transitively depends on another — the paper's per-bundle

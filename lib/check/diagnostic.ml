@@ -1,0 +1,41 @@
+(* Typed diagnostics for the static checkers.
+
+   A diagnostic is data, not control flow: validation never raises, it
+   returns the full list of findings so a caller can print all of them,
+   count severities, or fail a build. *)
+
+open Lslp_ir
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  rule : string;
+  instrs : Instr.t list;
+  message : string;
+}
+
+let v ?(severity = Error) ?(instrs = []) ~rule message =
+  { severity; rule; instrs; message }
+
+let error ?instrs ~rule message = v ~severity:Error ?instrs ~rule message
+let warning ?instrs ~rule message = v ~severity:Warning ?instrs ~rule message
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+
+let summary ds =
+  Fmt.str "%d error(s), %d warning(s)"
+    (List.length (errors ds))
+    (List.length (warnings ds))
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s]: %s" (severity_name d.severity) d.rule d.message;
+  match d.instrs with
+  | [] -> ()
+  | i :: _ -> Fmt.pf ppf " (at `%a`)" Printer.pp_instr i
+
+let to_string d = Fmt.str "%a" pp d

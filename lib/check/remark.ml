@@ -1,0 +1,232 @@
+(* Optimization remarks.
+
+   Mirrors -Rpass/-Rpass-missed: every region the vectorizer considered
+   gets a record of what happened and why, assembled by the pipeline from
+   the region outcome plus notes the graph builder emitted along the way.
+   Rendering goes through a registry of rules so downstream tooling can
+   register extra explanations without touching the pipeline. *)
+
+type note =
+  | Operand_mode_failed of { slots : int }
+  | Multinode_capped of { limit : int }
+  | Column_rejected of { reason : string; count : int }
+  | Seed_rejected of { reason : string }
+
+type outcome =
+  | Vectorized
+  | Unprofitable
+  | Not_schedulable
+  | Reduction_unmatched of { leaves : int; width : int }
+
+type t = {
+  region : string;
+  lanes : int;
+  cost : int option;
+  threshold : int;
+  outcome : outcome;
+  notes : note list;
+}
+
+(* ---- rule registry ------------------------------------------------ *)
+
+type rule = {
+  rule_name : string;
+  produce : t -> string option;
+}
+
+let outcome_rule =
+  {
+    rule_name = "outcome";
+    produce =
+      (fun r ->
+        match (r.outcome, r.cost) with
+        | Vectorized, Some c ->
+          Some
+            (Fmt.str "vectorized at VL=%d: cost %+d beats threshold %d"
+               r.lanes c r.threshold)
+        | Vectorized, None -> Some (Fmt.str "vectorized at VL=%d" r.lanes)
+        | Unprofitable, Some c ->
+          Some
+            (Fmt.str "kept scalar: cost %+d is not below threshold %d" c
+               r.threshold)
+        | Unprofitable, None -> Some "kept scalar: not profitable"
+        | Not_schedulable, _ ->
+          Some
+            "kept scalar: bundles cannot be scheduled together (contracting \
+             them leaves a dependence cycle)"
+        | Reduction_unmatched { leaves; width }, _ ->
+          Some
+            (Fmt.str
+               "reduction not vectorized: %d leaf/leaves is less than the \
+                vector width %d"
+               leaves width));
+  }
+
+let note_rule name pick =
+  { rule_name = name; produce = (fun r -> List.find_map pick r.notes) }
+
+let seed_rejected_rule =
+  note_rule "seed-rejected" (function
+    | Seed_rejected { reason } ->
+      Some (Fmt.str "seed bundle rejected: %s" reason)
+    | Operand_mode_failed _ | Multinode_capped _ | Column_rejected _ -> None)
+
+let operand_mode_rule =
+  note_rule "operand-mode-failed" (function
+    | Operand_mode_failed { slots } ->
+      Some
+        (Fmt.str
+           "look-ahead reorder: %d operand slot(s) ended in FAILED mode"
+           slots)
+    | Seed_rejected _ | Multinode_capped _ | Column_rejected _ -> None)
+
+let multinode_capped_rule =
+  note_rule "multi-node-capped" (function
+    | Multinode_capped { limit } ->
+      Some (Fmt.str "multi-node growth capped at %d group(s)" limit)
+    | Seed_rejected _ | Operand_mode_failed _ | Column_rejected _ -> None)
+
+let columns_rule =
+  {
+    rule_name = "gathered-columns";
+    produce =
+      (fun r ->
+        let gathered =
+          List.filter_map
+            (function
+              | Column_rejected { reason; count } -> Some (reason, count)
+              | Seed_rejected _ | Operand_mode_failed _ | Multinode_capped _
+                -> None)
+            r.notes
+        in
+        match gathered with
+        | [] -> None
+        | gs ->
+          Some
+            (Fmt.str "operand column(s) gathered: %s"
+               (String.concat "; "
+                  (List.map
+                     (fun (reason, count) ->
+                       if count = 1 then reason
+                       else Fmt.str "%s (x%d)" reason count)
+                     gs))));
+  }
+
+let builtin_rules =
+  [
+    outcome_rule; seed_rejected_rule; operand_mode_rule; multinode_capped_rule;
+    columns_rule;
+  ]
+
+let registered : rule list ref = ref []
+let register_rule r = registered := !registered @ [ r ]
+let rules () = builtin_rules @ !registered
+
+let explain r =
+  List.filter_map
+    (fun rule ->
+      Option.map (fun msg -> (rule.rule_name, msg)) (rule.produce r))
+    (rules ())
+
+let pp ppf r =
+  if r.lanes > 0 then Fmt.pf ppf "@[<v 2>region %s (VL=%d):" r.region r.lanes
+  else Fmt.pf ppf "@[<v 2>region %s:" r.region;
+  List.iter
+    (fun (name, msg) -> Fmt.pf ppf "@,remark[%s]: %s" name msg)
+    (explain r);
+  Fmt.pf ppf "@]"
+
+(* ---- JSON rendering ------------------------------------------------ *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let json_string b s =
+  Buffer.add_char b '"';
+  json_escape b s;
+  Buffer.add_char b '"'
+
+let json_field b ~first name value =
+  if not first then Buffer.add_char b ',';
+  json_string b name;
+  Buffer.add_char b ':';
+  value ()
+
+let outcome_name = function
+  | Vectorized -> "vectorized"
+  | Unprofitable -> "unprofitable"
+  | Not_schedulable -> "not-schedulable"
+  | Reduction_unmatched _ -> "reduction-unmatched"
+
+let remark_to_json b r =
+  Buffer.add_char b '{';
+  json_field b ~first:true "region" (fun () -> json_string b r.region);
+  json_field b ~first:false "lanes" (fun () ->
+      Buffer.add_string b (string_of_int r.lanes));
+  json_field b ~first:false "cost" (fun () ->
+      match r.cost with
+      | Some c -> Buffer.add_string b (string_of_int c)
+      | None -> Buffer.add_string b "null");
+  json_field b ~first:false "threshold" (fun () ->
+      Buffer.add_string b (string_of_int r.threshold));
+  json_field b ~first:false "outcome" (fun () ->
+      json_string b (outcome_name r.outcome));
+  json_field b ~first:false "remarks" (fun () ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun k (name, msg) ->
+          if k > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '{';
+          json_field b ~first:true "rule" (fun () -> json_string b name);
+          json_field b ~first:false "message" (fun () -> json_string b msg);
+          Buffer.add_char b '}')
+        (explain r);
+      Buffer.add_char b ']');
+  Buffer.add_char b '}'
+
+let diagnostic_to_json b (d : Diagnostic.t) =
+  Buffer.add_char b '{';
+  json_field b ~first:true "severity" (fun () ->
+      json_string b
+        (match d.Diagnostic.severity with
+         | Diagnostic.Error -> "error"
+         | Diagnostic.Warning -> "warning"));
+  json_field b ~first:false "rule" (fun () ->
+      json_string b d.Diagnostic.rule);
+  json_field b ~first:false "message" (fun () ->
+      json_string b d.Diagnostic.message);
+  Buffer.add_char b '}'
+
+let report_to_json ~config_name ~func_name ~diagnostics remarks =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  json_field b ~first:true "config" (fun () -> json_string b config_name);
+  json_field b ~first:false "function" (fun () -> json_string b func_name);
+  json_field b ~first:false "regions" (fun () ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun k r ->
+          if k > 0 then Buffer.add_char b ',';
+          remark_to_json b r)
+        remarks;
+      Buffer.add_char b ']');
+  json_field b ~first:false "diagnostics" (fun () ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun k d ->
+          if k > 0 then Buffer.add_char b ',';
+          diagnostic_to_json b d)
+        diagnostics;
+      Buffer.add_char b ']');
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,62 @@
+(** Optimization remarks — the pass's explanation of its own decisions.
+
+    One {!t} per region the pipeline considered, carrying the outcome
+    (vectorized / unprofitable / not schedulable / reduction too narrow)
+    plus {!note}s gathered while the graph was built (operand-reorder slots
+    that ended FAILED, multi-node growth capped, operand columns gathered
+    and why).  A small rule registry turns records into human-readable
+    remark lines; {!report_to_json} renders the machine form. *)
+
+type note =
+  | Operand_mode_failed of { slots : int }
+      (** look-ahead reorder slots whose mode degraded to FAILED *)
+  | Multinode_capped of { limit : int }
+      (** multi-node growth stopped by the configured size limit *)
+  | Column_rejected of { reason : string; count : int }
+      (** operand columns turned into gathers, by rejection reason *)
+  | Seed_rejected of { reason : string }
+      (** the seed bundle itself could not be vectorized *)
+
+type outcome =
+  | Vectorized
+  | Unprofitable
+  | Not_schedulable
+  | Reduction_unmatched of { leaves : int; width : int }
+
+type t = {
+  region : string;  (** seed / reduction-root description *)
+  lanes : int;
+  cost : int option;  (** total region cost; [None] when never costed *)
+  threshold : int;
+  outcome : outcome;
+  notes : note list;
+}
+
+(** {2 Rule registry} *)
+
+type rule = {
+  rule_name : string;
+  produce : t -> string option;
+      (** [None] when the rule does not apply to this region *)
+}
+
+val builtin_rules : rule list
+
+val register_rule : rule -> unit
+(** Append a custom rule; it runs after the built-in ones. *)
+
+val rules : unit -> rule list
+
+val explain : t -> (string * string) list
+(** [(rule_name, message)] for every applicable rule, in registry order. *)
+
+val pp : t Fmt.t
+(** Multi-line human-readable remark for one region. *)
+
+val report_to_json :
+  config_name:string ->
+  func_name:string ->
+  diagnostics:Diagnostic.t list ->
+  t list ->
+  string
+(** The whole report as one JSON document (no external JSON dependency). *)

@@ -45,7 +45,8 @@ let element_scalar (i : Instr.t) =
     | Some a -> a.Instr.elt
     | None -> invalid_arg "Codegen: cannot determine element type")
 
-let run ?reduction (graph : Graph.t) (f : Func.t) : outcome =
+let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
+    (graph : Graph.t) (f : Func.t) : outcome =
   let block = f.Func.block in
   let deps = Depgraph.build block in
   (* ---- units ---------------------------------------------------- *)
@@ -232,6 +233,7 @@ let run ?reduction (graph : Graph.t) (f : Func.t) : outcome =
                   (Types.vec addr.Instr.elt lanes)
               in
               push i;
+              record ~lanes:insts ~vector:i;
               Instr.Ins i
             | Instr.Store (a, _) ->
               let child =
@@ -245,6 +247,7 @@ let run ?reduction (graph : Graph.t) (f : Func.t) : outcome =
                   Types.Void
               in
               push i;
+              record ~lanes:insts ~vector:i;
               Instr.Ins i
             | Instr.Binop (op, _, _) ->
               let children = List.map emit_node n.Graph.children in
@@ -255,6 +258,7 @@ let run ?reduction (graph : Graph.t) (f : Func.t) : outcome =
                    Instr.create ~name:"v" (Instr.Binop (op, a, b)) ty
                  in
                  push i;
+                 record ~lanes:insts ~vector:i;
                  Instr.Ins i
                | _ -> invalid_arg "Codegen: binop group arity")
             | Instr.Unop (op, _) ->
@@ -264,6 +268,7 @@ let run ?reduction (graph : Graph.t) (f : Func.t) : outcome =
                  let ty = Types.vec (element_scalar i0) lanes in
                  let i = Instr.create ~name:"v" (Instr.Unop (op, a)) ty in
                  push i;
+                 record ~lanes:insts ~vector:i;
                  Instr.Ins i
                | _ -> invalid_arg "Codegen: unop group arity")
             | Instr.Splat _ | Instr.Buildvec _ | Instr.Extract _
@@ -281,16 +286,27 @@ let run ?reduction (graph : Graph.t) (f : Func.t) : outcome =
             (match children with
              | [] -> invalid_arg "Codegen: multi-node without operands"
              | first :: rest ->
-               List.fold_left
-                 (fun acc c ->
-                   let i =
-                     Instr.create ~name:"v"
-                       (Instr.Binop (m.Graph.m_op, acc, c))
-                       ty
-                   in
-                   push i;
-                   Instr.Ins i)
-                 first rest)
+               let v =
+                 List.fold_left
+                   (fun acc c ->
+                     let i =
+                       Instr.create ~name:"v"
+                         (Instr.Binop (m.Graph.m_op, acc, c))
+                         ty
+                     in
+                     push i;
+                     Instr.Ins i)
+                   first rest
+               in
+               (* the whole reassociated chain stands for the final combine:
+                  every internal bundle's lanes map to it for provenance *)
+               (match v with
+                | Instr.Ins vi ->
+                  List.iter
+                    (fun g -> record ~lanes:g ~vector:vi)
+                    m.Graph.m_groups
+                | Instr.Const _ | Instr.Arg _ -> ());
+               v)
         in
         Hashtbl.replace vec_vals n.Graph.nid v;
         v

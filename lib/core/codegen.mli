@@ -21,4 +21,12 @@ type reduction = {
   red_remainder : Instr.value list;  (** leaves folded scalar after reduce *)
 }
 
-val run : ?reduction:reduction -> Graph.t -> Func.t -> outcome
+val run :
+  ?reduction:reduction ->
+  ?record:(lanes:Instr.t array -> vector:Instr.t -> unit) ->
+  Graph.t ->
+  Func.t ->
+  outcome
+(** [record] is invoked once per emitted vector instruction with the scalar
+    lanes it replaces — the provenance feed of the legality validator.
+    Multi-node internal bundles all map to the chain's final combine. *)

@@ -21,6 +21,8 @@ type t = {
   score_combine : score_combine;
   model : Lslp_costmodel.Model.t;
   reductions : bool;       (* also vectorize horizontal reduction chains *)
+  validate : bool;         (* run the post-pass legality validator *)
+  remarks : bool;          (* collect per-region optimization remarks *)
 }
 
 let default_model = Lslp_costmodel.Model.skylake_avx2
@@ -36,6 +38,8 @@ let lslp =
     score_combine = Score_sum;
     model = default_model;
     reductions = true;
+    validate = false;
+    remarks = false;
   }
 
 let slp = { lslp with name = "SLP"; strategy = Vanilla }
@@ -57,6 +61,8 @@ let with_threshold threshold t = { t with threshold }
 let with_max_lanes n t = { t with max_lanes = Some n }
 let with_score_combine score_combine t = { t with score_combine }
 let with_reductions reductions t = { t with reductions }
+let with_validate validate t = { t with validate }
+let with_remarks remarks t = { t with remarks }
 
 let effective_max_lanes t elt =
   let native = Lslp_costmodel.Model.max_lanes t.model elt in

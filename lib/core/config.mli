@@ -21,6 +21,8 @@ type t = {
   score_combine : score_combine;
   model : Lslp_costmodel.Model.t;
   reductions : bool;
+  validate : bool;
+  remarks : bool;
 }
 
 val lslp : t
@@ -41,6 +43,13 @@ val with_threshold : int -> t -> t
 val with_max_lanes : int -> t -> t
 val with_score_combine : score_combine -> t -> t
 val with_reductions : bool -> t -> t
+
+val with_validate : bool -> t -> t
+(** Re-check the transformed function against the pre-pass dependence
+    graph (see [Lslp_check.Legality]); diagnostics land in the report. *)
+
+val with_remarks : bool -> t -> t
+(** Record one [Lslp_check.Remark.t] per region considered. *)
 
 val effective_max_lanes : t -> Lslp_ir.Types.scalar -> int
 val multinode_limit : t -> int

@@ -24,15 +24,17 @@ type ctx = {
   deps : Depgraph.t;
   uses : Use_info.t;
   graph : Graph.t;
+  note : Lslp_check.Remark.note -> unit;
 }
 
-let make_ctx config (f : Func.t) =
+let make_ctx ?(note = fun _ -> ()) config (f : Func.t) =
   {
     config;
     block = f.Func.block;
     deps = Depgraph.build f.Func.block;
     uses = Use_info.compute f.Func.block;
     graph = Graph.create ();
+    note;
   }
 
 let classify ctx (b : Bundle.t) =
@@ -68,7 +70,11 @@ and build_bundle_fresh ctx (b : Bundle.t) : Graph.node =
     node
   in
   match classify ctx b with
-  | Bundle.Rejected _ -> register (Graph.add_node ctx.graph (Graph.Gather b))
+  | Bundle.Rejected reason ->
+    ctx.note
+      (Lslp_check.Remark.Column_rejected
+         { reason = Bundle.reject_to_string reason; count = 1 });
+    register (Graph.add_node ctx.graph (Graph.Gather b))
   | Bundle.Vectorizable insts -> (
     let i0 = insts.(0) in
     match i0.Instr.kind with
@@ -119,14 +125,16 @@ and build_bundle_fresh ctx (b : Bundle.t) : Graph.node =
    regenerated as one fold over the reordered frontier. *)
 and build_multinode ctx (root_insts : Instr.t array) (op : Opcode.binop) =
   let config_limit = Config.multinode_limit ctx.config in
-  let collect_lane ~limit (root : Instr.t) =
+  let capped = ref false in
+  let collect_lane ?(flag_capped = false) ~limit (root : Instr.t) =
     let ops = ref [ root ] in
     let count = ref 1 in
     let leaves = ref [] in
     let rec go (i : Instr.t) =
       List.iter
         (fun v ->
-          if !count < limit && absorbable ctx ~op v then begin
+          let can = absorbable ctx ~op v in
+          if can && !count < limit then begin
             match v with
             | Instr.Ins child ->
               ops := child :: !ops;
@@ -134,14 +142,22 @@ and build_multinode ctx (root_insts : Instr.t array) (op : Opcode.binop) =
               go child
             | Instr.Const _ | Instr.Arg _ -> assert false
           end
-          else leaves := v :: !leaves)
+          else begin
+            if can && flag_capped && limit < max_int then capped := true;
+            leaves := v :: !leaves
+          end)
         (Instr.operands i)
     in
     go root;
     (List.rev !ops, List.rev !leaves)
   in
   let limit = if Opcode.is_associative op then config_limit else 1 in
-  let maximal = Array.map (fun r -> collect_lane ~limit r) root_insts in
+  let maximal =
+    Array.map
+      (fun r ->
+        collect_lane ~flag_capped:(Opcode.is_associative op) ~limit r)
+      root_insts
+  in
   let k =
     Array.fold_left
       (fun acc (ops, _) -> min acc (List.length ops))
@@ -162,9 +178,20 @@ and build_multinode ctx (root_insts : Instr.t array) (op : Opcode.binop) =
     Array.init (k + 1) (fun s ->
         Array.map (fun (_, leaves) -> List.nth leaves s) trimmed)
   in
+  if !capped then
+    ctx.note (Lslp_check.Remark.Multinode_capped { limit = config_limit });
   let reordered =
     match ctx.config.Config.strategy with
-    | Config.Lookahead -> Reorder.reorder_matrix ctx.config matrix
+    | Config.Lookahead ->
+      let m, modes = Reorder.reorder_matrix_modes ctx.config matrix in
+      let failed =
+        Array.fold_left
+          (fun acc mode -> if mode = Reorder.Failed_mode then acc + 1 else acc)
+          0 modes
+      in
+      if failed > 0 then
+        ctx.note (Lslp_check.Remark.Operand_mode_failed { slots = failed });
+      m
     | Config.Vanilla | Config.No_reorder -> matrix
   in
   let node =
@@ -174,14 +201,14 @@ and build_multinode ctx (root_insts : Instr.t array) (op : Opcode.binop) =
     List.map (build_bundle ctx) (Array.to_list reordered);
   node
 
-let build config (f : Func.t) (seed : Instr.t array) =
-  let ctx = make_ctx config f in
+let build ?note config (f : Func.t) (seed : Instr.t array) =
+  let ctx = make_ctx ?note config f in
   let root = build_bundle ctx (Bundle.of_insts seed) in
   (ctx.graph, root)
 
 (* Entry point for reduction vectorization: build one node per leaf chunk
    within a single shared graph (so diamonds across chunks still reuse). *)
-let build_columns config (f : Func.t) (columns : Bundle.t list) =
-  let ctx = make_ctx config f in
+let build_columns ?note config (f : Func.t) (columns : Bundle.t list) =
+  let ctx = make_ctx ?note config f in
   let nodes = List.map (build_bundle ctx) columns in
   (ctx.graph, nodes)

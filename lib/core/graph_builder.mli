@@ -4,11 +4,21 @@
 open Lslp_ir
 
 val build :
-  Config.t -> Func.t -> Instr.t array -> Graph.t * Graph.node
+  ?note:(Lslp_check.Remark.note -> unit) ->
+  Config.t ->
+  Func.t ->
+  Instr.t array ->
+  Graph.t * Graph.node
 (** Build the graph rooted at the given seed bundle (usually consecutive
-    stores).  Pure with respect to the function: no IR is mutated. *)
+    stores).  Pure with respect to the function: no IR is mutated.
+    [note] receives one event per rejected column, capped multi-node and
+    FAILED reorder slot, for the remarks engine. *)
 
 val build_columns :
-  Config.t -> Func.t -> Bundle.t list -> Graph.t * Graph.node list
+  ?note:(Lslp_check.Remark.note -> unit) ->
+  Config.t ->
+  Func.t ->
+  Bundle.t list ->
+  Graph.t * Graph.node list
 (** Build one node per value column within a single shared graph — the
     entry point reduction vectorization uses for its leaf chunks. *)

@@ -3,7 +3,17 @@
    Collect seeds; for each seed group build the (L)SLP graph, evaluate its
    cost against the threshold, and if profitable generate vector code and
    clean up.  The function is transformed in place; a report records what
-   happened per region. *)
+   happened per region.
+
+   Two optional companions ride along, controlled by the config:
+
+   - [validate]: a dependence-graph snapshot is taken before anything is
+     mutated, code generation reports the scalar lanes behind every vector
+     instruction it emits, and the transformed function is re-checked
+     against the snapshot (plus the structural verifier after each pass) —
+     see [Lslp_check.Legality].
+   - [remarks]: one [Lslp_check.Remark.t] per region considered, with notes
+     collected while the graph was built. *)
 
 open Lslp_ir
 
@@ -24,6 +34,8 @@ type report = {
   regions : region list;
   total_cost : int;     (* sum of costs of the regions actually vectorized *)
   vectorized_regions : int;
+  remarks : Lslp_check.Remark.t list;          (* empty unless [remarks] *)
+  diagnostics : Lslp_check.Diagnostic.t list;  (* empty unless [validate] *)
 }
 
 let describe_seed (seed : Instr.t array) =
@@ -33,7 +45,72 @@ let describe_seed (seed : Instr.t array) =
       (Array.length seed)
   | None -> Fmt.str "seed x%d" (Array.length seed)
 
+(* Raw build notes arrive one per event; fold duplicate column rejections
+   into counts and duplicate cap/FAILED events into one note each. *)
+let aggregate_notes (notes : Lslp_check.Remark.note list) :
+    Lslp_check.Remark.note list =
+  let open Lslp_check.Remark in
+  let columns : (string * int) list ref = ref [] in
+  let failed_slots = ref 0 in
+  let capped = ref None in
+  let seed_rejected = ref None in
+  List.iter
+    (function
+      | Column_rejected { reason; count } ->
+        let cur =
+          Option.value ~default:0 (List.assoc_opt reason !columns)
+        in
+        columns :=
+          (reason, cur + count) :: List.remove_assoc reason !columns
+      | Operand_mode_failed { slots } -> failed_slots := !failed_slots + slots
+      | Multinode_capped _ as n ->
+        if !capped = None then capped := Some n
+      | Seed_rejected _ as n ->
+        if !seed_rejected = None then seed_rejected := Some n)
+    notes;
+  Option.to_list !seed_rejected
+  @ (if !failed_slots > 0 then
+       [ Operand_mode_failed { slots = !failed_slots } ]
+     else [])
+  @ Option.to_list !capped
+  @ List.rev_map
+      (fun (reason, count) -> Column_rejected { reason; count })
+      !columns
+
 let run ?(config = Config.lslp) (f : Func.t) : report =
+  let open Lslp_check in
+  let snap = if config.Config.validate then Some (Legality.snapshot f) else None in
+  let provenance : Legality.lane_provenance list ref = ref [] in
+  let record_opt =
+    if config.Config.validate then
+      Some
+        (fun ~lanes ~vector ->
+          provenance :=
+            { Legality.lanes = Array.copy lanes; vector } :: !provenance)
+    else None
+  in
+  let diagnostics = ref [] in
+  let seen_verifier_msgs : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* structural verification after each pass, attributed to that pass;
+     errors already present after an earlier pass are not re-reported *)
+  let checkpoint pass =
+    if config.Config.validate then
+      List.iter
+        (fun (e : Verifier.error) ->
+          if not (Hashtbl.mem seen_verifier_msgs e.Verifier.message) then begin
+            Hashtbl.replace seen_verifier_msgs e.Verifier.message ();
+            let instrs =
+              match e.Verifier.instr with Some i -> [ i ] | None -> []
+            in
+            diagnostics :=
+              Diagnostic.error ~instrs ~rule:("verifier:" ^ pass)
+                e.Verifier.message
+              :: !diagnostics
+          end)
+        (Verifier.check_func f)
+  in
+  let remarks = ref [] in
+  let add_remark r = if config.Config.remarks then remarks := r :: !remarks in
   let regions = ref [] in
   let continue_ = ref true in
   let consumed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -56,7 +133,12 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
       Log.debug (fun m ->
           m "%s: building graph for seed %s" config.Config.name
             (describe_seed seed));
-      let graph, _root = Graph_builder.build config f seed in
+      let notes = ref [] in
+      let note =
+        if config.Config.remarks then Some (fun n -> notes := n :: !notes)
+        else None
+      in
+      let graph, root = Graph_builder.build ?note config f seed in
       let cost = Cost.evaluate config graph f.Func.block in
       Log.debug (fun m ->
           m "%s: seed %s -> %d nodes, cost %+d" config.Config.name
@@ -65,11 +147,12 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
             cost.Cost.total);
       let region =
         if Cost.profitable config cost then begin
-          match Codegen.run graph f with
+          match Codegen.run ?record:record_opt graph f with
           | Codegen.Vectorized ->
             Log.info (fun m ->
                 m "%s: vectorized %s (cost %+d)" config.Config.name
                   (describe_seed seed) cost.Cost.total);
+            checkpoint "codegen+dce";
             {
               seed_desc = describe_seed seed;
               lanes = Array.length seed;
@@ -95,13 +178,70 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
             not_schedulable = false;
           }
       in
+      (if config.Config.remarks then begin
+         let notes = List.rev !notes in
+         (* the first bundle built is the seed itself: if the root is a
+            gather, its rejection explains the whole region *)
+         let notes =
+           match (root.Graph.shape, notes) with
+           | Graph.Gather _, Remark.Column_rejected { reason; _ } :: rest ->
+             Remark.Seed_rejected { reason } :: rest
+           | _, notes -> notes
+         in
+         add_remark
+           {
+             Remark.region = region.seed_desc;
+             lanes = region.lanes;
+             cost = Some cost.Cost.total;
+             threshold = config.Config.threshold;
+             outcome =
+               (if region.vectorized then Remark.Vectorized
+                else if region.not_schedulable then Remark.Not_schedulable
+                else Remark.Unprofitable);
+             notes = aggregate_notes notes;
+           }
+       end);
       regions := region :: !regions;
       continue_ := true
   done;
   (* after the store seeds: the reduction-tree idiom (paper §2.2) *)
-  if config.Config.reductions then
+  if config.Config.reductions then begin
+    let on_skipped (c : Reduction.candidate) =
+      let leaves = List.length c.Reduction.cand_leaves in
+      let elt =
+        match Types.scalar_of c.Reduction.cand_root.Instr.ty with
+        | Some s -> s
+        | None -> Types.F64
+      in
+      add_remark
+        {
+          Remark.region =
+            Fmt.str "reduce %s x%d"
+              (Opcode.binop_name c.Reduction.cand_op)
+              leaves;
+          lanes = 0;
+          cost = None;
+          threshold = config.Config.threshold;
+          outcome =
+            Remark.Reduction_unmatched
+              { leaves; width = Config.effective_max_lanes config elt };
+          notes = [];
+        }
+    in
     List.iter
       (fun (r : Reduction.region) ->
+        add_remark
+          {
+            Remark.region = r.Reduction.root_desc;
+            lanes = r.Reduction.lanes;
+            cost = Some r.Reduction.cost;
+            threshold = config.Config.threshold;
+            outcome =
+              (if r.Reduction.vectorized then Remark.Vectorized
+               else if r.Reduction.not_schedulable then Remark.Not_schedulable
+               else Remark.Unprofitable);
+            notes = [];
+          };
         regions :=
           {
             seed_desc = r.Reduction.root_desc;
@@ -109,10 +249,25 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
             cost =
               { Cost.per_node = []; extract_cost = 0; total = r.Reduction.cost };
             vectorized = r.Reduction.vectorized;
-            not_schedulable = false;
+            not_schedulable = r.Reduction.not_schedulable;
           }
           :: !regions)
-      (Reduction.run ~config f);
+      (Reduction.run ~config ?record:record_opt ~on_skipped f);
+    checkpoint "reduction"
+  end;
+  (* whole-function cleanup: regions are vectorized one at a time, so
+     duplicate gathers/extracts across regions only fall out here *)
+  ignore (Cse.run f);
+  checkpoint "cse";
+  ignore (Dce.run f);
+  checkpoint "dce";
+  (match snap with
+   | Some snap ->
+     diagnostics :=
+       List.rev_append
+         (List.rev (Legality.validate ~provenance:!provenance snap f))
+         !diagnostics
+   | None -> ());
   let regions = List.rev !regions in
   {
     config_name = config.Config.name;
@@ -123,6 +278,8 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
         0 regions;
     vectorized_regions =
       List.length (List.filter (fun r -> r.vectorized) regions);
+    remarks = List.rev !remarks;
+    diagnostics = List.rev !diagnostics;
   }
 
 (* Convenience: clone, run, return (report, transformed clone). *)

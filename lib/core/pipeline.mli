@@ -18,10 +18,18 @@ type report = {
   regions : region list;
   total_cost : int;
   vectorized_regions : int;
+  remarks : Lslp_check.Remark.t list;
+      (** one per region considered; empty unless [config.remarks] *)
+  diagnostics : Lslp_check.Diagnostic.t list;
+      (** legality/verifier findings; empty unless [config.validate] *)
 }
 
 val run : ?config:Config.t -> Func.t -> report
-(** Run on [f], mutating it.  [config] defaults to {!Config.lslp}. *)
+(** Run on [f], mutating it.  [config] defaults to {!Config.lslp}.
+    With [config.validate] the pre-pass dependence graph is snapshotted and
+    the transformed function is checked against it ({!Lslp_check.Legality});
+    the structural verifier also runs after codegen, reduction, CSE and DCE,
+    attributing any new error to the pass that introduced it. *)
 
 val run_cloned : ?config:Config.t -> Func.t -> report * Func.t
 (** Like {!run} but on a deep copy, leaving the input untouched. *)

@@ -150,11 +150,13 @@ type region = {
   lanes : int;
   cost : int;
   vectorized : bool;
+  not_schedulable : bool;
 }
 
 (* Vectorize every profitable reduction in the function, in program order.
    Returns one region record per candidate considered. *)
-let run ?(config = Config.lslp) (f : Func.t) : region list =
+let run ?(config = Config.lslp) ?record ?(on_skipped = fun _ -> ())
+    (f : Func.t) : region list =
   let regions = ref [] in
   let continue_ = ref true in
   let consumed : (int, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -176,26 +178,26 @@ let run ?(config = Config.lslp) (f : Func.t) : region list =
           (List.length c.cand_leaves)
       in
       match plan_candidate config f c with
-      | None -> ()
+      | None -> on_skipped c
       | Some plan ->
         if plan.cost < config.Config.threshold then begin
-          match Codegen.run ~reduction:plan.reduction plan.graph f with
+          match Codegen.run ~reduction:plan.reduction ?record plan.graph f with
           | Codegen.Vectorized ->
             ignore (Dce.run f);
             regions :=
               { root_desc = desc; lanes = plan.lanes; cost = plan.cost;
-                vectorized = true }
+                vectorized = true; not_schedulable = false }
               :: !regions
           | Codegen.Not_schedulable ->
             regions :=
               { root_desc = desc; lanes = plan.lanes; cost = plan.cost;
-                vectorized = false }
+                vectorized = false; not_schedulable = true }
               :: !regions
         end
         else
           regions :=
             { root_desc = desc; lanes = plan.lanes; cost = plan.cost;
-              vectorized = false }
+              vectorized = false; not_schedulable = false }
             :: !regions)
   done;
   List.rev !regions

@@ -22,8 +22,16 @@ type region = {
   lanes : int;
   cost : int;
   vectorized : bool;
+  not_schedulable : bool;
 }
 
-val run : ?config:Config.t -> Func.t -> region list
+val run :
+  ?config:Config.t ->
+  ?record:(lanes:Instr.t array -> vector:Instr.t -> unit) ->
+  ?on_skipped:(candidate -> unit) ->
+  Func.t ->
+  region list
 (** Vectorize every profitable reduction, mutating [f].  One region record
-    per candidate with at least a full chunk of leaves. *)
+    per candidate with at least a full chunk of leaves; [on_skipped] fires
+    for candidates with too few leaves for even one chunk; [record] is
+    forwarded to {!Codegen.run} for provenance. *)

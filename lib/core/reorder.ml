@@ -164,10 +164,11 @@ let get_best (config : Config.t) (mode : mode) (last : Instr.value)
 (* Listing 5: the top-level matrix reorder.  [columns.(slot).(lane)] is the
    unordered operand matrix; the result has the same multiset of values per
    lane, rearranged across slots. *)
-let reorder_matrix (config : Config.t)
-    (columns : Instr.value array array) : Instr.value array array =
+let reorder_matrix_modes (config : Config.t)
+    (columns : Instr.value array array) :
+    Instr.value array array * mode array =
   let num_slots = Array.length columns in
-  if num_slots = 0 then [||]
+  if num_slots = 0 then ([||], [||])
   else begin
     let lanes = Array.length columns.(0) in
     let final : Instr.value option array array =
@@ -213,8 +214,10 @@ let reorder_matrix (config : Config.t)
         end
       done
     done;
-    Array.map (Array.map Option.get) final
+    (Array.map (Array.map Option.get) final, mode)
   end
+
+let reorder_matrix config columns = fst (reorder_matrix_modes config columns)
 
 (* ------------------------------------------------------------------ *)
 (* Vanilla SLP (LLVM 4.0 reorderInputsAccordingToOpcode).              *)

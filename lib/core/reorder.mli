@@ -44,6 +44,11 @@ val reorder_matrix :
 (** Listing 5 over [columns.(slot).(lane)].  Preserves each lane's multiset
     of operands; lane 0 is kept as-is. *)
 
+val reorder_matrix_modes :
+  Config.t -> Instr.value array array -> Instr.value array array * mode array
+(** Like {!reorder_matrix}, but also returns the final per-slot mode —
+    [Failed_mode] slots are the ones the remarks engine reports. *)
+
 val vanilla_pair : Instr.t array -> Instr.value array * Instr.value array
 (** LLVM-4.0-faithful two-operand reorder (peeled lane 0, splat /
     same-opcode preservation, trailing consecutive-load pass). *)

@@ -18,4 +18,5 @@ let () =
       ("width", Test_width.suite);
       ("reduction", Test_reduction.suite);
       ("properties", Test_qcheck.suite);
+      ("check", Test_check.suite);
     ]

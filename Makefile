@@ -1,6 +1,6 @@
 # Convenience wrappers around dune.
 
-.PHONY: all test check bench clean
+.PHONY: all test check bench ci clean
 
 all:
 	dune build
@@ -11,6 +11,13 @@ test:
 # Build + tests + `lslpc analyze` (with the legality validator) over every
 # example kernel.  The commit gate.
 check:
+	dune build @check
+
+# What CI runs (see .github/workflows/ci.yml): build, test suites, then
+# the analyze/legality gate over the example kernels.
+ci:
+	dune build
+	dune runtest
 	dune build @check
 
 bench:

@@ -202,3 +202,42 @@ let fig14 measure_ns =
            let t = lookup name in
            [ name; Fmt.str "%.0f" t; Fmt.str "%.4f" (t /. o3) ])
          fig14_jobs)
+
+(* Loop-form kernels (PR 2): region formation (unroll by the vector factor)
+   followed by the regular per-block pass.  The regions column prints the
+   block label(s) the vectorizer committed to, keying each win back to the
+   control skeleton ("-" = nothing vectorized, as for the serial dot
+   product and the symbolic-bound loop). *)
+let loops () =
+  header "Loop kernels: unroll-by-VF region formation + (L)SLP";
+  Fmt.pr "%-18s %-12s %8s %8s %8s@." "kernel" "regions" "SLP-NR" "SLP" "LSLP";
+  let csv_rows = ref [] in
+  List.iter
+    (fun (k : Catalog.kernel) ->
+      let f = Catalog.compile_key k.key in
+      ignore (Lslp_frontend.Unroll.run ~factor:4 f);
+      let report, _ = Pipeline.run_cloned ~config:Config.lslp f in
+      let region_str =
+        match
+          List.sort_uniq String.compare
+            (List.filter_map
+               (fun r ->
+                 if r.Pipeline.vectorized then Some r.Pipeline.region_id
+                 else None)
+               report.Pipeline.regions)
+        with
+        | [] -> "-"
+        | rs -> String.concat "," rs
+      in
+      let ms = measure k.key in
+      Fmt.pr "%-18s %-12s" k.key region_str;
+      List.iter (fun m -> Fmt.pr " %7.2fx" (speedup m)) ms;
+      Fmt.pr "@.";
+      csv_rows :=
+        (k.key :: region_str
+         :: List.map (fun m -> Fmt.str "%.4f" (speedup m)) ms)
+        :: !csv_rows)
+    Catalog.loops;
+  Csv.write "loops_speedup"
+    [ "kernel"; "regions"; "slp_nr"; "slp"; "lslp" ]
+    (List.rev !csv_rows)

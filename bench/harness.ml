@@ -19,8 +19,14 @@ let speedup m = float_of_int m.scalar_cycles /. float_of_int (max 1 m.vector_cyc
 
 let configs_main = [ Config.slp_nr; Config.slp; Config.lslp ]
 
-let measure ?(config_list = configs_main) key =
+(* Region formation (loop unrolling by the vector factor) runs here, after
+   Catalog.compile: the catalog stays pure, and the un-unrolled original is
+   kept as the oracle reference so the measurement proves unroll +
+   vectorization together. *)
+let measure ?(config_list = configs_main) ?(unroll = 4) key =
+  let reference = Catalog.compile_key key in
   let f = Catalog.compile_key key in
+  ignore (Lslp_frontend.Unroll.run ~factor:unroll f);
   List.map
     (fun config ->
       (* legality validation is cheap relative to simulation, so every
@@ -35,7 +41,9 @@ let measure ?(config_list = configs_main) key =
            diags;
          Fmt.failwith "%s under %s failed legality validation" key
            config.Config.name);
-      let o = Lslp_interp.Oracle.compare_runs ~reference:f ~candidate:g () in
+      let o =
+        Lslp_interp.Oracle.compare_runs ~reference ~candidate:g ()
+      in
       assert (o.Lslp_interp.Oracle.mismatches = []);
       {
         key;
@@ -113,7 +121,7 @@ let compile_all_kernels config_opt =
     (match config_opt with
      | Some config -> ignore (Pipeline.run ~config f)
      | None -> ());
-    acc := !acc + Lslp_ir.Block.length f.Lslp_ir.Func.block
+    acc := !acc + Lslp_ir.Func.num_instrs f
   in
   List.iter (fun k -> consume (Catalog.compile k)) Catalog.table2;
   for _ = 1 to fig14_filler_functions do

@@ -71,7 +71,8 @@ let deterministic_figures () =
   Figures.fig10 ();
   Figures.fig11 ();
   Figures.fig12 ();
-  Figures.fig13 ()
+  Figures.fig13 ();
+  Figures.loops ()
 
 let () =
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -82,6 +83,7 @@ let () =
   | "fig11" -> Figures.fig11 ()
   | "fig12" -> Figures.fig12 ()
   | "fig13" -> Figures.fig13 ()
+  | "loops" -> Figures.loops ()
   | "fig14" ->
     let results = run_bechamel () in
     Figures.fig14 (Some (fig14_lookup results))

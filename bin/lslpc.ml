@@ -46,17 +46,29 @@ let config_arg =
   Arg.(value & opt config_conv Lslp_core.Config.lslp
        & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
 
-let load_kernel file kernel_key =
-  match (file, kernel_key) with
-  | Some path, None ->
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let src = really_input_string ic n in
-    close_in ic;
-    Lslp_frontend.Lower.compile_string src
-  | None, Some key -> Lslp_kernels.Catalog.compile_key key
-  | Some _, Some _ -> failwith "give either a file or --kernel, not both"
-  | None, None -> failwith "give a kernel file or --kernel KEY"
+(* Region formation happens here, in the driver, exactly once: Lower and
+   Catalog.compile stay pure so nothing double-unrolls. *)
+let load_kernel ?(unroll = 0) file kernel_key =
+  let f =
+    match (file, kernel_key) with
+    | Some path, None ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      Lslp_frontend.Lower.compile_string src
+    | None, Some key -> Lslp_kernels.Catalog.compile_key key
+    | Some _, Some _ -> failwith "give either a file or --kernel, not both"
+    | None, None -> failwith "give a kernel file or --kernel KEY"
+  in
+  ignore (Lslp_frontend.Unroll.run ~factor:unroll f);
+  f
+
+let unroll_arg =
+  let doc =
+    "Unroll factor for counted loops (region formation); 0 or 1 disables."
+  in
+  Arg.(value & opt int 4 & info [ "unroll" ] ~docv:"N" ~doc)
 
 let file_arg =
   Arg.(value & pos 0 (some file) None
@@ -102,28 +114,31 @@ let print_diagnostics diags =
 (* ---- compile ---------------------------------------------------- *)
 
 let compile_cmd =
-  let run file kernel config dump_ir dump_graph quiet verify_output verbose =
+  let run file kernel config unroll dump_ir dump_graph quiet verify_output
+      verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let config =
       if verify_output then Lslp_core.Config.with_validate true config
       else config
     in
-    let f = load_kernel file kernel in
+    let f = load_kernel ~unroll file kernel in
     if dump_ir then
       Fmt.pr "=== scalar IR ===@.%a@.@." Lslp_ir.Printer.pp_func f;
-    if dump_graph then begin
-      let seeds = Lslp_core.Seeds.collect config f in
-      List.iteri
-        (fun k seed ->
-          let graph, _ = Lslp_core.Graph_builder.build config f seed in
-          let cost =
-            Lslp_core.Cost.evaluate config graph f.Lslp_ir.Func.block
-          in
-          Fmt.pr "=== %s graph for seed %d ===@.%a@.%a@.@." config.name k
-            Lslp_core.Graph.pp graph Lslp_core.Cost.pp_summary cost)
-        seeds
-    end;
+    if dump_graph then
+      List.iter
+        (fun block ->
+          let seeds = Lslp_core.Seeds.collect config block in
+          List.iteri
+            (fun k seed ->
+              let graph, _ = Lslp_core.Graph_builder.build config block seed in
+              let cost = Lslp_core.Cost.evaluate config graph block in
+              Fmt.pr "=== %s graph for seed %d of [%s] ===@.%a@.%a@.@."
+                config.name k
+                (Lslp_ir.Block.label block)
+                Lslp_core.Graph.pp graph Lslp_core.Cost.pp_summary cost)
+            seeds)
+        (Lslp_ir.Func.blocks f);
     let report, g = Lslp_core.Pipeline.run_cloned ~config f in
     if not quiet then Fmt.pr "%a@.@." Lslp_core.Pipeline.pp_report report;
     if dump_ir then
@@ -149,23 +164,26 @@ let compile_cmd =
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No report.") in
   Cmd.v
     (Cmd.info "compile" ~doc:"Vectorize a kernel and report what happened")
-    Term.(const run $ file_arg $ kernel_arg $ config_arg $ dump_ir
-          $ dump_graph $ quiet $ verify_output_arg $ verbose_arg)
+    Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg
+          $ dump_ir $ dump_graph $ quiet $ verify_output_arg $ verbose_arg)
 
 (* ---- run --------------------------------------------------------- *)
 
 let run_cmd =
-  let run file kernel config seed verify_output verbose =
+  let run file kernel config unroll seed verify_output verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let config =
       if verify_output then Lslp_core.Config.with_validate true config
       else config
     in
-    let f = load_kernel file kernel in
+    (* the reference is the kernel as written (loops intact), so the oracle
+       checks region formation and vectorization together *)
+    let reference = load_kernel ~unroll:0 file kernel in
+    let f = load_kernel ~unroll file kernel in
     let report, g = Lslp_core.Pipeline.run_cloned ~config f in
     let outcome =
-      Lslp_interp.Oracle.compare_runs ~seed ~reference:f ~candidate:g ()
+      Lslp_interp.Oracle.compare_runs ~seed ~reference ~candidate:g ()
     in
     Fmt.pr "%a@.@." Lslp_core.Pipeline.pp_report report;
     if verify_output
@@ -190,19 +208,19 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Vectorize a kernel, simulate scalar vs vector, compare")
-    Term.(const run $ file_arg $ kernel_arg $ config_arg $ seed
+    Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg $ seed
           $ verify_output_arg $ verbose_arg)
 
 (* ---- analyze ------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run file kernel config json verbose =
+  let run file kernel config unroll json verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let config =
       Lslp_core.Config.(config |> with_remarks true |> with_validate true)
     in
-    let f = load_kernel file kernel in
+    let f = load_kernel ~unroll file kernel in
     let report, _g = Lslp_core.Pipeline.run_cloned ~config f in
     let remarks = report.Lslp_core.Pipeline.remarks in
     let diags = report.Lslp_core.Pipeline.diagnostics in
@@ -228,7 +246,7 @@ let analyze_cmd =
        ~doc:
          "Explain the vectorizer's decisions: one remark per region \
           considered, with the legality validator's verdict")
-    Term.(const run $ file_arg $ kernel_arg $ config_arg $ json
+    Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg $ json
           $ verbose_arg)
 
 (* ---- kernels ------------------------------------------------------ *)

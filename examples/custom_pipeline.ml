@@ -47,21 +47,21 @@ let () =
   let config = Config.lslp in
 
   (* Stage 1: seed discovery — runs of adjacent stores. *)
-  let seeds = Seeds.collect config f in
+  let seeds = Seeds.collect config (Func.entry f) in
   Fmt.pr "found %d seed group(s)@." (List.length seeds);
   let seed = List.hd seeds in
 
   (* Stage 2: graph construction (multi-nodes + look-ahead reordering). *)
-  let graph, root = Graph_builder.build config f seed in
+  let graph, root = Graph_builder.build config (Func.entry f) seed in
   Fmt.pr "@.=== LSLP graph ===@.%a@.@." Graph.pp_node root;
 
   (* Stage 3: cost evaluation against the TTI-style model. *)
-  let cost = Cost.evaluate config graph f.Func.block in
+  let cost = Cost.evaluate config graph (Func.entry f) in
   Fmt.pr "=== cost ===@.%a@.@." Cost.pp_summary cost;
   assert (Cost.profitable config cost);
 
   (* Stage 4: code generation + cleanup. *)
-  (match Codegen.run graph f with
+  (match Codegen.run graph (Func.entry f) with
    | Codegen.Vectorized -> ()
    | Codegen.Not_schedulable -> failwith "unexpectedly unschedulable");
   Verifier.verify_exn f;

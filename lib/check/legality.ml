@@ -17,9 +17,23 @@
 open Lslp_ir
 open Lslp_analysis
 
-type snapshot = { deps : Depgraph.t }
+(* One dependence graph per block, keyed by label: regions are
+   self-contained, so no dependence ever crosses a block boundary and each
+   block can be validated against its own snapshot. *)
+type snapshot = { block_deps : (string * Depgraph.t) list }
 
-let snapshot (f : Func.t) = { deps = Depgraph.build f.Func.block }
+let snapshot (f : Func.t) =
+  {
+    block_deps =
+      List.map (fun b -> (Block.label b, Depgraph.build b)) (Func.blocks f);
+  }
+
+(* The snapshot graph holding this instruction, if any: an instruction
+   lives in exactly one block, so the first hit is the right one. *)
+let find_deps snap (i : Instr.t) =
+  List.find_map
+    (fun (_, d) -> if Depgraph.mem d i then Some d else None)
+    snap.block_deps
 
 type lane_provenance = {
   lanes : Instr.t array;
@@ -83,14 +97,15 @@ let check_bundle_typing (p : lane_provenance) add =
       p.lanes
 
 let check_lane_independence snap (p : lane_provenance) add =
-  let known =
-    Array.to_list p.lanes |> List.filter (Depgraph.mem snap.deps)
-  in
+  match Array.to_list p.lanes |> List.find_map (find_deps snap) with
+  | None -> () (* every lane born inside the pass: nothing to prove *)
+  | Some deps ->
+  let known = Array.to_list p.lanes |> List.filter (Depgraph.mem deps) in
   (* lanes born inside the pass (a later region bundling glue code) have no
      pre-pass dependence entry: nothing to prove against *)
   if
     List.length known = Array.length p.lanes
-    && not (Depgraph.independent snap.deps known)
+    && not (Depgraph.independent deps known)
   then
     add
       (Diagnostic.error
@@ -101,24 +116,27 @@ let check_lane_independence snap (p : lane_provenance) add =
              dependence graph"
             p.vector.Instr.name))
 
-let check_dependence_order snap ~provenance (f : Func.t) add =
+let check_block_order deps ~provenance (block : Block.t) add =
   let origins : (int, Instr.t list) Hashtbl.t = Hashtbl.create 32 in
   List.iter
     (fun (p : lane_provenance) ->
       let known =
-        Array.to_list p.lanes |> List.filter (Depgraph.mem snap.deps)
+        Array.to_list p.lanes |> List.filter (Depgraph.mem deps)
       in
-      let cur =
-        Option.value ~default:[] (Hashtbl.find_opt origins p.vector.Instr.id)
-      in
-      Hashtbl.replace origins p.vector.Instr.id (known @ cur))
+      if known <> [] then begin
+        let cur =
+          Option.value ~default:[]
+            (Hashtbl.find_opt origins p.vector.Instr.id)
+        in
+        Hashtbl.replace origins p.vector.Instr.id (known @ cur)
+      end)
     provenance;
   let origin (i : Instr.t) =
     match Hashtbl.find_opt origins i.Instr.id with
     | Some ls -> ls
-    | None -> if Depgraph.mem snap.deps i then [ i ] else []
+    | None -> if Depgraph.mem deps i then [ i ] else []
   in
-  let after = Array.of_list (Block.to_list f.Func.block) in
+  let after = Array.of_list (Block.to_list block) in
   let n = Array.length after in
   for x = 0 to n - 1 do
     let ox = origin after.(x) in
@@ -129,7 +147,7 @@ let check_dependence_order snap ~provenance (f : Func.t) add =
           (fun (a : Instr.t) ->
             List.exists
               (fun (b : Instr.t) ->
-                a.Instr.id <> b.Instr.id && Depgraph.depends snap.deps a ~on:b)
+                a.Instr.id <> b.Instr.id && Depgraph.depends deps a ~on:b)
               oy)
           ox
       in
@@ -144,6 +162,17 @@ let check_dependence_order snap ~provenance (f : Func.t) add =
                 after.(x).Instr.name after.(y).Instr.name))
     done
   done
+
+(* Dependence order is proved block by block against that block's own
+   snapshot; a transformed block with no snapshot entry (none today — the
+   pipeline never creates blocks) has nothing to prove against. *)
+let check_dependence_order snap ~provenance (f : Func.t) add =
+  List.iter
+    (fun b ->
+      match List.assoc_opt (Block.label b) snap.block_deps with
+      | None -> ()
+      | Some deps -> check_block_order deps ~provenance b add)
+    (Func.blocks f)
 
 let validate ?(provenance = []) snap (f : Func.t) : Diagnostic.t list =
   let diags = ref [] in

@@ -20,6 +20,7 @@ type outcome =
 
 type t = {
   region : string;
+  block : string;
   lanes : int;
   cost : int option;
   threshold : int;
@@ -129,8 +130,9 @@ let explain r =
     (rules ())
 
 let pp ppf r =
-  if r.lanes > 0 then Fmt.pf ppf "@[<v 2>region %s (VL=%d):" r.region r.lanes
-  else Fmt.pf ppf "@[<v 2>region %s:" r.region;
+  if r.lanes > 0 then
+    Fmt.pf ppf "@[<v 2>region [%s] %s (VL=%d):" r.block r.region r.lanes
+  else Fmt.pf ppf "@[<v 2>region [%s] %s:" r.block r.region;
   List.iter
     (fun (name, msg) -> Fmt.pf ppf "@,remark[%s]: %s" name msg)
     (explain r);
@@ -171,6 +173,7 @@ let outcome_name = function
 let remark_to_json b r =
   Buffer.add_char b '{';
   json_field b ~first:true "region" (fun () -> json_string b r.region);
+  json_field b ~first:false "block" (fun () -> json_string b r.block);
   json_field b ~first:false "lanes" (fun () ->
       Buffer.add_string b (string_of_int r.lanes));
   json_field b ~first:false "cost" (fun () ->

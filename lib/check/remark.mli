@@ -25,6 +25,7 @@ type outcome =
 
 type t = {
   region : string;  (** seed / reduction-root description *)
+  block : string;  (** label of the basic block (region) considered *)
   lanes : int;
   cost : int option;  (** total region cost; [None] when never costed *)
   threshold : int;

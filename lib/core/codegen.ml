@@ -46,8 +46,7 @@ let element_scalar (i : Instr.t) =
     | None -> invalid_arg "Codegen: cannot determine element type")
 
 let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
-    (graph : Graph.t) (f : Func.t) : outcome =
-  let block = f.Func.block in
+    (graph : Graph.t) (block : Block.t) : outcome =
   let deps = Depgraph.build block in
   (* ---- units ---------------------------------------------------- *)
   let vector_nodes =

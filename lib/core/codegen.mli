@@ -25,7 +25,7 @@ val run :
   ?reduction:reduction ->
   ?record:(lanes:Instr.t array -> vector:Instr.t -> unit) ->
   Graph.t ->
-  Func.t ->
+  Block.t ->
   outcome
 (** [record] is invoked once per emitted vector instruction with the scalar
     lanes it replaces — the provenance feed of the legality validator.

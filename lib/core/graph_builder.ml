@@ -27,12 +27,12 @@ type ctx = {
   note : Lslp_check.Remark.note -> unit;
 }
 
-let make_ctx ?(note = fun _ -> ()) config (f : Func.t) =
+let make_ctx ?(note = fun _ -> ()) config (block : Block.t) =
   {
     config;
-    block = f.Func.block;
-    deps = Depgraph.build f.Func.block;
-    uses = Use_info.compute f.Func.block;
+    block;
+    deps = Depgraph.build block;
+    uses = Use_info.compute block;
     graph = Graph.create ();
     note;
   }
@@ -201,14 +201,14 @@ and build_multinode ctx (root_insts : Instr.t array) (op : Opcode.binop) =
     List.map (build_bundle ctx) (Array.to_list reordered);
   node
 
-let build ?note config (f : Func.t) (seed : Instr.t array) =
-  let ctx = make_ctx ?note config f in
+let build ?note config (block : Block.t) (seed : Instr.t array) =
+  let ctx = make_ctx ?note config block in
   let root = build_bundle ctx (Bundle.of_insts seed) in
   (ctx.graph, root)
 
 (* Entry point for reduction vectorization: build one node per leaf chunk
    within a single shared graph (so diamonds across chunks still reuse). *)
-let build_columns ?note config (f : Func.t) (columns : Bundle.t list) =
-  let ctx = make_ctx ?note config f in
+let build_columns ?note config (block : Block.t) (columns : Bundle.t list) =
+  let ctx = make_ctx ?note config block in
   let nodes = List.map (build_bundle ctx) columns in
   (ctx.graph, nodes)

@@ -6,18 +6,19 @@ open Lslp_ir
 val build :
   ?note:(Lslp_check.Remark.note -> unit) ->
   Config.t ->
-  Func.t ->
+  Block.t ->
   Instr.t array ->
   Graph.t * Graph.node
 (** Build the graph rooted at the given seed bundle (usually consecutive
-    stores).  Pure with respect to the function: no IR is mutated.
+    stores) within one block.  Pure with respect to the IR: nothing is
+    mutated.
     [note] receives one event per rejected column, capped multi-node and
     FAILED reorder slot, for the remarks engine. *)
 
 val build_columns :
   ?note:(Lslp_check.Remark.note -> unit) ->
   Config.t ->
-  Func.t ->
+  Block.t ->
   Bundle.t list ->
   Graph.t * Graph.node list
 (** Build one node per value column within a single shared graph — the

@@ -1,9 +1,11 @@
-(* The pass driver: the flowchart of the paper's Figure 1.
+(* The pass driver: the flowchart of the paper's Figure 1, run once per
+   region (basic block) of the function.
 
-   Collect seeds; for each seed group build the (L)SLP graph, evaluate its
-   cost against the threshold, and if profitable generate vector code and
-   clean up.  The function is transformed in place; a report records what
-   happened per region.
+   For each block: collect seeds; for each seed group build the (L)SLP
+   graph, evaluate its cost against the threshold, and if profitable
+   generate vector code and clean up.  The function is transformed in
+   place; a report records what happened per region, keyed by the label of
+   the block it lives in.
 
    Two optional companions ride along, controlled by the config:
 
@@ -22,6 +24,7 @@ let log_src = Logs.Src.create "lslp" ~doc:"(L)SLP vectorization pass"
 module Log = (val Logs.src_log log_src)
 
 type region = {
+  region_id : string;
   seed_desc : string;
   lanes : int;
   cost : Cost.summary;
@@ -43,7 +46,10 @@ let describe_seed (seed : Instr.t array) =
   | Some a ->
     Fmt.str "%s[%a] x%d" a.Instr.base Affine.pp a.Instr.index
       (Array.length seed)
-  | None -> Fmt.str "seed x%d" (Array.length seed)
+  | None ->
+    Fmt.str "seed %s %%%s x%d"
+      (Instr.opclass_name (Instr.opclass seed.(0)))
+      seed.(0).Instr.name (Array.length seed)
 
 (* Raw build notes arrive one per event; fold duplicate column rejections
    into counts and duplicate cap/FAILED events into one note each. *)
@@ -112,149 +118,170 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
   let remarks = ref [] in
   let add_remark r = if config.Config.remarks then remarks := r :: !remarks in
   let regions = ref [] in
-  let continue_ = ref true in
-  let consumed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-  while !continue_ do
-    continue_ := false;
-    let seeds = Seeds.collect config f in
-    let fresh =
-      List.filter
-        (fun (s : Seeds.seed) ->
-          Array.for_all
-            (fun (i : Instr.t) ->
-              (not (Hashtbl.mem consumed i.id)) && Block.mem f.Func.block i)
-            s)
-        seeds
-    in
-    match fresh with
-    | [] -> ()
-    | seed :: _ ->
-      Array.iter (fun (i : Instr.t) -> Hashtbl.replace consumed i.id ()) seed;
-      Log.debug (fun m ->
-          m "%s: building graph for seed %s" config.Config.name
-            (describe_seed seed));
-      let notes = ref [] in
-      let note =
-        if config.Config.remarks then Some (fun n -> notes := n :: !notes)
-        else None
+  (* Regions are self-contained (no cross-block values), so each block is
+     an independent vectorization universe: seeds, graphs, reductions and
+     the consumed-store bookkeeping never cross a block boundary. *)
+  let run_block (block : Block.t) =
+    let region_id = Block.label block in
+    let continue_ = ref true in
+    let consumed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    while !continue_ do
+      continue_ := false;
+      let seeds = Seeds.collect config block in
+      let fresh =
+        List.filter
+          (fun (s : Seeds.seed) ->
+            Array.for_all
+              (fun (i : Instr.t) ->
+                (not (Hashtbl.mem consumed i.id)) && Block.mem block i)
+              s)
+          seeds
       in
-      let graph, root = Graph_builder.build ?note config f seed in
-      let cost = Cost.evaluate config graph f.Func.block in
-      Log.debug (fun m ->
-          m "%s: seed %s -> %d nodes, cost %+d" config.Config.name
-            (describe_seed seed)
-            (List.length (Graph.nodes graph))
-            cost.Cost.total);
-      let region =
-        if Cost.profitable config cost then begin
-          match Codegen.run ?record:record_opt graph f with
-          | Codegen.Vectorized ->
-            Log.info (fun m ->
-                m "%s: vectorized %s (cost %+d)" config.Config.name
-                  (describe_seed seed) cost.Cost.total);
-            checkpoint "codegen+dce";
+      match fresh with
+      | [] -> ()
+      | seed :: _ ->
+        Array.iter
+          (fun (i : Instr.t) -> Hashtbl.replace consumed i.id ())
+          seed;
+        Log.debug (fun m ->
+            m "%s: [%s] building graph for seed %s" config.Config.name
+              region_id (describe_seed seed));
+        let notes = ref [] in
+        let note =
+          if config.Config.remarks then Some (fun n -> notes := n :: !notes)
+          else None
+        in
+        let graph, root = Graph_builder.build ?note config block seed in
+        let cost = Cost.evaluate config graph block in
+        Log.debug (fun m ->
+            m "%s: [%s] seed %s -> %d nodes, cost %+d" config.Config.name
+              region_id (describe_seed seed)
+              (List.length (Graph.nodes graph))
+              cost.Cost.total);
+        let region =
+          if Cost.profitable config cost then begin
+            match Codegen.run ?record:record_opt graph block with
+            | Codegen.Vectorized ->
+              Log.info (fun m ->
+                  m "%s: [%s] vectorized %s (cost %+d)" config.Config.name
+                    region_id (describe_seed seed) cost.Cost.total);
+              checkpoint "codegen+dce";
+              {
+                region_id;
+                seed_desc = describe_seed seed;
+                lanes = Array.length seed;
+                cost;
+                vectorized = true;
+                not_schedulable = false;
+              }
+            | Codegen.Not_schedulable ->
+              {
+                region_id;
+                seed_desc = describe_seed seed;
+                lanes = Array.length seed;
+                cost;
+                vectorized = false;
+                not_schedulable = true;
+              }
+          end
+          else
             {
-              seed_desc = describe_seed seed;
-              lanes = Array.length seed;
-              cost;
-              vectorized = true;
-              not_schedulable = false;
-            }
-          | Codegen.Not_schedulable ->
-            {
+              region_id;
               seed_desc = describe_seed seed;
               lanes = Array.length seed;
               cost;
               vectorized = false;
-              not_schedulable = true;
+              not_schedulable = false;
             }
-        end
-        else
-          {
-            seed_desc = describe_seed seed;
-            lanes = Array.length seed;
-            cost;
-            vectorized = false;
-            not_schedulable = false;
-          }
-      in
-      (if config.Config.remarks then begin
-         let notes = List.rev !notes in
-         (* the first bundle built is the seed itself: if the root is a
-            gather, its rejection explains the whole region *)
-         let notes =
-           match (root.Graph.shape, notes) with
-           | Graph.Gather _, Remark.Column_rejected { reason; _ } :: rest ->
-             Remark.Seed_rejected { reason } :: rest
-           | _, notes -> notes
-         in
-         add_remark
-           {
-             Remark.region = region.seed_desc;
-             lanes = region.lanes;
-             cost = Some cost.Cost.total;
-             threshold = config.Config.threshold;
-             outcome =
-               (if region.vectorized then Remark.Vectorized
-                else if region.not_schedulable then Remark.Not_schedulable
-                else Remark.Unprofitable);
-             notes = aggregate_notes notes;
-           }
-       end);
-      regions := region :: !regions;
-      continue_ := true
-  done;
-  (* after the store seeds: the reduction-tree idiom (paper §2.2) *)
-  if config.Config.reductions then begin
-    let on_skipped (c : Reduction.candidate) =
-      let leaves = List.length c.Reduction.cand_leaves in
-      let elt =
-        match Types.scalar_of c.Reduction.cand_root.Instr.ty with
-        | Some s -> s
-        | None -> Types.F64
-      in
-      add_remark
-        {
-          Remark.region =
-            Fmt.str "reduce %s x%d"
-              (Opcode.binop_name c.Reduction.cand_op)
-              leaves;
-          lanes = 0;
-          cost = None;
-          threshold = config.Config.threshold;
-          outcome =
-            Remark.Reduction_unmatched
-              { leaves; width = Config.effective_max_lanes config elt };
-          notes = [];
-        }
-    in
-    List.iter
-      (fun (r : Reduction.region) ->
+        in
+        (if config.Config.remarks then begin
+           let notes = List.rev !notes in
+           (* the first bundle built is the seed itself: if the root is a
+              gather, its rejection explains the whole region *)
+           let notes =
+             match (root.Graph.shape, notes) with
+             | Graph.Gather _, Remark.Column_rejected { reason; _ } :: rest ->
+               Remark.Seed_rejected { reason } :: rest
+             | _, notes -> notes
+           in
+           add_remark
+             {
+               Remark.region = region.seed_desc;
+               block = region_id;
+               lanes = region.lanes;
+               cost = Some cost.Cost.total;
+               threshold = config.Config.threshold;
+               outcome =
+                 (if region.vectorized then Remark.Vectorized
+                  else if region.not_schedulable then Remark.Not_schedulable
+                  else Remark.Unprofitable);
+               notes = aggregate_notes notes;
+             }
+         end);
+        regions := region :: !regions;
+        continue_ := true
+    done;
+    (* after the store seeds: the reduction-tree idiom (paper §2.2) *)
+    if config.Config.reductions then begin
+      let on_skipped (c : Reduction.candidate) =
+        let leaves = List.length c.Reduction.cand_leaves in
+        let elt =
+          match Types.scalar_of c.Reduction.cand_root.Instr.ty with
+          | Some s -> s
+          | None -> Types.F64
+        in
         add_remark
           {
-            Remark.region = r.Reduction.root_desc;
-            lanes = r.Reduction.lanes;
-            cost = Some r.Reduction.cost;
+            Remark.region =
+              Fmt.str "reduce %s x%d"
+                (Opcode.binop_name c.Reduction.cand_op)
+                leaves;
+            block = region_id;
+            lanes = 0;
+            cost = None;
             threshold = config.Config.threshold;
             outcome =
-              (if r.Reduction.vectorized then Remark.Vectorized
-               else if r.Reduction.not_schedulable then Remark.Not_schedulable
-               else Remark.Unprofitable);
+              Remark.Reduction_unmatched
+                { leaves; width = Config.effective_max_lanes config elt };
             notes = [];
-          };
-        regions :=
-          {
-            seed_desc = r.Reduction.root_desc;
-            lanes = r.Reduction.lanes;
-            cost =
-              { Cost.per_node = []; extract_cost = 0; total = r.Reduction.cost };
-            vectorized = r.Reduction.vectorized;
-            not_schedulable = r.Reduction.not_schedulable;
           }
-          :: !regions)
-      (Reduction.run ~config ?record:record_opt ~on_skipped f);
-    checkpoint "reduction"
-  end;
+      in
+      List.iter
+        (fun (r : Reduction.region) ->
+          add_remark
+            {
+              Remark.region = r.Reduction.root_desc;
+              block = region_id;
+              lanes = r.Reduction.lanes;
+              cost = Some r.Reduction.cost;
+              threshold = config.Config.threshold;
+              outcome =
+                (if r.Reduction.vectorized then Remark.Vectorized
+                 else if r.Reduction.not_schedulable then
+                   Remark.Not_schedulable
+                 else Remark.Unprofitable);
+              notes = [];
+            };
+          regions :=
+            {
+              region_id;
+              seed_desc = r.Reduction.root_desc;
+              lanes = r.Reduction.lanes;
+              cost =
+                {
+                  Cost.per_node = [];
+                  extract_cost = 0;
+                  total = r.Reduction.cost;
+                };
+              vectorized = r.Reduction.vectorized;
+              not_schedulable = r.Reduction.not_schedulable;
+            }
+            :: !regions)
+        (Reduction.run ~config ?record:record_opt ~on_skipped block);
+      checkpoint "reduction"
+    end
+  in
+  List.iter run_block (Func.blocks f);
   (* whole-function cleanup: regions are vectorized one at a time, so
      duplicate gathers/extracts across regions only fall out here *)
   ignore (Cse.run f);
@@ -293,8 +320,8 @@ let pp_report ppf r =
     r.config_name (List.length r.regions) r.vectorized_regions r.total_cost;
   List.iter
     (fun reg ->
-      Fmt.pf ppf "@,  %s (VL=%d): cost %+d%s" reg.seed_desc reg.lanes
-        reg.cost.Cost.total
+      Fmt.pf ppf "@,  [%s] %s (VL=%d): cost %+d%s" reg.region_id
+        reg.seed_desc reg.lanes reg.cost.Cost.total
         (if reg.vectorized then " [vectorized]"
          else if reg.not_schedulable then " [not schedulable]"
          else " [kept scalar]"))

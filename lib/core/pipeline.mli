@@ -1,11 +1,14 @@
 (** The (L)SLP pass driver — the flowchart of the paper's Figure 1.
 
-    Repeatedly: collect seeds, build the graph for the next unconsumed seed,
-    cost it, vectorize when profitable.  Transforms the function in place. *)
+    Per basic block of the function: repeatedly collect seeds, build the
+    graph for the next unconsumed seed, cost it, vectorize when profitable.
+    Transforms the function in place; every region record names the block
+    it lives in via [region_id]. *)
 
 open Lslp_ir
 
 type region = {
+  region_id : string;  (** label of the basic block holding this region *)
   seed_desc : string;
   lanes : int;
   cost : Cost.summary;

@@ -24,8 +24,8 @@ type candidate = {
 (* Chain roots: commutative+associative ops that are not themselves
    absorbed into a parent chain of the same opcode (multi-use values are
    roots of their own chains; their parents treat them as leaves). *)
-let collect_candidates (f : Func.t) : candidate list =
-  let uses = Use_info.compute f.Func.block in
+let collect_candidates (block : Block.t) : candidate list =
+  let uses = Use_info.compute block in
   let absorbable ~op (v : Instr.value) =
     match v with
     | Instr.Ins i ->
@@ -72,7 +72,7 @@ let collect_candidates (f : Func.t) : candidate list =
             cand_leaves = List.rev !leaves;
           }
           :: acc)
-    [] f.Func.block
+    [] block
   |> List.rev
 
 (* Chunk the leaves into W-wide bundles (in order) plus a scalar tail. *)
@@ -99,7 +99,7 @@ type plan = {
    graph nodes (chunk trees and their gathers/extracts) + (chunks-1)
    element-wise vector ops + the horizontal reduce + tail scalar ops,
    minus the removed scalar chain ops. *)
-let plan_candidate (config : Config.t) (f : Func.t) (c : candidate) :
+let plan_candidate (config : Config.t) (block : Block.t) (c : candidate) :
     plan option =
   let model = config.Config.model in
   let elt =
@@ -111,12 +111,12 @@ let plan_candidate (config : Config.t) (f : Func.t) (c : candidate) :
   if List.length c.cand_leaves < lanes then None
   else begin
     let chunks, tail = chunk_leaves ~lanes c.cand_leaves in
-    let graph, chunk_nodes = Graph_builder.build_columns config f chunks in
+    let graph, chunk_nodes = Graph_builder.build_columns config block chunks in
     let in_chain (u : Instr.t) =
       List.exists (fun (ci : Instr.t) -> Instr.equal ci u) c.cand_chain
     in
     let summary =
-      Cost.evaluate ~ignore_users:in_chain config graph f.Func.block
+      Cost.evaluate ~ignore_users:in_chain config graph block
     in
     let op_costs = model.Lslp_costmodel.Model.binop_cost c.cand_op in
     let combine_cost = (List.length chunks - 1) * op_costs.vector lanes in
@@ -153,10 +153,10 @@ type region = {
   not_schedulable : bool;
 }
 
-(* Vectorize every profitable reduction in the function, in program order.
+(* Vectorize every profitable reduction in one block, in program order.
    Returns one region record per candidate considered. *)
 let run ?(config = Config.lslp) ?record ?(on_skipped = fun _ -> ())
-    (f : Func.t) : region list =
+    (block : Block.t) : region list =
   let regions = ref [] in
   let continue_ = ref true in
   let consumed : (int, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -165,7 +165,7 @@ let run ?(config = Config.lslp) ?record ?(on_skipped = fun _ -> ())
     let fresh =
       List.filter
         (fun c -> not (Hashtbl.mem consumed c.cand_root.Instr.id))
-        (collect_candidates f)
+        (collect_candidates block)
     in
     match fresh with
     | [] -> ()
@@ -177,13 +177,14 @@ let run ?(config = Config.lslp) ?record ?(on_skipped = fun _ -> ())
           (Opcode.binop_name c.cand_op)
           (List.length c.cand_leaves)
       in
-      match plan_candidate config f c with
+      match plan_candidate config block c with
       | None -> on_skipped c
       | Some plan ->
         if plan.cost < config.Config.threshold then begin
-          match Codegen.run ~reduction:plan.reduction ?record plan.graph f with
+          match Codegen.run ~reduction:plan.reduction ?record plan.graph block
+          with
           | Codegen.Vectorized ->
-            ignore (Dce.run f);
+            ignore (Dce.run_block block);
             regions :=
               { root_desc = desc; lanes = plan.lanes; cost = plan.cost;
                 vectorized = true; not_schedulable = false }

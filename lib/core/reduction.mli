@@ -14,8 +14,9 @@ type candidate = {
   cand_leaves : Instr.value list;
 }
 
-val collect_candidates : Func.t -> candidate list
-(** Reduction-chain roots in program order, with their leaves. *)
+val collect_candidates : Block.t -> candidate list
+(** Reduction-chain roots of one block in program order, with their
+    leaves. *)
 
 type region = {
   root_desc : string;
@@ -29,9 +30,9 @@ val run :
   ?config:Config.t ->
   ?record:(lanes:Instr.t array -> vector:Instr.t -> unit) ->
   ?on_skipped:(candidate -> unit) ->
-  Func.t ->
+  Block.t ->
   region list
-(** Vectorize every profitable reduction, mutating [f].  One region record
+(** Vectorize every profitable reduction, mutating the block.  One region record
     per candidate with at least a full chunk of leaves; [on_skipped] fires
     for candidates with too few leaves for even one chunk; [record] is
     forwarded to {!Codegen.run} for provenance. *)

@@ -30,8 +30,7 @@ let rec windows max_lanes (run : Instr.t list) : seed list =
     Array.of_list first :: windows max_lanes rest
   end
 
-let collect (config : Config.t) (f : Func.t) : seed list =
-  let block = f.Func.block in
+let collect (config : Config.t) (block : Block.t) : seed list =
   let stores = Block.find_all Instr.is_store block in
   (* group by (array, element type) *)
   let by_array = Hashtbl.create 8 in

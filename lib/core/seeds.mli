@@ -5,5 +5,5 @@ open Lslp_ir
 
 type seed = Instr.t array
 
-val collect : Config.t -> Func.t -> seed list
-(** Seeds ordered by the position of their first store. *)
+val collect : Config.t -> Block.t -> seed list
+(** Seeds of one region, ordered by the position of their first store. *)

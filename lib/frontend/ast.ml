@@ -1,9 +1,10 @@
 (* Abstract syntax of the kernel language.
 
-   A kernel is a straight-line function over i64/f64 scalars and arrays:
-   local single-assignment declarations and array-element stores.  Builtin
-   calls cover the math functions the SPEC kernels need (sqrt, fabs,
-   min/max).  Every node carries its source position for diagnostics. *)
+   A kernel is a function over i64/f64 scalars and arrays: local
+   single-assignment declarations, array-element stores, and counted
+   [for] loops whose body is again straight-line code.  Builtin calls
+   cover the math functions the SPEC kernels need (sqrt, fabs, min/max).
+   Every node carries its source position for diagnostics. *)
 
 type ty = Ti64 | Tf64
 
@@ -30,6 +31,15 @@ type stmt = { sdesc : stmt_desc; spos : Token.pos }
 and stmt_desc =
   | Decl of ty * string * expr       (* ty name = expr; *)
   | Store of string * expr * expr    (* array[index] = expr; *)
+  | For of for_loop                  (* for (i64 i = a; i < b; i += s) {..} *)
+
+and for_loop = {
+  f_counter : string;
+  f_start : expr;
+  f_bound : expr;      (* exclusive upper bound *)
+  f_step : expr;
+  f_body : stmt list;
+}
 
 type kernel = {
   kname : string;

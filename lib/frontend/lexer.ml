@@ -106,6 +106,7 @@ let lex_ident st =
   done;
   match String.sub st.src begin_off (st.off - begin_off) with
   | "kernel" -> Token.KERNEL
+  | "for" -> Token.FOR
   | "i64" -> Token.TY_I64
   | "f64" -> Token.TY_F64
   | s -> Token.IDENT s
@@ -128,6 +129,8 @@ let next_token st : Token.spanned =
     | Some ',' -> simple Token.COMMA
     | Some ';' -> simple Token.SEMI
     | Some '=' -> simple Token.ASSIGN
+    | Some '+' when peek2 st = Some '=' ->
+      advance st; advance st; Token.PLUSEQ
     | Some '+' -> simple Token.PLUS
     | Some '-' -> simple Token.MINUS
     | Some '*' -> simple Token.STAR
@@ -138,6 +141,7 @@ let next_token st : Token.spanned =
     | Some '^' -> simple Token.CARET
     | Some '<' when peek2 st = Some '<' ->
       advance st; advance st; Token.SHL
+    | Some '<' -> simple Token.LT
     | Some '>' when peek2 st = Some '>' ->
       advance st; advance st; Token.SHR
     | Some c -> error p "unexpected character %C" c

@@ -19,30 +19,37 @@ type local = {
   l_ty : Ast.ty;
   l_value : Instr.value;
   l_affine : Affine.t option;  (* set for i64 locals with affine definitions *)
+  l_block : Block.t;           (* region the defining code was emitted in *)
 }
 
 type env = {
   builder : Builder.t;
   params : (string * Ast.param_ty) list;
   mutable locals : (string * local) list;
+  mutable counters : string list;  (* enclosing loop counters (at most one) *)
+  mutable next_loop : int;
 }
 
 let lookup_local env name = List.assoc_opt name env.locals
 
 let lookup_param env name = List.assoc_opt name env.params
 
+let is_counter env name = List.mem name env.counters
+
 (* Affine view of an i64 expression, when one exists. *)
 let rec affine_of env (e : Ast.expr) : Affine.t option =
   match e.Ast.desc with
   | Ast.Int_lit n -> Some (Affine.const (Int64.to_int n))
-  | Ast.Var x -> (
-    match lookup_param env x with
-    | Some Ast.P_i64 -> Some (Affine.sym x)
-    | Some (Ast.P_f64 | Ast.P_arr _) -> None
-    | None -> (
-      match lookup_local env x with
-      | Some { l_affine; _ } -> l_affine
-      | None -> None))
+  | Ast.Var x ->
+    if is_counter env x then Some (Affine.sym x)
+    else (
+      match lookup_param env x with
+      | Some Ast.P_i64 -> Some (Affine.sym x)
+      | Some (Ast.P_f64 | Ast.P_arr _) -> None
+      | None -> (
+        match lookup_local env x with
+        | Some { l_affine; _ } -> l_affine
+        | None -> None))
   | Ast.Bin (op, a, b) -> (
     match (affine_of env a, affine_of env b) with
     | Some fa, Some fb -> (
@@ -60,16 +67,18 @@ let rec infer_ty env (e : Ast.expr) : Ast.ty =
   match e.Ast.desc with
   | Ast.Int_lit _ -> Ast.Ti64
   | Ast.Float_lit _ -> Ast.Tf64
-  | Ast.Var x -> (
-    match lookup_param env x with
-    | Some Ast.P_i64 -> Ast.Ti64
-    | Some Ast.P_f64 -> Ast.Tf64
-    | Some (Ast.P_arr _) ->
-      error e.Ast.epos "array %s used as a scalar value" x
-    | None -> (
-      match lookup_local env x with
-      | Some l -> l.l_ty
-      | None -> error e.Ast.epos "undefined variable %s" x))
+  | Ast.Var x ->
+    if is_counter env x then Ast.Ti64
+    else (
+      match lookup_param env x with
+      | Some Ast.P_i64 -> Ast.Ti64
+      | Some Ast.P_f64 -> Ast.Tf64
+      | Some (Ast.P_arr _) ->
+        error e.Ast.epos "array %s used as a scalar value" x
+      | None -> (
+        match lookup_local env x with
+        | Some l -> l.l_ty
+        | None -> error e.Ast.epos "undefined variable %s" x))
   | Ast.Load (arr, _) -> (
     match lookup_param env arr with
     | Some (Ast.P_arr ty) -> ty
@@ -139,15 +148,28 @@ let rec lower_expr env (e : Ast.expr) : Instr.value =
   match e.Ast.desc with
   | Ast.Int_lit n -> Builder.iconst64 n
   | Ast.Float_lit x -> Builder.fconst x
-  | Ast.Var x -> (
-    match lookup_local env x with
-    | Some l -> l.l_value
-    | None -> (
-      match lookup_param env x with
-      | Some (Ast.P_i64 | Ast.P_f64) -> Builder.arg env.builder x
-      | Some (Ast.P_arr _) ->
-        error e.Ast.epos "array %s used as a scalar value" x
-      | None -> error e.Ast.epos "undefined variable %s" x))
+  | Ast.Var x ->
+    if is_counter env x then
+      error e.Ast.epos
+        "loop counter %s can only appear in array subscripts (and other \
+         affine positions)" x
+    else (
+      match lookup_local env x with
+      | Some l ->
+        (match l.l_value with
+         | Instr.Ins _
+           when l.l_block != Builder.current_block env.builder ->
+           error e.Ast.epos
+             "local %s is defined in a different region (regions are \
+              self-contained: recompute it here or pass it through memory)"
+             x
+         | Instr.Ins _ | Instr.Const _ | Instr.Arg _ -> l.l_value)
+      | None -> (
+        match lookup_param env x with
+        | Some (Ast.P_i64 | Ast.P_f64) -> Builder.arg env.builder x
+        | Some (Ast.P_arr _) ->
+          error e.Ast.epos "array %s used as a scalar value" x
+        | None -> error e.Ast.epos "undefined variable %s" x))
   | Ast.Load (arr, idx) ->
     let index = subscript env arr idx in
     Builder.load env.builder ~base:arr index
@@ -174,7 +196,32 @@ let rec lower_expr env (e : Ast.expr) : Instr.value =
     | "max", [ a; b ], _ -> Builder.binop env.builder Opcode.Fmax a b
     | _ -> error e.Ast.epos "unknown builtin %s" name)
 
-let lower_stmt env (s : Ast.stmt) =
+(* Loop start/step must be integer literals (after constant folding); the
+   bound may additionally be a single i64 parameter. *)
+let loop_const env what (e : Ast.expr) =
+  match Option.bind (affine_of env e) Affine.to_const with
+  | Some c -> c
+  | None ->
+    error e.Ast.epos "loop %s must be an integer constant" what
+
+let loop_bound env (e : Ast.expr) =
+  match affine_of env e with
+  | Some a -> (
+    match Affine.to_const a with
+    | Some c -> Block.Bound_const c
+    | None -> (
+      match Affine.symbols a with
+      | [ s ] when Affine.equal a (Affine.sym s)
+                   && lookup_param env s = Some Ast.P_i64 ->
+        Block.Bound_sym s
+      | _ ->
+        error e.Ast.epos
+          "loop bound must be an integer constant or a single i64 parameter"))
+  | None ->
+    error e.Ast.epos
+      "loop bound must be an integer constant or a single i64 parameter"
+
+let rec lower_stmt env (s : Ast.stmt) =
   match s.Ast.sdesc with
   | Ast.Decl (ty, name, e) ->
     if Option.is_some (lookup_local env name) then
@@ -182,6 +229,8 @@ let lower_stmt env (s : Ast.stmt) =
                         single-assignment)" name;
     if Option.is_some (lookup_param env name) then
       error s.Ast.spos "local %s shadows a parameter" name;
+    if is_counter env name then
+      error s.Ast.spos "local %s shadows the loop counter" name;
     let ety = infer_ty env e in
     if ety <> ty then
       error s.Ast.spos "local %s declared %a but initialized with %a" name
@@ -190,7 +239,11 @@ let lower_stmt env (s : Ast.stmt) =
       match ty with Ast.Ti64 -> affine_of env e | Ast.Tf64 -> None
     in
     let l_value = lower_expr env e in
-    env.locals <- (name, { l_ty = ty; l_value; l_affine }) :: env.locals
+    env.locals <-
+      (name,
+       { l_ty = ty; l_value; l_affine;
+         l_block = Builder.current_block env.builder })
+      :: env.locals
   | Ast.Store (arr, idx, e) -> (
     match lookup_param env arr with
     | Some (Ast.P_arr elt_ty) ->
@@ -204,6 +257,33 @@ let lower_stmt env (s : Ast.stmt) =
     | Some (Ast.P_i64 | Ast.P_f64) ->
       error s.Ast.spos "%s is not an array" arr
     | None -> error s.Ast.spos "undefined array %s" arr)
+  | Ast.For fl ->
+    if env.counters <> [] then
+      error s.Ast.spos "nested loops are not supported";
+    let counter = fl.Ast.f_counter in
+    if Option.is_some (lookup_param env counter) then
+      error s.Ast.spos "loop counter %s shadows a parameter" counter;
+    if Option.is_some (lookup_local env counter) then
+      error s.Ast.spos "loop counter %s shadows a local" counter;
+    let l_start = loop_const env "start" fl.Ast.f_start in
+    let l_step = loop_const env "step" fl.Ast.f_step in
+    if l_step < 1 then
+      error s.Ast.spos "loop step must be positive, got %d" l_step;
+    let l_stop = loop_bound env fl.Ast.f_bound in
+    let label = Fmt.str "loop%d" env.next_loop in
+    env.next_loop <- env.next_loop + 1;
+    ignore
+      (Builder.start_block env.builder ~label
+         ~kind:(Block.Loop { Block.counter; l_start; l_stop; l_step })
+         ());
+    (* body locals are scoped to the loop *)
+    let saved_locals = env.locals in
+    env.counters <- counter :: env.counters;
+    List.iter (lower_stmt env) fl.Ast.f_body;
+    env.counters <- List.tl env.counters;
+    env.locals <- saved_locals;
+    (* code after the loop falls through into a fresh straight block *)
+    ignore (Builder.start_block env.builder ())
 
 let arg_ty_of_param = function
   | Ast.P_i64 -> Instr.Int_arg
@@ -224,9 +304,22 @@ let lower_kernel (k : Ast.kernel) : Func.t =
     Builder.create ~name:k.Ast.kname
       ~args:(List.map (fun (n, p) -> (n, arg_ty_of_param p)) k.Ast.params)
   in
-  let env = { builder; params = k.Ast.params; locals = [] } in
+  let env =
+    { builder; params = k.Ast.params; locals = []; counters = [];
+      next_loop = 0 }
+  in
   List.iter (lower_stmt env) k.Ast.body;
   let f = Builder.func builder in
+  (* drop the empty straight blocks loop lowering leaves around (e.g. an
+     entry block when the kernel starts with a loop), keeping at least one *)
+  let nonempty =
+    List.filter
+      (fun b -> Block.length b > 0 || Block.is_loop b)
+      (Func.blocks f)
+  in
+  (match nonempty with
+   | [] -> ()
+   | bs -> f.Func.blocks <- bs);
   (* run the early-CSE a clang-like pipeline would have run before SLP *)
   ignore (Cse.run f);
   Verifier.verify_exn f;

@@ -166,9 +166,47 @@ let parse_param st =
   else
     (name, match ty with Ast.Ti64 -> Ast.P_i64 | Ast.Tf64 -> Ast.P_f64)
 
-let parse_stmt st =
+let rec parse_stmt st =
   let t = peek st in
   match t.Token.tok with
+  | Token.FOR ->
+    advance st;
+    expect st Token.LPAREN "`(` after `for`";
+    (* the counter declaration: an optional `i64` then the counter name *)
+    if (peek st).Token.tok = Token.TY_I64 then advance st;
+    let counter, _ = expect_ident st "loop counter name" in
+    expect st Token.ASSIGN "`=` in loop initialization";
+    let start = parse_expr st in
+    expect st Token.SEMI "`;` after loop initialization";
+    let c2, c2pos = expect_ident st "loop counter in condition" in
+    if not (String.equal c2 counter) then
+      error c2pos "loop condition tests `%s` but the counter is `%s`" c2
+        counter;
+    expect st Token.LT "`<` (loops are counted: counter < bound)";
+    let bound = parse_expr st in
+    expect st Token.SEMI "`;` after loop condition";
+    let c3, c3pos = expect_ident st "loop counter in increment" in
+    if not (String.equal c3 counter) then
+      error c3pos "loop increment updates `%s` but the counter is `%s`" c3
+        counter;
+    expect st Token.PLUSEQ "`+=` (loops are counted: counter += step)";
+    let step = parse_expr st in
+    expect st Token.RPAREN "`)` closing the loop header";
+    expect st Token.LBRACE "`{` opening the loop body";
+    let body = parse_stmts st in
+    expect st Token.RBRACE "`}` closing the loop body";
+    {
+      Ast.sdesc =
+        Ast.For
+          {
+            Ast.f_counter = counter;
+            f_start = start;
+            f_bound = bound;
+            f_step = step;
+            f_body = body;
+          };
+      spos = t.Token.pos;
+    }
   | Token.TY_I64 | Token.TY_F64 ->
     let ty = if t.Token.tok = Token.TY_I64 then Ast.Ti64 else Ast.Tf64 in
     advance st;
@@ -190,6 +228,13 @@ let parse_stmt st =
     error t.Token.pos "expected a statement, found `%s`"
       (Token.to_string other)
 
+and parse_stmts st =
+  let rec loop acc =
+    if (peek st).Token.tok = Token.RBRACE then List.rev acc
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
 let parse_kernel st =
   expect st Token.KERNEL "`kernel`";
   let kname, _ = expect_ident st "kernel name" in
@@ -207,11 +252,7 @@ let parse_kernel st =
   let params = params [] in
   expect st Token.RPAREN "`)`";
   expect st Token.LBRACE "`{`";
-  let rec stmts acc =
-    if (peek st).Token.tok = Token.RBRACE then List.rev acc
-    else stmts (parse_stmt st :: acc)
-  in
-  let body = stmts [] in
+  let body = parse_stmts st in
   expect st Token.RBRACE "`}`";
   { Ast.kname; params; body }
 

@@ -4,6 +4,7 @@ type pos = { line : int; col : int }
 
 type t =
   | KERNEL
+  | FOR
   | TY_I64
   | TY_F64
   | IDENT of string
@@ -17,12 +18,15 @@ type t =
   | PLUS | MINUS | STAR | SLASH | PERCENT
   | AMP | PIPE | CARET
   | SHL | SHR                   (* << >> *)
+  | LT                          (* < *)
+  | PLUSEQ                      (* += *)
   | EOF
 
 type spanned = { tok : t; pos : pos }
 
 let to_string = function
   | KERNEL -> "kernel"
+  | FOR -> "for"
   | TY_I64 -> "i64"
   | TY_F64 -> "f64"
   | IDENT s -> s
@@ -36,6 +40,8 @@ let to_string = function
   | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
   | AMP -> "&" | PIPE -> "|" | CARET -> "^"
   | SHL -> "<<" | SHR -> ">>"
+  | LT -> "<"
+  | PLUSEQ -> "+="
   | EOF -> "<eof>"
 
 let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col

@@ -228,6 +228,37 @@ let exec_instr st (i : Instr.t) =
   | Some r -> Hashtbl.replace st.values i.id r
   | None -> ()
 
+(* Straight blocks run once; loop blocks iterate their counter from
+   [l_start] to the (exclusive) bound, binding the counter into the integer
+   environment for the duration of each iteration so address evaluation
+   sees it as just another i64 symbol.  Symbolic bounds resolve through the
+   same environment.  Re-executing the body simply overwrites the previous
+   iteration's values: defs precede uses within the body, so no stale value
+   is ever read. *)
+let exec_block st (b : Block.t) =
+  match Block.kind b with
+  | Block.Straight -> Block.iter (exec_instr st) b
+  | Block.Loop li ->
+    let stop =
+      match li.Block.l_stop with
+      | Block.Bound_const n -> n
+      | Block.Bound_sym s ->
+        (match Hashtbl.find_opt st.int_args s with
+         | Some v -> Int64.to_int v
+         | None -> trap "loop bound %s has no binding" s)
+    in
+    if li.Block.l_step <= 0 then trap "loop step must be positive";
+    let saved = Hashtbl.find_opt st.int_args li.Block.counter in
+    let c = ref li.Block.l_start in
+    while !c < stop do
+      Hashtbl.replace st.int_args li.Block.counter (Int64.of_int !c);
+      Block.iter (exec_instr st) b;
+      c := !c + li.Block.l_step
+    done;
+    (match saved with
+     | Some v -> Hashtbl.replace st.int_args li.Block.counter v
+     | None -> Hashtbl.remove st.int_args li.Block.counter)
+
 let run ?(cost = Lslp_costmodel.Model.skylake_machine) (f : Func.t)
     ~(int_args : (string * int64) list)
     ~(float_args : (string * float) list) ~(mem : Memory.t) =
@@ -244,5 +275,5 @@ let run ?(cost = Lslp_costmodel.Model.skylake_machine) (f : Func.t)
   in
   List.iter (fun (k, v) -> Hashtbl.replace st.int_args k v) int_args;
   List.iter (fun (k, v) -> Hashtbl.replace st.float_args k v) float_args;
-  Block.iter (exec_instr st) st.func.Func.block;
+  List.iter (exec_block st) (Func.blocks st.func);
   st.stats

@@ -14,18 +14,52 @@ type setup = {
 }
 
 (* Every address evaluated under the argument bindings must land inside its
-   array; compute per-array extents from the function body. *)
+   array; compute per-array extents from the function body.  Loop-block
+   addresses are affine in the counter, so their extremes sit at the first
+   and last iteration: evaluate both and keep the max. *)
 let array_extents (f : Func.t) ~(env : string -> int) =
   let extents = Hashtbl.create 8 in
-  Block.iter
-    (fun i ->
-      match Instr.address i with
-      | Some a ->
-        let hi = Affine.eval ~env a.index + a.access_lanes in
-        let cur = Option.value ~default:0 (Hashtbl.find_opt extents a.base) in
-        Hashtbl.replace extents a.base (max cur hi)
-      | None -> ())
-    f.block;
+  let note base hi =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt extents base) in
+    Hashtbl.replace extents base (max cur hi)
+  in
+  List.iter
+    (fun b ->
+      let counter_values =
+        match Block.kind b with
+        | Block.Straight -> [ None ]
+        | Block.Loop li ->
+          let stop =
+            match li.Block.l_stop with
+            | Block.Bound_const n -> n
+            | Block.Bound_sym s -> env s
+          in
+          let last =
+            if stop <= li.Block.l_start then li.Block.l_start
+            else
+              li.Block.l_start
+              + (stop - 1 - li.Block.l_start) / li.Block.l_step
+                * li.Block.l_step
+          in
+          [ Some (li.Block.counter, li.Block.l_start);
+            Some (li.Block.counter, last) ]
+      in
+      List.iter
+        (fun cv ->
+          let env s =
+            match cv with
+            | Some (c, v) when String.equal c s -> v
+            | Some _ | None -> env s
+          in
+          Block.iter
+            (fun i ->
+              match Instr.address i with
+              | Some a ->
+                note a.Instr.base (Affine.eval ~env a.index + a.access_lanes)
+              | None -> ())
+            b)
+        counter_values)
+    (Func.blocks f);
   extents
 
 let default_index = 16

@@ -66,6 +66,17 @@ let diff_const a b = if a.terms = b.terms then Some (a.const - b.const) else Non
 
 let symbols a = List.map fst a.terms
 
+(* [subst s repl a] replaces every occurrence of the symbol [s] in [a] by the
+   affine form [repl]: the algebra behind loop unrolling, where the counter
+   [i] becomes [i + k*step] (shifted copies) or a constant (epilogue). *)
+let subst s repl a =
+  match List.assoc_opt s a.terms with
+  | None -> a
+  | Some c ->
+    add (scale c repl) { a with terms = List.remove_assoc s a.terms }
+
+let mem_symbol s a = List.mem_assoc s a.terms
+
 let eval ~env a =
   List.fold_left (fun acc (s, c) -> acc + (c * env s)) a.const a.terms
 

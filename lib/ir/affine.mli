@@ -36,6 +36,14 @@ val diff_const : t -> t -> int option
 
 val symbols : t -> string list
 
+val subst : string -> t -> t -> t
+(** [subst s repl a] substitutes the affine form [repl] for every occurrence
+    of the symbol [s] in [a].  This is the algebra behind loop unrolling:
+    the counter [i] becomes [i + k*step] in shifted body copies, or a
+    constant in the fully-unrolled epilogue. *)
+
+val mem_symbol : string -> t -> bool
+
 val eval : env:(string -> int) -> t -> int
 (** Evaluate under an assignment of the symbols. *)
 

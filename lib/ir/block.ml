@@ -4,12 +4,46 @@
    instructions), so we keep a plain list and rebuild the id -> position
    table on demand, invalidating it on every mutation. *)
 
+type bound = Bound_const of int | Bound_sym of string
+
+type loop_info = {
+  counter : string;      (* loop-local induction symbol, not a function arg *)
+  l_start : int;
+  l_stop : bound;        (* exclusive: iterate while counter < stop *)
+  l_step : int;          (* > 0 *)
+}
+
+type kind = Straight | Loop of loop_info
+
 type t = {
+  label : string;
+  kind : kind;
   mutable insts : Instr.t list;      (* program order *)
   mutable pos_cache : (int, int) Hashtbl.t option;
 }
 
-let create () = { insts = []; pos_cache = None }
+let create ?(label = "entry") ?(kind = Straight) () =
+  { label; kind; insts = []; pos_cache = None }
+
+let label b = b.label
+let kind b = b.kind
+
+let loop_info b = match b.kind with Straight -> None | Loop li -> Some li
+
+let is_loop b = match b.kind with Straight -> false | Loop _ -> true
+
+let pp_bound ppf = function
+  | Bound_const k -> Fmt.int ppf k
+  | Bound_sym s -> Fmt.string ppf s
+
+(* Number of iterations, when the bound is a compile-time constant. *)
+let trip_count li =
+  match li.l_stop with
+  | Bound_sym _ -> None
+  | Bound_const stop ->
+    if li.l_step <= 0 then None
+    else if stop <= li.l_start then Some 0
+    else Some ((stop - li.l_start + li.l_step - 1) / li.l_step)
 
 let invalidate b = b.pos_cache <- None
 

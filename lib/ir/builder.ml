@@ -4,7 +4,9 @@
 
 type t = {
   func : Func.t;
+  mutable current : Block.t;    (* where emit appends *)
   mutable next_tmp : int;
+  mutable next_block : int;
 }
 
 exception Type_error of string
@@ -15,9 +17,26 @@ let create ~name ~args =
   let args =
     List.map (fun (arg_name, arg_ty) -> { Instr.arg_name; arg_ty }) args
   in
-  { func = Func.create ~name ~args; next_tmp = 0 }
+  let func = Func.create ~name ~args in
+  { func; current = Func.entry func; next_tmp = 0; next_block = 0 }
 
 let func b = b.func
+
+let current_block b = b.current
+
+let start_block b ?label ?(kind = Block.Straight) () =
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+      let n = b.next_block in
+      b.next_block <- n + 1;
+      Fmt.str "b%d" n
+  in
+  let blk = Block.create ~label ~kind () in
+  Func.add_block b.func blk;
+  b.current <- blk;
+  blk
 
 let fresh_name b hint =
   let n = b.next_tmp in
@@ -62,7 +81,7 @@ let operand_scalar what accepts v =
   | ty -> type_error "%s expects a scalar operand, got %a" what Types.pp ty
 
 let emit b instr =
-  Block.append b.func.Func.block instr;
+  Block.append b.current instr;
   Instr.Ins instr
 
 let binop b ?(name = "") op x y =

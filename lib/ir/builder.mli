@@ -11,6 +11,14 @@ exception Type_error of string
 val create : name:string -> args:(string * Instr.arg_ty) list -> t
 val func : t -> Func.t
 
+val current_block : t -> Block.t
+(** The block subsequent instructions are appended to (initially the entry
+    block). *)
+
+val start_block : t -> ?label:string -> ?kind:Block.kind -> unit -> Block.t
+(** Append a fresh block to the function and make it current.  Labels
+    default to ["b0"], ["b1"], ... *)
+
 val iconst : int -> Instr.value
 val iconst64 : int64 -> Instr.value
 val fconst : float -> Instr.value

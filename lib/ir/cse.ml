@@ -103,4 +103,8 @@ let run_block block =
     (Hashtbl.fold (fun id _ acc -> id :: acc) replacement []);
   removed
 
-let run (f : Func.t) = run_block f.Func.block
+(* Blocks are self-contained regions, so per-block CSE is complete; a loop
+   body additionally re-executes, but availability within one iteration is
+   still sound because the pass never moves an instruction. *)
+let run (f : Func.t) =
+  List.fold_left (fun acc b -> acc + run_block b) 0 (Func.blocks f)

@@ -20,4 +20,7 @@ let run_block block =
   done;
   !removed
 
-let run (f : Func.t) = run_block f.block
+(* Blocks are self-contained regions (no cross-block uses), so a per-block
+   sweep is a complete function-level DCE. *)
+let run (f : Func.t) =
+  List.fold_left (fun acc b -> acc + run_block b) 0 (Func.blocks f)

@@ -1,17 +1,49 @@
-(* A kernel function: named arguments plus one straight-line block.
+(* A kernel function: named arguments plus an ordered list of basic blocks.
 
    The paper's algorithm requires every vectorizable group to live in a
-   single basic block, and all evaluated kernels are straight-line bodies, so
-   a function is one block.  Array arguments are assumed pairwise non-
-   aliasing (they model distinct global arrays / restrict pointers). *)
+   single basic block; the function is a minimal structured skeleton around
+   such blocks — straight-line blocks linked by fallthrough plus counted
+   loop blocks (no phis: loop state lives in memory, the only loop-carried
+   value is the counter symbol inside a Loop block's addresses).  Regions
+   are self-contained: an instruction may only be referenced from its own
+   block (the verifier enforces this), so every analysis stays block-local.
+   Array arguments are assumed pairwise non-aliasing (they model distinct
+   global arrays / restrict pointers). *)
 
 type t = {
   fname : string;
   args : Instr.arg list;
-  block : Block.t;
+  mutable blocks : Block.t list;  (* execution order; never empty *)
 }
 
-let create ~name ~args = { fname = name; args; block = Block.create () }
+let create ~name ~args =
+  { fname = name; args; blocks = [ Block.create ~label:"entry" () ] }
+
+let entry f =
+  match f.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg "Func.entry: function has no blocks"
+
+let blocks f = f.blocks
+
+let add_block f b = f.blocks <- f.blocks @ [ b ]
+
+let find_block f label =
+  List.find_opt (fun b -> String.equal (Block.label b) label) f.blocks
+
+(* Replace [old_b] by a sequence of blocks, preserving position — the
+   unroller's splice primitive. *)
+let replace_block f old_b news =
+  let rec go = function
+    | [] -> invalid_arg "Func.replace_block: block not in function"
+    | b :: rest when b == old_b -> news @ rest
+    | b :: rest -> b :: go rest
+  in
+  f.blocks <- go f.blocks
+
+let iter_instrs g f = List.iter (fun b -> Block.iter g b) f.blocks
+let fold_instrs g acc f = List.fold_left (fun a b -> Block.fold g a b) acc f.blocks
+let num_instrs f = List.fold_left (fun a b -> a + Block.length b) 0 f.blocks
 
 let find_arg f name =
   List.find_opt (fun (a : Instr.arg) -> String.equal a.arg_name name) f.args
@@ -33,23 +65,31 @@ let int_args f =
     f.args
 
 let clone f =
-  (* Deep-copy the block so a pass can be run destructively on the copy while
-     the original stays intact (used to compare scalar vs vectorized code). *)
+  (* Deep-copy every block so a pass can be run destructively on the copy
+     while the original stays intact (used to compare scalar vs vectorized
+     code).  The remap table is function-wide, so block structure, loop
+     metadata and every per-instruction field survive the copy. *)
   let mapping = Hashtbl.create 64 in
   let remap_value (v : Instr.value) =
     match v with
     | Instr.Ins i ->
       (match Hashtbl.find_opt mapping i.Instr.id with
        | Some i' -> Instr.Ins i'
-       | None -> v (* reference to an instruction outside the block *))
+       | None -> v (* reference to an instruction outside the function *))
     | Instr.Const _ | Instr.Arg _ -> v
   in
-  let g = create ~name:f.fname ~args:f.args in
-  List.iter
-    (fun (i : Instr.t) ->
-      let i' = Instr.create ~name:i.name i.kind i.ty in
-      Hashtbl.replace mapping i.id i';
-      Block.append g.block i')
-    (Block.to_list f.block);
-  Block.iter (fun i -> Instr.map_operands remap_value i) g.block;
+  let clone_block b =
+    let b' = Block.create ~label:(Block.label b) ~kind:(Block.kind b) () in
+    List.iter
+      (fun (i : Instr.t) ->
+        let i' = Instr.copy i in
+        Hashtbl.replace mapping i.id i';
+        Block.append b' i')
+      (Block.to_list b);
+    b'
+  in
+  let g =
+    { fname = f.fname; args = f.args; blocks = List.map clone_block f.blocks }
+  in
+  iter_instrs (fun i -> Instr.map_operands remap_value i) g;
   g

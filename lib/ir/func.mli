@@ -1,21 +1,49 @@
-(** A kernel function: named arguments plus one straight-line basic block.
+(** A kernel function: named arguments plus an ordered list of basic blocks.
 
-    Array arguments model distinct (non-aliasing) arrays, as in the paper's
-    kernels where each array is a separate global. *)
+    The control skeleton is minimal and structured: blocks execute in list
+    order (fallthrough), and a block may be the body of a counted loop
+    (see {!Block.kind}).  There are no phis — loop state lives in memory —
+    and regions are self-contained: an instruction may only be referenced
+    from its own block, which the verifier enforces, so every analysis and
+    transformation stays block-local.  Array arguments model distinct
+    (non-aliasing) arrays, as in the paper's kernels where each array is a
+    separate global. *)
 
 type t = {
   fname : string;
   args : Instr.arg list;
-  block : Block.t;
+  mutable blocks : Block.t list;  (** execution order; never empty *)
 }
 
 val create : name:string -> args:Instr.arg list -> t
+(** A function with a single empty straight-line block labelled ["entry"]. *)
+
+val entry : t -> Block.t
+(** First block.  Single-block functions (every pre-region kernel) do all
+    their work here. *)
+
+val blocks : t -> Block.t list
+
+val add_block : t -> Block.t -> unit
+
+val find_block : t -> string -> Block.t option
+
+val replace_block : t -> Block.t -> Block.t list -> unit
+(** [replace_block f b news] splices [news] where [b] stood, preserving the
+    order of the surrounding blocks — the unroller's primitive.
+    @raise Invalid_argument if [b] is not a block of [f]. *)
+
+val iter_instrs : (Instr.t -> unit) -> t -> unit
+val fold_instrs : ('a -> Instr.t -> 'a) -> 'a -> t -> 'a
+val num_instrs : t -> int
 
 val find_arg : t -> string -> Instr.arg option
 val array_args : t -> Instr.arg list
 val int_args : t -> Instr.arg list
 
 val clone : t -> t
-(** Deep copy: fresh instructions with remapped operands.  Passes can then be
-    run destructively on the copy while the original remains usable (e.g. as
-    the scalar baseline in differential tests). *)
+(** Deep copy: fresh instructions (via {!Instr.copy}, so every per-instruction
+    field is preserved) with remapped operands, block structure and loop
+    metadata intact.  Passes can then be run destructively on the copy while
+    the original remains usable (e.g. as the scalar baseline in differential
+    tests). *)

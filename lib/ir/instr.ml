@@ -52,6 +52,19 @@ let fresh_id () =
 
 let create ?(name = "") kind ty = { id = fresh_id (); kind; ty; name }
 
+(* The single cloning primitive: every field except the identity is carried
+   over, so adding a field to [t] automatically propagates through both
+   [Func.clone] and the unroller.  Operands still reference the original
+   instructions; callers remap them afterwards. *)
+let copy i = { i with id = fresh_id () }
+
+let map_address_index f i =
+  match i.kind with
+  | Load a -> i.kind <- Load { a with index = f a.index }
+  | Store (a, v) -> i.kind <- Store ({ a with index = f a.index }, v)
+  | Binop _ | Unop _ | Splat _ | Buildvec _ | Extract _ | Reduce _
+  | Shuffle _ -> ()
+
 let equal a b = a.id = b.id
 let compare a b = Int.compare a.id b.id
 let hash a = a.id

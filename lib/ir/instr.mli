@@ -50,6 +50,17 @@ val create : ?name:string -> kind -> Types.t -> t
 (** Fresh instruction with a new unique id.  Prefer {!Builder} in client
     code; this is the low-level constructor. *)
 
+val copy : t -> t
+(** Duplicate under a fresh id, carrying over every other field (kind, type,
+    name, and any field added later).  The single cloning primitive behind
+    {!Func.clone} and the unroller; operands still point at the original
+    instructions — remap them afterwards with {!map_operands}. *)
+
+val map_address_index : (Affine.t -> Affine.t) -> t -> unit
+(** Rewrite the address index of a load/store in place; no-op on
+    non-memory instructions.  Used by the unroller to shift the loop
+    counter in replicated bodies. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

@@ -63,11 +63,28 @@ let pp_arg ppf (a : Instr.arg) =
   | Instr.Array_arg elt ->
     Fmt.pf ppf "%a %s[]" Types.pp_scalar elt a.arg_name
 
+let pp_block_header ppf b =
+  match Block.kind b with
+  | Block.Straight -> Fmt.pf ppf "%s:" (Block.label b)
+  | Block.Loop li ->
+    Fmt.pf ppf "%s: for (%s = %d; %s < %a; %s += %d)" (Block.label b)
+      li.Block.counter li.Block.l_start li.Block.counter Block.pp_bound
+      li.Block.l_stop li.Block.counter li.Block.l_step
+
 let pp_func ppf (f : Func.t) =
   Fmt.pf ppf "@[<v>kernel %s(%a) {@," f.fname
     Fmt.(list ~sep:(any ", ") pp_arg)
     f.args;
-  Block.iter (fun i -> Fmt.pf ppf "  %a@," pp_instr i) f.block;
+  (match Func.blocks f with
+   | [ b ] when not (Block.is_loop b) ->
+     (* the straight-line common case keeps the historical flat form *)
+     Block.iter (fun i -> Fmt.pf ppf "  %a@," pp_instr i) b
+   | bs ->
+     List.iter
+       (fun b ->
+         Fmt.pf ppf "%a@," pp_block_header b;
+         Block.iter (fun i -> Fmt.pf ppf "  %a@," pp_instr i) b)
+       bs);
   Fmt.pf ppf "}@]"
 
 let instr_to_string i = Fmt.str "%a" pp_instr i

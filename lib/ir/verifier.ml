@@ -29,12 +29,16 @@ let check_func (f : Func.t) =
       Hashtbl.replace arg_names a.arg_name a.arg_ty)
     f.args;
   let seen_ids = Hashtbl.create 64 in
+  (* Regions are self-contained: values may only be referenced from the
+     block that defines them, so [defined] is reset per block and a
+     cross-block use reports as use-before-def. *)
   let check_value instr (v : Instr.value) =
     match v with
     | Instr.Ins def ->
       if not (Hashtbl.mem defined def.Instr.id) then
-        err ~instr "use of %s before its definition (or of a value not in \
-                    the block)" (Printer.value_to_string v)
+        err ~instr "use of %s before its definition (or of a value defined \
+                    in another block — regions are self-contained)"
+          (Printer.value_to_string v)
     | Instr.Arg a ->
       (match Hashtbl.find_opt arg_names a.arg_name with
        | None -> err ~instr "reference to unknown argument %s" a.arg_name
@@ -55,7 +59,7 @@ let check_func (f : Func.t) =
     if not (Types.equal ty expected) then
       err ~instr "%s: expected %a, got %a" what Types.pp expected Types.pp ty
   in
-  let check_address instr (a : Instr.address) =
+  let check_address ~counter instr (a : Instr.address) =
     (match Hashtbl.find_opt arg_names a.base with
      | Some (Instr.Array_arg elt) ->
        if not (Types.equal_scalar elt a.elt) then
@@ -67,19 +71,23 @@ let check_func (f : Func.t) =
     if a.access_lanes < 1 then err ~instr "non-positive access width";
     List.iter
       (fun s ->
-        match Hashtbl.find_opt arg_names s with
-        | Some Instr.Int_arg -> ()
-        | Some _ -> err ~instr "index symbol %s is not an i64 argument" s
-        | None -> err ~instr "index symbol %s is not an argument" s)
+        if Some s <> counter then
+          match Hashtbl.find_opt arg_names s with
+          | Some Instr.Int_arg -> ()
+          | Some _ -> err ~instr "index symbol %s is not an i64 argument" s
+          | None ->
+            err ~instr
+              "index symbol %s is not an argument or the enclosing loop \
+               counter" s)
       (Affine.symbols a.index)
   in
   let access_ty (a : Instr.address) =
     if a.access_lanes = 1 then Types.Scalar a.elt
     else Types.Vec (a.elt, a.access_lanes)
   in
-  let check_instr (i : Instr.t) =
+  let check_instr ~counter (i : Instr.t) =
     if Hashtbl.mem seen_ids i.Instr.id then
-      err ~instr:i "instruction appears twice in the block";
+      err ~instr:i "instruction appears twice in the function";
     Hashtbl.replace seen_ids i.Instr.id ();
     List.iter (check_value i) (Instr.operands i);
     (match i.kind with
@@ -101,11 +109,11 @@ let check_func (f : Func.t) =
         | Types.Void -> err ~instr:i "unop with void result");
        expect_ty i "operand" i.ty x
      | Instr.Load a ->
-       check_address i a;
+       check_address ~counter i a;
        if not (Types.equal i.ty (access_ty a)) then
          err ~instr:i "load result type does not match access width"
      | Instr.Store (a, v) ->
-       check_address i a;
+       check_address ~counter i a;
        expect_ty i "stored value" (access_ty a) v;
        if not (Types.equal i.ty Types.Void) then
          err ~instr:i "store must have void type"
@@ -163,7 +171,35 @@ let check_func (f : Func.t) =
         | None, _ -> err ~instr:i "shuffle of non-value"));
     Hashtbl.replace defined i.Instr.id ()
   in
-  Block.iter check_instr f.block;
+  let seen_labels = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      let label = Block.label b in
+      if Hashtbl.mem seen_labels label then
+        err "duplicate block label %s" label;
+      Hashtbl.replace seen_labels label ();
+      let counter =
+        match Block.kind b with
+        | Block.Straight -> None
+        | Block.Loop li ->
+          if li.Block.l_step < 1 then
+            err "loop %s has non-positive step %d" label li.Block.l_step;
+          if Hashtbl.mem arg_names li.Block.counter then
+            err "loop %s counter %s shadows a function argument" label
+              li.Block.counter;
+          (match li.Block.l_stop with
+           | Block.Bound_sym s ->
+             (match Hashtbl.find_opt arg_names s with
+              | Some Instr.Int_arg -> ()
+              | Some _ ->
+                err "loop %s bound %s is not an i64 argument" label s
+              | None -> err "loop %s bound %s is not an argument" label s)
+           | Block.Bound_const _ -> ());
+          Some li.Block.counter
+      in
+      Hashtbl.reset defined;
+      Block.iter (check_instr ~counter) b)
+    (Func.blocks f);
   List.rev !errors
 
 let verify_exn f =

@@ -54,7 +54,25 @@ let extras =
       origin = "config-insensitive region"; source = Sources_full.common_region };
   ]
 
-let all = table2 @ extras
+(* Loop-form kernels (PR 2): counted loops that only vectorize through the
+   unroll/region-formation layer (or deliberately never do). *)
+let loops =
+  [
+    { key = "loop.saxpy"; benchmark = "loops";
+      origin = "unit-stride saxpy"; source = Sources.loop_saxpy };
+    { key = "loop.listing1"; benchmark = "loops";
+      origin = "Listing 1 in its loop"; source = Sources.loop_listing1 };
+    { key = "loop.norm4"; benchmark = "loops";
+      origin = "squared norm, 4 leaves/iter"; source = Sources.loop_norm4 };
+    { key = "loop.dot-serial"; benchmark = "loops";
+      origin = "memory-accumulator dot"; source = Sources.loop_dot_serial };
+    { key = "loop.stride2"; benchmark = "loops";
+      origin = "step-2, mixed constants"; source = Sources.loop_stride2 };
+    { key = "loop.dyn"; benchmark = "loops";
+      origin = "symbolic trip count"; source = Sources.loop_dyn };
+  ]
+
+let all = table2 @ extras @ loops
 
 let find key =
   match List.find_opt (fun k -> String.equal k.key key) all with

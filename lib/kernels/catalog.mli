@@ -17,6 +17,10 @@ val table2 : kernel list
 val extras : kernel list
 (** Stand-ins for the remaining whole benchmarks plus the scalar filler. *)
 
+val loops : kernel list
+(** Loop-form kernels: counted loops that need the unroll/region-formation
+    layer before anything can vectorize. *)
+
 val all : kernel list
 
 val find : string -> kernel

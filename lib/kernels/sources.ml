@@ -183,3 +183,79 @@ kernel quartic_cylinder(f64 R[], f64 X[], f64 Y[], i64 i) {
   R[2*i+1] = g1 * g1 + 2.5;
 }
 |}
+
+(* ---- loop-form kernels (PR 2) --------------------------------------
+
+   The remaining kernels arrive as counted loops instead of pre-unrolled
+   straight-line bodies.  Inside the loop the stores of one iteration are
+   too few (or not adjacent enough) to seed, so these only vectorize after
+   the region-formation layer (Unroll) has replicated the body by the
+   vector factor — the paper's loop-unrolling preprocessing made explicit. *)
+
+(* Unit-stride saxpy: one store per iteration, so the block-local pass has
+   nothing to seed until unrolling creates the Y[i..i+VF-1] run. *)
+let loop_saxpy = {|
+kernel loop_saxpy(f64 Y[], f64 X[], f64 a) {
+  for (i64 i = 0; i < 64; i += 1) {
+    Y[i] = a * X[i] + Y[i];
+  }
+}
+|}
+
+(* The paper's Listing 1/Figure 2 body in its natural surrounding loop:
+   two stores per iteration with the operand-order mismatch, step 2. *)
+let loop_listing1 = {|
+kernel loop_listing1(i64 A[], i64 B[], i64 C[]) {
+  for (i64 i = 0; i < 32; i += 2) {
+    A[i+0] = (B[i+0] << 1) & (C[i+0] << 2);
+    A[i+1] = (C[i+1] << 3) & (B[i+1] << 4);
+  }
+}
+|}
+
+(* Per-iteration 4-leaf commutative fadd chain (a squared norm), stored to
+   a unit-stride output: after unrolling, the stores seed and every operand
+   column is a multi-node whose leaves sit at stride 4. *)
+let loop_norm4 = {|
+kernel loop_norm4(f64 R[], f64 V[]) {
+  for (i64 i = 0; i < 16; i += 1) {
+    R[i] = V[4*i+0] * V[4*i+0] + V[4*i+1] * V[4*i+1]
+         + (V[4*i+2] * V[4*i+2] + V[4*i+3] * V[4*i+3]);
+  }
+}
+|}
+
+(* Serial dot product through a memory accumulator (regions are
+   self-contained, so the running sum lives in R[0]).  Unrolling replicates
+   the read-modify-write chain but the stores all alias R[0]: no seed run
+   ever forms and the kernel stays scalar — it is here for the oracle, as
+   the canonical must-not-misvectorize case. *)
+let loop_dot_serial = {|
+kernel loop_dot_serial(f64 R[], f64 X[], f64 Y[]) {
+  for (i64 i = 0; i < 32; i += 1) {
+    R[0] = R[0] + X[i] * Y[i];
+  }
+}
+|}
+
+(* Step-2 loop, two stores per iteration with different added constants:
+   unrolling interleaves the 5/7 constants into one gathered operand
+   column while the loads stay consecutive. *)
+let loop_stride2 = {|
+kernel loop_stride2(i64 A[], i64 B[]) {
+  for (i64 i = 0; i < 24; i += 2) {
+    A[i+0] = B[i+0] + 5;
+    A[i+1] = B[i+1] + 7;
+  }
+}
+|}
+
+(* Symbolic trip count: the bound is a runtime argument, so region
+   formation must leave the loop untouched and the kernel stays scalar. *)
+let loop_dyn = {|
+kernel loop_dyn(f64 Y[], f64 X[], f64 a, i64 n) {
+  for (i64 i = 0; i < n; i += 1) {
+    Y[i] = a * X[i];
+  }
+}
+|}

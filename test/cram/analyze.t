@@ -6,9 +6,9 @@ paper's Figure 4 example, cost -10):
 
   $ lslpc analyze --kernel motivation-multi --config lslp
   LSLP: motivation_multi, 2 region(s) considered
-  region A[i] x2 (VL=2):
+  region [entry] A[i] x2 (VL=2):
     remark[outcome]: vectorized at VL=2: cost -10 beats threshold 0
-  region reduce and x3:
+  region [entry] reduce and x3:
     remark[outcome]: reduction not vectorized: 3 leaf/leaves is less than the vector width 4
   legality: 0 error(s), 0 warning(s)
 
@@ -17,10 +17,10 @@ why: the operand columns it could not reorder were gathered:
 
   $ lslpc analyze --kernel motivation-multi --config slp
   SLP: motivation_multi, 2 region(s) considered
-  region A[i] x2 (VL=2):
+  region [entry] A[i] x2 (VL=2):
     remark[outcome]: vectorized at VL=2: cost -2 beats threshold 0
     remark[gathered-columns]: operand column(s) gathered: members have different opcodes (x2)
-  region reduce and x3:
+  region [entry] reduce and x3:
     remark[outcome]: reduction not vectorized: 3 leaf/leaves is less than the vector width 4
   legality: 0 error(s), 0 warning(s)
 
@@ -35,7 +35,7 @@ names the schedulability reason:
   > EOF
   $ lslpc analyze dep.k --config lslp
   LSLP: dep, 1 region(s) considered
-  region A[i] x2 (VL=2):
+  region [entry] A[i] x2 (VL=2):
     remark[outcome]: kept scalar: cost +2 is not below threshold 0
     remark[seed-rejected]: seed bundle rejected: members depend on one another
   legality: 0 error(s), 0 warning(s)
@@ -51,7 +51,7 @@ slot's mode degrades to FAILED and the remark counts those slots:
   > EOF
   $ lslpc analyze failedmode.k --config lslp
   LSLP: failedmode, 1 region(s) considered
-  region A[i] x2 (VL=2):
+  region [entry] A[i] x2 (VL=2):
     remark[outcome]: kept scalar: cost +2 is not below threshold 0
     remark[operand-mode-failed]: look-ahead reorder: 2 operand slot(s) ended in FAILED mode
     remark[gathered-columns]: operand column(s) gathered: members have different opcodes (x2)
@@ -60,10 +60,10 @@ slot's mode degrades to FAILED and the remark counts those slots:
 The same report as machine-readable JSON (no external JSON dependency):
 
   $ lslpc analyze --kernel motivation-multi --config lslp --json
-  {"config":"LSLP","function":"motivation_multi","regions":[{"region":"A[i] x2","lanes":2,"cost":-10,"threshold":0,"outcome":"vectorized","remarks":[{"rule":"outcome","message":"vectorized at VL=2: cost -10 beats threshold 0"}]},{"region":"reduce and x3","lanes":0,"cost":null,"threshold":0,"outcome":"reduction-unmatched","remarks":[{"rule":"outcome","message":"reduction not vectorized: 3 leaf/leaves is less than the vector width 4"}]}],"diagnostics":[]}
+  {"config":"LSLP","function":"motivation_multi","regions":[{"region":"A[i] x2","block":"entry","lanes":2,"cost":-10,"threshold":0,"outcome":"vectorized","remarks":[{"rule":"outcome","message":"vectorized at VL=2: cost -10 beats threshold 0"}]},{"region":"reduce and x3","block":"entry","lanes":0,"cost":null,"threshold":0,"outcome":"reduction-unmatched","remarks":[{"rule":"outcome","message":"reduction not vectorized: 3 leaf/leaves is less than the vector width 4"}]}],"diagnostics":[]}
 
   $ lslpc analyze dep.k --config lslp --json
-  {"config":"LSLP","function":"dep","regions":[{"region":"A[i] x2","lanes":2,"cost":2,"threshold":0,"outcome":"unprofitable","remarks":[{"rule":"outcome","message":"kept scalar: cost +2 is not below threshold 0"},{"rule":"seed-rejected","message":"seed bundle rejected: members depend on one another"}]}],"diagnostics":[]}
+  {"config":"LSLP","function":"dep","regions":[{"region":"A[i] x2","block":"entry","lanes":2,"cost":2,"threshold":0,"outcome":"unprofitable","remarks":[{"rule":"outcome","message":"kept scalar: cost +2 is not below threshold 0"},{"rule":"seed-rejected","message":"seed bundle rejected: members depend on one another"}]}],"diagnostics":[]}
 
 compile and run accept --verify-output: the legality validator re-checks
 the transformed function against the pre-pass dependence graph:

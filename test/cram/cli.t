@@ -11,14 +11,14 @@ cost (the paper's Figure 4 example: cost -10):
 
   $ lslpc compile --kernel motivation-multi --config lslp
   LSLP: 1 region(s), 1 vectorized, total cost -10
-    A[i] x2 (VL=2): cost -10 [vectorized]
+    [entry] A[i] x2 (VL=2): cost -10 [vectorized]
   
 
 Vanilla SLP only gets the partial graph (the paper: cost -2):
 
   $ lslpc compile --kernel motivation-multi --config slp
   SLP: 1 region(s), 1 vectorized, total cost -2
-    A[i] x2 (VL=2): cost -2 [vectorized]
+    [entry] A[i] x2 (VL=2): cost -2 [vectorized]
   
 
 Running simulates scalar vs vectorized and checks equivalence:

@@ -1,0 +1,45 @@
+Loop kernels vectorize through the region-formation (unroll) layer: the
+counted loop is unrolled by the vector factor and the remarks name the
+unrolled block as the region.
+
+  $ lslpc analyze --kernel loop.saxpy --config lslp
+  LSLP: loop_saxpy, 1 region(s) considered
+  region [loop0.x4] Y[i] x4 (VL=4):
+    remark[outcome]: vectorized at VL=4: cost -14 beats threshold 0
+    remark[gathered-columns]: operand column(s) gathered: not all members are instructions
+  legality: 0 error(s), 0 warning(s)
+
+The JSON report carries the block label of every region so tooling can key
+remarks to the control skeleton:
+
+  $ lslpc analyze --kernel loop.saxpy --config lslp --json
+  {"config":"LSLP","function":"loop_saxpy","regions":[{"region":"Y[i] x4","block":"loop0.x4","lanes":4,"cost":-14,"threshold":0,"outcome":"vectorized","remarks":[{"rule":"outcome","message":"vectorized at VL=4: cost -14 beats threshold 0"},{"rule":"gathered-columns","message":"operand column(s) gathered: not all members are instructions"}]}],"diagnostics":[]}
+
+A trip count below the unroll factor is fully unrolled instead (one
+straight-line region, no loop left):
+
+  $ cat > tiny.k <<'EOF'
+  > kernel tiny(f64 A[], f64 B[]) {
+  >   for (i64 i = 0; i < 3; i += 1) {
+  >     A[i] = B[i] + B[i];
+  >   }
+  > }
+  > EOF
+  $ lslpc analyze tiny.k --config lslp
+  LSLP: tiny, 1 region(s) considered
+  region [loop0.full] A[0] x2 (VL=2):
+    remark[outcome]: vectorized at VL=2: cost -3 beats threshold 0
+  legality: 0 error(s), 0 warning(s)
+
+With unrolling disabled the loop body is a 1-wide region and nothing
+vectorizes:
+
+  $ lslpc analyze --kernel loop.saxpy --config lslp --unroll 0
+  LSLP: loop_saxpy, 0 region(s) considered
+  legality: 0 error(s), 0 warning(s)
+
+A symbolic trip count is left alone — the region keeps its loop form:
+
+  $ lslpc analyze --kernel loop.dyn --config lslp
+  LSLP: loop_dyn, 0 region(s) considered
+  legality: 0 error(s), 0 warning(s)

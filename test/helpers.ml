@@ -49,9 +49,9 @@ let vectorized_regions config f =
   let report, _ = vectorize ~config f in
   report.Lslp_core.Pipeline.vectorized_regions
 
-(* Count instructions matching a predicate in a function. *)
+(* Count instructions matching a predicate across every block. *)
 let count_insts p (f : Func.t) =
-  List.length (Block.find_all p f.Func.block)
+  Func.fold_instrs (fun acc i -> if p i then acc + 1 else acc) 0 f
 
 let is_vector_op (i : Instr.t) = Types.is_vector i.Instr.ty
 

@@ -83,8 +83,8 @@ kernel k(f64 A[], i64 i) {
   A[i+1] = z;
 }
 |} in
-        let deps = Depgraph.build f.Func.block in
-        let insts = Block.to_list f.Func.block in
+        let deps = Depgraph.build (Func.entry f) in
+        let insts = Block.to_list (Func.entry f) in
         let first = List.hd insts in
         let last = List.nth insts (List.length insts - 1) in
         check_bool "store depends on load" true
@@ -93,15 +93,15 @@ kernel k(f64 A[], i64 i) {
           (Depgraph.depends deps first ~on:last));
     tc "memory dependence: store blocks load reordering" (fun () ->
         let f = dep_function () in
-        let deps = Depgraph.build f.Func.block in
-        let insts = Block.to_list f.Func.block in
+        let deps = Depgraph.build (Func.entry f) in
+        let insts = Block.to_list (Func.entry f) in
         let store = List.find Instr.is_store insts in
         let second_load =
           List.find
             (fun i ->
               Instr.is_load i
-              && Block.position_exn f.Func.block i
-                 > Block.position_exn f.Func.block store)
+              && Block.position_exn (Func.entry f) i
+                 > Block.position_exn (Func.entry f) store)
             insts
         in
         check_bool "2nd load depends on store" true
@@ -114,8 +114,8 @@ kernel k(f64 A[], i64 i) {
   A[i+1] = y;
 }
 |} in
-        let deps = Depgraph.build f.Func.block in
-        let insts = Block.to_list f.Func.block in
+        let deps = Depgraph.build (Func.entry f) in
+        let insts = Block.to_list (Func.entry f) in
         let x = List.nth insts 0 and y = List.nth insts 1 in
         check_bool "x,y dependent" false (Depgraph.independent deps [ x; y ]);
         check_bool "singleton ok" true (Depgraph.independent deps [ x ]));
@@ -126,14 +126,14 @@ kernel k(f64 A[], f64 B[], f64 R[], i64 i) {
   R[i+1] = B[i] * 1.0;
 }
 |} in
-        let deps = Depgraph.build f.Func.block in
-        let loads = Block.find_all Instr.is_load f.Func.block in
+        let deps = Depgraph.build (Func.entry f) in
+        let loads = Block.find_all Instr.is_load (Func.entry f) in
         check_bool "independent" true (Depgraph.independent deps loads));
     tc "schedulable_groups accepts legal bundles" (fun () ->
         let f = kernel "motivation-loads" in
-        let deps = Depgraph.build f.Func.block in
-        let loads = Block.find_all Instr.is_load f.Func.block in
-        let stores = Block.find_all Instr.is_store f.Func.block in
+        let deps = Depgraph.build (Func.entry f) in
+        let loads = Block.find_all Instr.is_load (Func.entry f) in
+        let stores = Block.find_all Instr.is_store (Func.entry f) in
         check_bool "loads+stores bundled" true
           (Depgraph.schedulable_groups deps [ loads; stores ]));
     tc "schedulable_groups rejects cyclic contraction" (fun () ->
@@ -147,16 +147,16 @@ kernel k(f64 A[], f64 R[], i64 i) {
   R[i+1] = y;
 }
 |} in
-        let deps = Depgraph.build f.Func.block in
-        let loads = Block.find_all Instr.is_load f.Func.block in
-        let stores = Block.find_all Instr.is_store f.Func.block in
+        let deps = Depgraph.build (Func.entry f) in
+        let loads = Block.find_all Instr.is_load (Func.entry f) in
+        let stores = Block.find_all Instr.is_store (Func.entry f) in
         check_int "two loads" 2 (List.length loads);
         check_bool "cycle rejected" false
           (Depgraph.schedulable_groups deps [ loads; stores ]));
     tc "topo_order is stable when legal" (fun () ->
         let f = dep_function () in
-        let before = Block.to_list f.Func.block in
-        let order = Depgraph.topo_order f.Func.block in
+        let before = Block.to_list (Func.entry f) in
+        let order = Depgraph.topo_order (Func.entry f) in
         check_bool "unchanged" true
           (List.for_all2 Instr.equal before order));
     tc "reschedule fixes def-after-use for pure code" (fun () ->
@@ -169,13 +169,13 @@ kernel k(f64 A[], f64 R[], i64 i) {
         Builder.store b ~base:"A" (Builder.idx 1) y;
         let f = Builder.func b in
         (* scramble: move the load after its user *)
-        let insts = Block.to_list f.Func.block in
-        Block.set_order f.Func.block
+        let insts = Block.to_list (Func.entry f) in
+        Block.set_order (Func.entry f)
           (match insts with
            | [ ld; add; st ] -> [ add; ld; st ]
            | _ -> insts);
         check_bool "broken before" false (Verifier.is_valid f);
-        Depgraph.reschedule f.Func.block;
+        Depgraph.reschedule (Func.entry f);
         check_bool "fixed after" true (Verifier.is_valid f));
   ]
 

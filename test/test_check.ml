@@ -17,7 +17,7 @@ let show_diags diags =
   String.concat "; " (List.map Diagnostic.to_string diags)
 
 let find_binop op f =
-  Block.find_all (fun i -> Instr.binop i = Some op) f.Func.block
+  Block.find_all (fun i -> Instr.binop i = Some op) (Func.entry f)
 
 let vec2_of op a b =
   Instr.create ~name:"v"
@@ -91,10 +91,10 @@ let test_broken_schedule () =
            && match Instr.address i with
               | Some a -> a.Instr.base = "C"
               | None -> false)
-         g.Func.block)
+         (Func.entry g))
   in
   let mul = List.hd (find_binop Opcode.Fmul g) in
-  swap_in_block g.Func.block store mul;
+  swap_in_block (Func.entry g) store mul;
   let diags = Legality.validate snap g in
   check_bool "violated order flagged" true (has_rule "dependence-order" diags)
 
@@ -116,14 +116,14 @@ let test_wrong_lane_count () =
 let test_mismatched_opcode () =
   let f = compile two_lane_src in
   let snap = Legality.snapshot f in
-  let deps = Lslp_analysis.Depgraph.build f.Func.block in
+  let deps = Lslp_analysis.Depgraph.build (Func.entry f) in
   let add = List.hd (find_binop Opcode.Fadd f) in
   (* a load the add does not consume, so only the opcode check can fire *)
   let load =
     List.hd
       (List.filter
          (fun i -> not (Lslp_analysis.Depgraph.depends deps add ~on:i))
-         (Block.find_all Instr.is_load f.Func.block))
+         (Block.find_all Instr.is_load (Func.entry f)))
   in
   let provenance =
     [ { Legality.lanes = [| add; load |]; vector = vec2_of Opcode.Fadd add load } ]
@@ -248,6 +248,7 @@ let test_json_escaping () =
   let r =
     {
       Remark.region = "weird \"name\"\n";
+      block = "entry";
       lanes = 2;
       cost = None;
       threshold = 0;

@@ -118,12 +118,12 @@ kernel k(i64 A[], i64 B[], i64 i) {
     tc "dead scalar code is swept after vectorization" (fun () ->
         let f = kernel "motivation-multi" in
         ignore (Pipeline.run ~config:Config.lslp f);
-        let uses = Use_info.compute f.Func.block in
+        let uses = Use_info.compute (Func.entry f) in
         Block.iter
           (fun i ->
             if not (Instr.has_side_effect i) then
               check_bool "live" true (Use_info.num_uses uses i > 0))
-          f.Func.block);
+          (Func.entry f));
     tc "codegen output always verifies (all kernels x all configs)"
       (fun () ->
         List.iter

@@ -8,9 +8,9 @@ open Helpers
 
 let graph_cost key config =
   let f = kernel key in
-  let seed = List.hd (Seeds.collect config f) in
-  let graph, _ = Graph_builder.build config f seed in
-  (Cost.evaluate config graph f.Func.block).Cost.total
+  let seed = List.hd (Seeds.collect config (Func.entry f)) in
+  let graph, _ = Graph_builder.build config (Func.entry f) seed in
+  (Cost.evaluate config graph (Func.entry f)).Cost.total
 
 let paper_figures =
   [
@@ -35,14 +35,14 @@ let unit_costs =
     tc "bundle_cost of a 2-wide ALU group is -1" (fun () ->
         let f = kernel "motivation-loads" in
         let ands =
-          Block.find_all (fun i -> Instr.binop i = Some Opcode.And) f.Func.block
+          Block.find_all (fun i -> Instr.binop i = Some Opcode.And) (Func.entry f)
         in
         check_int "-1" (-1)
           (Cost.bundle_cost Lslp_costmodel.Model.skylake_avx2
              (Array.of_list ands)));
     tc "store group of 4 saves 3" (fun () ->
         let f = kernel "453.calc-z3" in
-        let stores = Block.find_all Instr.is_store f.Func.block in
+        let stores = Block.find_all Instr.is_store (Func.entry f) in
         check_int "-3" (-3)
           (Cost.bundle_cost Lslp_costmodel.Model.skylake_avx2
              (Array.of_list stores)));
@@ -63,10 +63,10 @@ kernel k(f64 A[], f64 R[], f64 S[], i64 i) {
               match Instr.address s.(0) with
               | Some a -> String.equal a.Instr.base "R"
               | None -> false)
-            (Seeds.collect Config.lslp f)
+            (Seeds.collect Config.lslp (Func.entry f))
         in
-        let graph, _ = Graph_builder.build Config.lslp f seed in
-        let summary = Cost.evaluate Config.lslp graph f.Func.block in
+        let graph, _ = Graph_builder.build Config.lslp (Func.entry f) seed in
+        let summary = Cost.evaluate Config.lslp graph (Func.entry f) in
         check_int "one extract" 1 summary.Cost.extract_cost);
     tc "profitable iff below threshold" (fun () ->
         let summary = { Cost.per_node = []; extract_cost = 0; total = -1 } in
@@ -78,9 +78,9 @@ kernel k(f64 A[], f64 R[], f64 S[], i64 i) {
              { summary with Cost.total = 0 }));
     tc "multi-node internal groups are each costed" (fun () ->
         let f = kernel "motivation-multi" in
-        let seed = List.hd (Seeds.collect Config.lslp f) in
-        let graph, _ = Graph_builder.build Config.lslp f seed in
-        let summary = Cost.evaluate Config.lslp graph f.Func.block in
+        let seed = List.hd (Seeds.collect Config.lslp (Func.entry f)) in
+        let graph, _ = Graph_builder.build Config.lslp (Func.entry f) seed in
+        let summary = Cost.evaluate Config.lslp graph (Func.entry f) in
         let multi_rows =
           List.filter
             (fun (r : Cost.node_cost) ->
@@ -91,9 +91,9 @@ kernel k(f64 A[], f64 R[], f64 S[], i64 i) {
         check_int "two & rows" 2 (List.length multi_rows));
     tc "gather rows carry the aggregation cost" (fun () ->
         let f = kernel "motivation-opcodes" in
-        let seed = List.hd (Seeds.collect Config.lslp f) in
-        let graph, _ = Graph_builder.build Config.lslp f seed in
-        let summary = Cost.evaluate Config.lslp graph f.Func.block in
+        let seed = List.hd (Seeds.collect Config.lslp (Func.entry f)) in
+        let graph, _ = Graph_builder.build Config.lslp (Func.entry f) seed in
+        let summary = Cost.evaluate Config.lslp graph (Func.entry f) in
         let gathers =
           List.filter
             (fun (r : Cost.node_cost) ->

@@ -32,8 +32,8 @@ kernel figure8(i64 A[], i64 B[], i64 C[], i64 D[], i64 E[], i64 i) {
 
 let build () =
   let f = compile figure8_src in
-  let seed = List.hd (Seeds.collect Config.lslp f) in
-  let graph, root = Graph_builder.build Config.lslp f seed in
+  let seed = List.hd (Seeds.collect Config.lslp (Func.entry f)) in
+  let graph, root = Graph_builder.build Config.lslp (Func.entry f) seed in
   (f, graph, root)
 
 let multi_of graph =
@@ -107,7 +107,7 @@ let suite =
               | Instr.Load a when a.Instr.access_lanes = 4 ->
                 Some a.Instr.base
               | _ -> None)
-            (Block.to_list f.Func.block)
+            (Block.to_list (Func.entry f))
           |> List.sort_uniq String.compare
         in
         check (Alcotest.list Alcotest.string) "B, C, D wide"

@@ -117,7 +117,7 @@ let lowering_tests =
     tc "simple kernel lowers and verifies" (fun () ->
         let f = compile "kernel f(f64 A[], i64 i) { A[i] = A[i] * 2.0; }" in
         Verifier.verify_exn f;
-        check_int "three instructions" 3 (Block.length f.Func.block));
+        check_int "three instructions" 3 (Block.length (Func.entry f)));
     tc "locals are values, not instructions" (fun () ->
         let f = compile {|
 kernel f(f64 A[], i64 i) {
@@ -125,7 +125,7 @@ kernel f(f64 A[], i64 i) {
   A[i+1] = x;
 }
 |} in
-        check_int "load + store" 2 (Block.length f.Func.block));
+        check_int "load + store" 2 (Block.length (Func.entry f)));
     tc "affine local substituted in subscripts" (fun () ->
         let f = compile {|
 kernel f(f64 A[], i64 i) {
@@ -133,7 +133,7 @@ kernel f(f64 A[], i64 i) {
   A[j] = 1.0;
 }
 |} in
-        let st = List.hd (Block.find_all Instr.is_store f.Func.block) in
+        let st = List.hd (Block.find_all Instr.is_store (Func.entry f)) in
         match Instr.address st with
         | Some a ->
           check (Alcotest.option Alcotest.int) "offset from 2i" (Some 1)

@@ -6,8 +6,8 @@ open Lslp_core
 open Helpers
 
 let classify_in f bundle =
-  let deps = Depgraph.build f.Func.block in
-  Bundle.classify ~block:f.Func.block ~deps ~in_graph:(fun _ -> false) bundle
+  let deps = Depgraph.build (Func.entry f) in
+  Bundle.classify ~block:(Func.entry f) ~deps ~in_graph:(fun _ -> false) bundle
 
 let bundle_tests =
   [
@@ -25,18 +25,18 @@ kernel k(i64 A[], i64 i) {
 |} in
         let adds =
           Block.find_all
-            (fun i -> Instr.binop i = Some Opcode.Add) f.Func.block
+            (fun i -> Instr.binop i = Some Opcode.Add) (Func.entry f)
         in
         let mul =
           List.hd (Block.find_all (fun i -> Instr.binop i = Some Opcode.Mul)
-                     f.Func.block)
+                     (Func.entry f))
         in
         match classify_in f [| Instr.Ins (List.hd adds); Instr.Ins mul |] with
         | Bundle.Rejected Bundle.Not_isomorphic -> ()
         | _ -> Alcotest.fail "expected Not_isomorphic");
     tc "duplicate members rejected" (fun () ->
         let f = kernel "motivation-loads" in
-        let ld = List.hd (Block.find_all Instr.is_load f.Func.block) in
+        let ld = List.hd (Block.find_all Instr.is_load (Func.entry f)) in
         match classify_in f [| Instr.Ins ld; Instr.Ins ld |] with
         | Bundle.Rejected Bundle.Duplicate_member -> ()
         | _ -> Alcotest.fail "expected Duplicate_member");
@@ -47,7 +47,7 @@ kernel k(i64 A[], i64 i) {
 }
 |} in
         let adds =
-          Block.find_all (fun i -> Instr.binop i = Some Opcode.Add) f.Func.block
+          Block.find_all (fun i -> Instr.binop i = Some Opcode.Add) (Func.entry f)
         in
         (* the root add depends on the two inner adds *)
         let root =
@@ -69,7 +69,7 @@ kernel k(i64 A[], i64 B[], i64 i) {
   A[i+1] = B[i+2];
 }
 |} in
-        let loads = Block.find_all Instr.is_load f.Func.block in
+        let loads = Block.find_all Instr.is_load (Func.entry f) in
         match classify_in f (Bundle.of_insts (Array.of_list loads)) with
         | Bundle.Rejected Bundle.Non_consecutive_loads -> ()
         | _ -> Alcotest.fail "expected Non_consecutive_loads");
@@ -81,24 +81,24 @@ kernel k(i64 A[], i64 B[], i64 i) {
               match Instr.address i with
               | Some a -> Instr.is_load i && String.equal a.Instr.base "B"
               | None -> false)
-            f.Func.block
+            (Func.entry f)
         in
         match classify_in f (Bundle.of_insts (Array.of_list loads)) with
         | Bundle.Vectorizable _ -> ()
         | Bundle.Rejected r -> Alcotest.failf "rejected: %s" (Bundle.reject_to_string r));
     tc "already-claimed members rejected" (fun () ->
         let f = kernel "motivation-loads" in
-        let deps = Depgraph.build f.Func.block in
-        let loads = Block.find_all Instr.is_load f.Func.block in
+        let deps = Depgraph.build (Func.entry f) in
+        let loads = Block.find_all Instr.is_load (Func.entry f) in
         match
-          Bundle.classify ~block:f.Func.block ~deps ~in_graph:(fun _ -> true)
+          Bundle.classify ~block:(Func.entry f) ~deps ~in_graph:(fun _ -> true)
             (Bundle.of_insts (Array.of_list [ List.hd loads; List.nth loads 1 ]))
         with
         | Bundle.Rejected Bundle.Already_in_graph -> ()
         | _ -> Alcotest.fail "expected Already_in_graph");
     tc "operand_column extracts lanes" (fun () ->
         let f = kernel "motivation-loads" in
-        let stores = Block.find_all Instr.is_store f.Func.block in
+        let stores = Block.find_all Instr.is_store (Func.entry f) in
         let col =
           Bundle.operand_column (Array.of_list stores) ~index:0
         in
@@ -109,7 +109,7 @@ let seeds_tests =
   [
     tc "adjacent store runs become seeds" (fun () ->
         let f = kernel "motivation-loads" in
-        let seeds = Seeds.collect Config.lslp f in
+        let seeds = Seeds.collect Config.lslp (Func.entry f) in
         check_int "one seed" 1 (List.length seeds);
         check_int "two lanes" 2 (Array.length (List.hd seeds)));
     tc "runs split into power-of-two windows, widest first" (fun () ->
@@ -118,7 +118,7 @@ kernel k(i64 A[], i64 i) {
   A[i+0] = 0; A[i+1] = 1; A[i+2] = 2; A[i+3] = 3; A[i+4] = 4; A[i+5] = 5;
 }
 |} in
-        let seeds = Seeds.collect Config.lslp f in
+        let seeds = Seeds.collect Config.lslp (Func.entry f) in
         check (Alcotest.list Alcotest.int) "window sizes" [ 4; 2 ]
           (List.map Array.length seeds));
     tc "gaps break runs" (fun () ->
@@ -127,7 +127,7 @@ kernel k(i64 A[], i64 i) {
   A[i+0] = 0; A[i+1] = 1; A[i+3] = 3; A[i+4] = 4;
 }
 |} in
-        let seeds = Seeds.collect Config.lslp f in
+        let seeds = Seeds.collect Config.lslp (Func.entry f) in
         check_int "two seeds" 2 (List.length seeds));
     tc "stores to different arrays are separate" (fun () ->
         let f = compile {|
@@ -135,11 +135,11 @@ kernel k(i64 A[], i64 B[], i64 i) {
   A[i+0] = 0; B[i+0] = 1; A[i+1] = 2; B[i+1] = 3;
 }
 |} in
-        let seeds = Seeds.collect Config.lslp f in
+        let seeds = Seeds.collect Config.lslp (Func.entry f) in
         check_int "two seeds" 2 (List.length seeds));
     tc "single store yields no seed" (fun () ->
         let f = compile "kernel k(i64 A[], i64 i) { A[i] = 1; }" in
-        check_int "none" 0 (List.length (Seeds.collect Config.lslp f)));
+        check_int "none" 0 (List.length (Seeds.collect Config.lslp (Func.entry f))));
     tc "narrow target caps the window" (fun () ->
         let f = compile {|
 kernel k(i64 A[], i64 i) {
@@ -147,7 +147,7 @@ kernel k(i64 A[], i64 i) {
 }
 |} in
         let config = Config.with_model Lslp_costmodel.Model.sse_like Config.lslp in
-        let seeds = Seeds.collect config f in
+        let seeds = Seeds.collect config (Func.entry f) in
         check (Alcotest.list Alcotest.int) "2-wide windows" [ 2; 2 ]
           (List.map Array.length seeds));
     tc "max_lanes override caps below target" (fun () ->
@@ -157,8 +157,8 @@ kernel k(i64 A[], i64 i) {
 
 let build_graph key config =
   let f = kernel key in
-  let seed = List.hd (Seeds.collect config f) in
-  Graph_builder.build config f seed
+  let seed = List.hd (Seeds.collect config (Func.entry f)) in
+  Graph_builder.build config (Func.entry f) seed
 
 let multinode_tests =
   [
@@ -216,9 +216,9 @@ kernel k(i64 A[], i64 B[], i64 R[], i64 i) {
         let seed =
           List.find
             (fun (s : Seeds.seed) -> Array.length s = 2)
-            (Seeds.collect Config.lslp f)
+            (Seeds.collect Config.lslp (Func.entry f))
         in
-        let graph, _ = Graph_builder.build Config.lslp f seed in
+        let graph, _ = Graph_builder.build Config.lslp (Func.entry f) seed in
         let multis =
           List.filter_map
             (fun (n : Graph.node) ->
@@ -237,8 +237,8 @@ kernel k(f64 A[], f64 B[], i64 i) {
   A[i+1] = B[i+1] - 1.0;
 }
 |} in
-        let seed = List.hd (Seeds.collect Config.lslp f) in
-        let graph, _ = Graph_builder.build Config.lslp f seed in
+        let seed = List.hd (Seeds.collect Config.lslp (Func.entry f)) in
+        let graph, _ = Graph_builder.build Config.lslp (Func.entry f) seed in
         check_bool "no multi" true
           (List.for_all
              (fun (n : Graph.node) ->
@@ -252,8 +252,8 @@ kernel k(f64 A[], f64 B[], f64 R[], i64 i) {
   R[i+1] = A[i+1] + B[i+0];
 }
 |} in
-        let seed = List.hd (Seeds.collect Config.lslp f) in
-        let graph, _ = Graph_builder.build Config.lslp f seed in
+        let seed = List.hd (Seeds.collect Config.lslp (Func.entry f)) in
+        let graph, _ = Graph_builder.build Config.lslp (Func.entry f) seed in
         let m =
           List.find_map
             (fun (n : Graph.node) ->
@@ -270,8 +270,8 @@ kernel k(f64 A[], f64 R[], i64 i) {
   R[i+1] = A[i+1] * A[i+1];
 }
 |} in
-        let seed = List.hd (Seeds.collect Config.lslp f) in
-        let graph, _ = Graph_builder.build Config.lslp f seed in
+        let seed = List.hd (Seeds.collect Config.lslp (Func.entry f)) in
+        let graph, _ = Graph_builder.build Config.lslp (Func.entry f) seed in
         let loads =
           List.filter
             (fun (n : Graph.node) ->

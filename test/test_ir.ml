@@ -183,7 +183,7 @@ let dce_tests =
         let f = func_with_dead_code () in
         let removed = Dce.run f in
         check_int "removed" 3 removed;
-        check_int "remaining" 2 (Block.length f.Func.block);
+        check_int "remaining" 2 (Block.length (Func.entry f));
         Verifier.verify_exn f);
     tc "keeps stores and their inputs" (fun () ->
         let f = func_with_dead_code () in
@@ -267,8 +267,8 @@ kernel k(f64 A[], f64 R[], i64 i) {
   R[i+1] = x + 1.0;
 }
 |} in
-        let uses = Use_info.compute f.Func.block in
-        let load = List.hd (Block.find_all Instr.is_load f.Func.block) in
+        let uses = Use_info.compute (Func.entry f) in
+        let load = List.hd (Block.find_all Instr.is_load (Func.entry f)) in
         check_int "x used 3 times" 3 (Use_info.num_uses uses load);
         check_bool "not single use" false (Use_info.has_single_use uses load));
     tc "users_outside filters" (fun () ->
@@ -278,8 +278,8 @@ kernel k(f64 A[], f64 R[], i64 i) {
   R[i+0] = x * 2.0;
 }
 |} in
-        let uses = Use_info.compute f.Func.block in
-        let load = List.hd (Block.find_all Instr.is_load f.Func.block) in
+        let uses = Use_info.compute (Func.entry f) in
+        let load = List.hd (Block.find_all Instr.is_load (Func.entry f)) in
         check_int "all outside" 1
           (List.length (Use_info.users_outside uses load ~inside:(fun _ -> false)));
         check_int "none outside" 0
@@ -291,11 +291,11 @@ let clone_tests =
     tc "clone is deep and equivalent" (fun () ->
         let f = kernel "453.boy-surface" in
         let g = Func.clone f in
-        check_int "same length" (Block.length f.Func.block)
-          (Block.length g.Func.block);
+        check_int "same length" (Block.length (Func.entry f))
+          (Block.length (Func.entry g));
         (* no instruction shared *)
         let ids (h : Func.t) =
-          List.map (fun (i : Instr.t) -> i.id) (Block.to_list h.Func.block)
+          List.map (fun (i : Instr.t) -> i.id) (Block.to_list (Func.entry h))
         in
         List.iter
           (fun id -> check_bool "distinct ids" false (List.mem id (ids f)))
@@ -303,10 +303,10 @@ let clone_tests =
         assert_sound ~reference:f ~candidate:g ());
     tc "mutating the clone leaves the original intact" (fun () ->
         let f = kernel "motivation-loads" in
-        let n = Block.length f.Func.block in
+        let n = Block.length (Func.entry f) in
         let g = Func.clone f in
         ignore (Lslp_core.Pipeline.run ~config:Lslp_core.Config.lslp g);
-        check_int "original untouched" n (Block.length f.Func.block));
+        check_int "original untouched" n (Block.length (Func.entry f)));
   ]
 
 let suite =

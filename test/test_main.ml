@@ -5,6 +5,7 @@ let () =
       ("ir", Test_ir.suite);
       ("verifier-printer", Test_verifier.suite);
       ("frontend", Test_frontend.suite);
+      ("loops", Test_loops.suite);
       ("analysis", Test_analysis.suite);
       ("costmodel", Test_costmodel.suite);
       ("interp", Test_interp.suite);

@@ -8,11 +8,11 @@ let pipeline_tests =
   [
     tc "unprofitable regions stay scalar and unchanged" (fun () ->
         let f = kernel "motivation-loads" in
-        let n = Lslp_ir.Block.length f.Lslp_ir.Func.block in
+        let n = Lslp_ir.Block.length (Lslp_ir.Func.entry f) in
         let report = Pipeline.run ~config:Config.slp f in
         check_int "no vectorization" 0 report.Pipeline.vectorized_regions;
         check_int "block unchanged" n
-          (Lslp_ir.Block.length f.Lslp_ir.Func.block));
+          (Lslp_ir.Block.length (Lslp_ir.Func.entry f)));
     tc "threshold moves the profitability bar" (fun () ->
         (* figure 2 under SLP costs exactly 0: threshold 1 accepts it *)
         let f = kernel "motivation-loads" in

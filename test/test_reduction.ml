@@ -24,7 +24,7 @@ let detection_tests =
   [
     tc "dot-product chain is detected" (fun () ->
         let f = compile dot_src in
-        match Reduction.collect_candidates f with
+        match Reduction.collect_candidates (Func.entry f) with
         | [ c ] ->
           check_bool "fadd" true (c.Reduction.cand_op = Opcode.Fadd);
           check_int "3 chain ops" 3 (List.length c.Reduction.cand_chain);
@@ -35,7 +35,7 @@ let detection_tests =
 kernel k(f64 S[], f64 A[], i64 i) { S[i] = A[i] + A[i+1]; }
 |} in
         check_int "no candidates" 0
-          (List.length (Reduction.collect_candidates f)));
+          (List.length (Reduction.collect_candidates (Func.entry f))));
     tc "escaping intermediates stop the chain" (fun () ->
         let f = compile {|
 kernel k(f64 S[], f64 A[], i64 i) {
@@ -44,7 +44,7 @@ kernel k(f64 S[], f64 A[], i64 i) {
   S[i+4] = t;
 }
 |} in
-        match Reduction.collect_candidates f with
+        match Reduction.collect_candidates (Func.entry f) with
         | [ c ] ->
           (* t is multi-use: it is a leaf of the big chain, not absorbed *)
           check_int "leaves" 4 (List.length c.Reduction.cand_leaves)
@@ -55,7 +55,7 @@ kernel k(f64 S[], f64 A[], i64 i) {
   S[i] = A[i+0] - A[i+1] - A[i+2] - A[i+3] - A[i+4];
 }
 |} in
-        check_int "none" 0 (List.length (Reduction.collect_candidates f)));
+        check_int "none" 0 (List.length (Reduction.collect_candidates (Func.entry f))));
   ]
 
 let vectorize_tests =
@@ -63,7 +63,7 @@ let vectorize_tests =
     tc "dot product becomes wide mul + reduce" (fun () ->
         let f = compile dot_src in
         let reference = Func.clone f in
-        let regions = Reduction.run ~config:Config.lslp f in
+        let regions = Reduction.run ~config:Config.lslp (Func.entry f) in
         check_int "one region" 1 (List.length regions);
         check_bool "vectorized" true (List.hd regions).Reduction.vectorized;
         check_int "one reduce" 1 (count_kind is_reduce f);
@@ -77,7 +77,7 @@ kernel k(f64 S[], f64 A[], f64 B[], i64 i) {
 }
 |} in
         let reference = Func.clone f in
-        ignore (Reduction.run ~config:Config.lslp f);
+        ignore (Reduction.run ~config:Config.lslp (Func.entry f));
         check_int "one reduce" 1 (count_kind is_reduce f);
         (* the +2.5 survives as a scalar fadd after the reduce *)
         check_bool "scalar tail" true
@@ -96,7 +96,7 @@ kernel k(f64 S[], f64 A[], i64 i) {
 }
 |} in
         let reference = Func.clone f in
-        ignore (Reduction.run ~config:Config.lslp f);
+        ignore (Reduction.run ~config:Config.lslp (Func.entry f));
         check_int "one reduce" 1 (count_kind is_reduce f);
         check_bool "wide fadd combine" true
           (count_insts
@@ -109,7 +109,7 @@ kernel k(f64 S[], f64 A[], i64 i) {
         let f = compile {|
 kernel k(f64 S[], f64 A[], i64 i) { S[i] = A[i+0] + A[i+1] + A[i+2]; }
 |} in
-        let regions = Reduction.run ~config:Config.lslp f in
+        let regions = Reduction.run ~config:Config.lslp (Func.entry f) in
         check_int "nothing" 0 (List.length regions);
         check_int "no reduce" 0 (count_kind is_reduce f));
     tc "gathered (non-consecutive) leaves can still pay off" (fun () ->
@@ -120,7 +120,7 @@ kernel k(f64 S[], f64 A[], f64 B[], i64 i) {
 }
 |} in
         let reference = Func.clone f in
-        ignore (Reduction.run ~config:Config.lslp f);
+        ignore (Reduction.run ~config:Config.lslp (Func.entry f));
         assert_sound ~reference ~candidate:f ());
     tc "reduction root with a scalar store user is rewired" (fun () ->
         let f = compile {|
@@ -131,7 +131,7 @@ kernel k(f64 S[], f64 T[], f64 A[], i64 i) {
 }
 |} in
         let reference = Func.clone f in
-        let regions = Reduction.run ~config:Config.lslp f in
+        let regions = Reduction.run ~config:Config.lslp (Func.entry f) in
         check_bool "vectorized" true
           (List.exists (fun r -> r.Reduction.vectorized) regions);
         assert_sound ~reference ~candidate:f ());
@@ -154,7 +154,7 @@ kernel k(i64 S[], i64 A[], i64 i) {
 }
 |} in
         let reference = Func.clone f in
-        ignore (Reduction.run ~config:Config.lslp f);
+        ignore (Reduction.run ~config:Config.lslp (Func.entry f));
         check_int "one reduce" 1 (count_kind is_reduce f);
         assert_sound ~reference ~candidate:f ());
   ]
@@ -198,7 +198,7 @@ kernel k(f64 R[], f64 A[], i64 i) {
                 Instr.Ins shuf))
             Types.Void
         in
-        Block.append_list fb.Func.block [ wide; shuf; st ];
+        Block.append_list (Func.entry fb) [ wide; shuf; st ];
         Verifier.verify_exn fb;
         let mem = Lslp_interp.Memory.create () in
         Lslp_interp.Memory.set_float mem "A" [| 1.0; 2.0; 0.0 |];
@@ -227,7 +227,7 @@ kernel k(f64 R[], f64 A[], i64 i) {
             (Instr.Shuffle (Instr.Ins wide, [ 0; 5 ]))
             (Types.vec Types.F64 2)
         in
-        Block.append_list fb.Func.block [ wide; bad ];
+        Block.append_list (Func.entry fb) [ wide; bad ];
         check_bool "rejected" true (not (Verifier.is_valid fb)));
     tc "permuted reuse of a vectorized column becomes one shuffle" (fun () ->
         (* both lanes multiply the same two sums, in swapped order: the
@@ -259,7 +259,7 @@ kernel k(f64 S[], f64 A[], i64 i) {
   S[i] = A[i+0] + A[i+1] + A[i+2] + A[i+3];
 }
 |} in
-        ignore (Reduction.run ~config:Config.lslp f);
+        ignore (Reduction.run ~config:Config.lslp (Func.entry f));
         let mem = Lslp_interp.Memory.create () in
         Lslp_interp.Memory.set_float mem "A" [| 1.0; 2.0; 3.0; 4.0 |];
         Lslp_interp.Memory.set_float mem "S" [| 0.0 |];

@@ -325,6 +325,93 @@ let vanilla_tests =
            && Instr.equal_value right.(0) b0 && Instr.equal_value right.(1) a0));
   ]
 
+(* ---- properties ---------------------------------------------------
+
+   Randomized laws for the scoring primitives.  [Addr.consecutive] is
+   directional (a, then a + lanes), so load/load pairs are legitimately
+   asymmetric; every other shape must score symmetrically, and the boolean
+   matcher must agree with a positive graded score. *)
+let property_tests =
+  let open QCheck2 in
+  let pp_vdesc = function
+    | `Load (a, o) -> Fmt.str "load%d[%d]" a o
+    | `Const c -> Fmt.str "const%d" c
+    | `Shl (a, o, k) -> Fmt.str "shl(load%d[%d],%d)" a o k
+  in
+  let gen_vdesc =
+    Gen.oneof
+      [ Gen.map2 (fun a o -> `Load (a, o)) (Gen.int_bound 1) (Gen.int_bound 7);
+        Gen.map (fun c -> `Const c) (Gen.int_bound 9);
+        Gen.map3
+          (fun a o k -> `Shl (a, o, k))
+          (Gen.int_bound 1) (Gen.int_bound 7) (Gen.int_range 1 4) ]
+  in
+  let arr = function 0 -> "B" | _ -> "C" in
+  let materialize env = function
+    | `Load (a, o) -> load env (arr a) o
+    | `Const c -> Builder.iconst c
+    | `Shl (a, o, k) -> shl env (load env (arr a) o) k
+  in
+  let is_load_desc = function
+    | `Load _ -> true
+    | `Const _ | `Shl _ -> false
+  in
+  let prop ?(count = 500) name gen print p =
+    QCheck_alcotest.to_alcotest (Test.make ~count ~name ~print gen p)
+  in
+  let pair_gen = Gen.pair gen_vdesc gen_vdesc in
+  let pair_print (a, b) = Fmt.str "(%s, %s)" (pp_vdesc a) (pp_vdesc b) in
+  [
+    prop "pair_score is symmetric off load/load pairs" pair_gen pair_print
+      (fun (d1, d2) ->
+        assume (not (is_load_desc d1 && is_load_desc d2));
+        let env = mk_env () in
+        let v1 = materialize env d1 and v2 = materialize env d2 in
+        Reorder.pair_score v1 v2 = Reorder.pair_score v2 v1);
+    prop "consecutive_or_match is symmetric off load/load pairs" pair_gen
+      pair_print
+      (fun (d1, d2) ->
+        assume (not (is_load_desc d1 && is_load_desc d2));
+        let env = mk_env () in
+        let v1 = materialize env d1 and v2 = materialize env d2 in
+        Reorder.consecutive_or_match v1 v2
+        = Reorder.consecutive_or_match v2 v1);
+    prop "matcher agrees with a positive score off load/load pairs" pair_gen
+      pair_print
+      (fun (d1, d2) ->
+        assume (not (is_load_desc d1 && is_load_desc d2));
+        let env = mk_env () in
+        let v1 = materialize env d1 and v2 = materialize env d2 in
+        Reorder.consecutive_or_match v1 v2 = (Reorder.pair_score v1 v2 > 0));
+    prop "scores stay in the 0..2 grade range" pair_gen pair_print
+      (fun (d1, d2) ->
+        let env = mk_env () in
+        let v1 = materialize env d1 and v2 = materialize env d2 in
+        let s = Reorder.pair_score v1 v2 in
+        0 <= s && s <= 2);
+    prop "an identical value outscores any same-opcode sibling"
+      (Gen.pair
+         (Gen.pair (Gen.int_bound 1) (Gen.int_bound 7))
+         (Gen.pair (Gen.int_bound 1) (Gen.int_bound 7)))
+      (fun ((a1, o1), (a2, o2)) ->
+        Fmt.str "shl(load%d[%d]) vs shl(load%d[%d])" a1 o1 a2 o2)
+      (fun ((a1, o1), (a2, o2)) ->
+        let env = mk_env () in
+        let v1 = materialize env (`Shl (a1, o1, 1)) in
+        let v2 = materialize env (`Shl (a2, o2, 1)) in
+        (* v1 and v2 are distinct instructions even when their descriptions
+           coincide, so the self pairing must strictly win *)
+        Reorder.pair_score v1 v1 = 2
+        && Reorder.pair_score v1 v1 > Reorder.pair_score v1 v2);
+    prop "loads score directionally: 2 iff the offset steps by one"
+      (Gen.pair (Gen.int_bound 7) (Gen.int_bound 7))
+      (fun (o1, o2) -> Fmt.str "B[%d] vs B[%d]" o1 o2)
+      (fun (o1, o2) ->
+        let env = mk_env () in
+        let v1 = load env "B" o1 and v2 = load env "B" o2 in
+        Reorder.pair_score v1 v2 = (if o2 = o1 + 1 then 2 else 0));
+  ]
+
 let suite =
   pair_score_tests @ figure7_tests @ get_best_tests @ matrix_tests
-  @ vanilla_tests
+  @ vanilla_tests @ property_tests

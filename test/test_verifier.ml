@@ -24,7 +24,7 @@ let verifier_tests =
         let w = Builder.binop b Opcode.Add v (Builder.iconst 1) in
         Builder.store b ~base:"A" (Builder.idx 1) w;
         let f = Builder.func b in
-        Block.set_order f.Func.block (List.rev (Block.to_list f.Func.block));
+        Block.set_order (Func.entry f) (List.rev (Block.to_list (Func.entry f)));
         check_bool "errors" true (errors f > 0));
     tc "rejects operand type mismatch" (fun () ->
         let b = base_func () in
@@ -34,7 +34,7 @@ let verifier_tests =
         let bad =
           Instr.create (Instr.Binop (Opcode.Add, v, Builder.iconst 1)) Types.i64
         in
-        Block.append f.Func.block bad;
+        Block.append (Func.entry f) bad;
         check_bool "errors" true (errors f > 0));
     tc "rejects unknown array" (fun () ->
         let b = base_func () in
@@ -46,7 +46,7 @@ let verifier_tests =
                  access_lanes = 1 })
             Types.i64
         in
-        Block.append f.Func.block bad;
+        Block.append (Func.entry f) bad;
         check_bool "errors" true (errors f > 0));
     tc "rejects index symbol that is not an i64 argument" (fun () ->
         let b = base_func () in
@@ -58,7 +58,7 @@ let verifier_tests =
                  access_lanes = 1 })
             Types.i64
         in
-        Block.append f.Func.block bad;
+        Block.append (Func.entry f) bad;
         check_bool "errors" true (errors f > 0));
     tc "rejects wrong element type for array" (fun () ->
         let b = base_func () in
@@ -70,7 +70,7 @@ let verifier_tests =
                  access_lanes = 1 })
             Types.i64
         in
-        Block.append f.Func.block bad;
+        Block.append (Func.entry f) bad;
         check_bool "errors" true (errors f > 0));
     tc "rejects buildvec arity mismatch" (fun () ->
         let b = base_func () in
@@ -80,7 +80,7 @@ let verifier_tests =
             (Instr.Buildvec [ Builder.iconst 1 ])
             (Types.vec Types.I64 2)
         in
-        Block.append f.Func.block bad;
+        Block.append (Func.entry f) bad;
         check_bool "errors" true (errors f > 0));
     tc "rejects extract lane out of range" (fun () ->
         let b = base_func () in
@@ -93,15 +93,15 @@ let verifier_tests =
             (Types.vec Types.I64 2)
         in
         let bad = Instr.create (Instr.Extract (Instr.Ins wide, 5)) Types.i64 in
-        Block.append f.Func.block wide;
-        Block.append f.Func.block bad;
+        Block.append (Func.entry f) wide;
+        Block.append (Func.entry f) bad;
         check_bool "errors" true (errors f > 0));
     tc "rejects duplicate instruction in block" (fun () ->
         let b = base_func () in
         let v = Builder.load b ~base:"A" (Builder.idx 0) in
         let f = Builder.func b in
         (match v with
-         | Instr.Ins i -> Block.append f.Func.block i
+         | Instr.Ins i -> Block.append (Func.entry f) i
          | _ -> assert false);
         check_bool "errors" true (errors f > 0));
     tc "rejects store with non-void type" (fun () ->
@@ -115,7 +115,7 @@ let verifier_tests =
                 Builder.iconst 1))
             Types.i64
         in
-        Block.append f.Func.block bad;
+        Block.append (Func.entry f) bad;
         check_bool "errors" true (errors f > 0));
     tc "verify_exn raises with all errors" (fun () ->
         let b = base_func () in
@@ -127,7 +127,7 @@ let verifier_tests =
                  access_lanes = 1 })
             Types.i64
         in
-        Block.append f.Func.block bad;
+        Block.append (Func.entry f) bad;
         check_bool "raises" true
           (try Verifier.verify_exn f; false with Verifier.Invalid _ -> true));
   ]
@@ -163,7 +163,7 @@ kernel p(i64 A[], i64 i) {
           List.map
             (fun (i : Instr.t) ->
               Printer.value_to_string (Instr.Ins i))
-            (Block.to_list f.Func.block)
+            (Block.to_list (Func.entry f))
         in
         check_int "unique" (List.length labels)
           (List.length (List.sort_uniq String.compare labels)));

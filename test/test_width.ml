@@ -168,7 +168,7 @@ let suite =
         Builder.store b ~base:"S" (Affine.sym "i") sum;
         let f = Builder.func b in
         let reference = Func.clone f in
-        let regions = Reduction.run ~config:Config.lslp f in
+        let regions = Reduction.run ~config:Config.lslp (Func.entry f) in
         check_bool "vectorized" true
           (List.exists (fun r -> r.Reduction.vectorized) regions);
         check_bool "8-lane reduce" true

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune.
 
-.PHONY: all test check bench ci clean
+.PHONY: all test check bench ci clean fuzz lint-exceptions
 
 all:
 	dune build
@@ -19,6 +19,26 @@ ci:
 	dune build
 	dune runtest
 	dune build @check
+	$(MAKE) lint-exceptions
+	$(MAKE) fuzz
+
+# The pinned-seed differential fuzz run CI's fuzz-smoke job executes:
+# 500 random programs through the pipeline, checked against the scalar
+# oracle, with and without injected faults.
+fuzz:
+	dune exec bin/lslpc.exe -- fuzz --cases 500 --seed 42
+
+# Library code must not raise bare Failure: the fail-soft pipeline's
+# guarantees rest on typed errors (Codegen.Error, Transact.Check_failed,
+# Budget.Exhausted).  Grows an allowlist via --exclude if a file ever
+# earns an exemption; none does today.
+lint-exceptions:
+	@if grep -rn --include='*.ml' --include='*.mli' -w 'failwith' lib/; then \
+	  echo 'error: failwith in lib/ -- raise a typed error instead'; \
+	  exit 1; \
+	else \
+	  echo 'lint-exceptions: OK (no failwith in lib/)'; \
+	fi
 
 bench:
 	dune exec bench/main.exe

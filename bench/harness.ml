@@ -13,7 +13,26 @@ type measurement = {
   accepted_cost : int;     (* Σ cost of regions actually vectorized (TTI) *)
   scalar_cycles : int;     (* simulated cycles of the O3 (scalar) code *)
   vector_cycles : int;     (* simulated cycles after the pass *)
+  degraded : int;          (* regions the fail-soft pipeline rolled back *)
 }
+
+(* Fail-soft accounting: a degraded region silently measures as scalar, so
+   any benchmark number taken while one exists is suspect.  Tally them per
+   configuration and report at the end of the run. *)
+let degraded_tally : (string, int) Hashtbl.t = Hashtbl.create 7
+
+let note_degraded config_name n =
+  if n > 0 then
+    Hashtbl.replace degraded_tally config_name
+      (n + Option.value ~default:0 (Hashtbl.find_opt degraded_tally config_name))
+
+let report_degraded () =
+  if Hashtbl.length degraded_tally > 0 then begin
+    Fmt.epr "@.=== fail-soft: degraded regions during this run ===@.";
+    Hashtbl.iter
+      (fun config n -> Fmt.epr "%-12s %d region(s) rolled back to scalar@." config n)
+      degraded_tally
+  end
 
 let speedup m = float_of_int m.scalar_cycles /. float_of_int (max 1 m.vector_cycles)
 
@@ -45,12 +64,14 @@ let measure ?(config_list = configs_main) ?(unroll = 4) key =
         Lslp_interp.Oracle.compare_runs ~reference ~candidate:g ()
       in
       assert (o.Lslp_interp.Oracle.mismatches = []);
+      note_degraded config.Config.name report.Pipeline.degraded_regions;
       {
         key;
         config_name = config.Config.name;
         accepted_cost = report.Pipeline.total_cost;
         scalar_cycles = o.Lslp_interp.Oracle.reference_cycles;
         vector_cycles = o.Lslp_interp.Oracle.candidate_cycles;
+        degraded = report.Pipeline.degraded_regions;
       })
     config_list
 

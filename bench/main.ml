@@ -75,6 +75,7 @@ let deterministic_figures () =
   Figures.loops ()
 
 let () =
+  at_exit Harness.report_degraded;
   let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match arg with
   | "table2" -> Figures.table2 ()

@@ -9,11 +9,14 @@
               considered, plus the output of the legality validator
      kernels  list the built-in kernel catalog
      show     print a catalog kernel's source and IR
+     fuzz     differential fuzzing: random kernels vs the scalar oracle
 
    Example:
      lslpc compile --config lslp --dump-ir examples/kernels/foo.k
      lslpc run --kernel 453.boy-surface --config slp
      lslpc analyze --kernel 464.motivation-multi --config lslp --json
+     lslpc compile --kernel 453.boy-surface --inject codegen:1.0:7
+     lslpc fuzz --cases 500 --seed 42
 *)
 
 open Cmdliner
@@ -45,6 +48,27 @@ let config_arg =
   in
   Arg.(value & opt config_conv Lslp_core.Config.lslp
        & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
+
+let inject_conv =
+  let parse s =
+    Result.map_error (fun e -> `Msg e) (Lslp_robust.Inject.parse s)
+  in
+  Arg.conv (parse, Lslp_robust.Inject.pp)
+
+let inject_arg =
+  let doc =
+    "Arm deterministic fault injection: PASS[:RATE[:SEED]], where PASS is \
+     graph-build, reorder, codegen, reduction, cse, dce, verify, corrupt \
+     or all.  Fired faults roll the region back to scalar and show up as \
+     degraded regions in the report."
+  in
+  Arg.(value & opt (some inject_conv) None
+       & info [ "inject" ] ~docv:"SPEC" ~doc)
+
+let apply_inject inject config =
+  match inject with
+  | Some i -> Lslp_core.Config.with_inject i config
+  | None -> config
 
 (* Region formation happens here, in the driver, exactly once: Lower and
    Catalog.compile stay pure so nothing double-unrolls. *)
@@ -114,14 +138,15 @@ let print_diagnostics diags =
 (* ---- compile ---------------------------------------------------- *)
 
 let compile_cmd =
-  let run file kernel config unroll dump_ir dump_graph quiet verify_output
-      verbose =
+  let run file kernel config unroll inject dump_ir dump_graph quiet
+      verify_output verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let config =
       if verify_output then Lslp_core.Config.with_validate true config
       else config
     in
+    let config = apply_inject inject config in
     let f = load_kernel ~unroll file kernel in
     if dump_ir then
       Fmt.pr "=== scalar IR ===@.%a@.@." Lslp_ir.Printer.pp_func f;
@@ -165,18 +190,20 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Vectorize a kernel and report what happened")
     Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg
-          $ dump_ir $ dump_graph $ quiet $ verify_output_arg $ verbose_arg)
+          $ inject_arg $ dump_ir $ dump_graph $ quiet $ verify_output_arg
+          $ verbose_arg)
 
 (* ---- run --------------------------------------------------------- *)
 
 let run_cmd =
-  let run file kernel config unroll seed verify_output verbose =
+  let run file kernel config unroll inject seed verify_output verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let config =
       if verify_output then Lslp_core.Config.with_validate true config
       else config
     in
+    let config = apply_inject inject config in
     (* the reference is the kernel as written (loops intact), so the oracle
        checks region formation and vectorization together *)
     let reference = load_kernel ~unroll:0 file kernel in
@@ -208,18 +235,19 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Vectorize a kernel, simulate scalar vs vector, compare")
-    Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg $ seed
-          $ verify_output_arg $ verbose_arg)
+    Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg
+          $ inject_arg $ seed $ verify_output_arg $ verbose_arg)
 
 (* ---- analyze ------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run file kernel config unroll json verbose =
+  let run file kernel config unroll inject json verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let config =
       Lslp_core.Config.(config |> with_remarks true |> with_validate true)
     in
+    let config = apply_inject inject config in
     let f = load_kernel ~unroll file kernel in
     let report, _g = Lslp_core.Pipeline.run_cloned ~config f in
     let remarks = report.Lslp_core.Pipeline.remarks in
@@ -246,8 +274,47 @@ let analyze_cmd =
        ~doc:
          "Explain the vectorizer's decisions: one remark per region \
           considered, with the legality validator's verdict")
-    Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg $ json
-          $ verbose_arg)
+    Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg
+          $ inject_arg $ json $ verbose_arg)
+
+(* ---- fuzz --------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run cases seed config inject verbose =
+    handle_errors @@ fun () ->
+    setup_logs verbose;
+    let stats =
+      Lslp_fuzz.Fuzz.run ~cases ~seed ?config ?inject_spec:inject ()
+    in
+    (* summary on stdout is stable per seed; the RNG-dependent counters go
+       to stderr so cram tests can pin the former *)
+    Fmt.pr "%a@." Lslp_fuzz.Fuzz.pp_summary stats;
+    Fmt.epr "%a@." Lslp_fuzz.Fuzz.pp_detail stats;
+    if not (Lslp_fuzz.Fuzz.ok stats) then exit 1
+  in
+  let cases =
+    Arg.(value & opt int 500
+         & info [ "cases" ] ~docv:"N" ~doc:"How many random programs to try.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Root seed; every case is reproducible from it.")
+  in
+  let config =
+    let doc =
+      "Pin one vectorizer configuration instead of drawing from the pool."
+    in
+    Arg.(value & opt (some config_conv) None
+         & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random well-typed kernels through the \
+          pipeline under random configurations (and injected faults), \
+          checked against the scalar oracle")
+    Term.(const run $ cases $ seed $ config $ inject_arg $ verbose_arg)
 
 (* ---- kernels ------------------------------------------------------ *)
 
@@ -286,4 +353,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; run_cmd; analyze_cmd; kernels_cmd; show_cmd ]))
+          [ compile_cmd; run_cmd; analyze_cmd; fuzz_cmd; kernels_cmd;
+            show_cmd ]))

@@ -63,7 +63,8 @@ let () =
   (* Stage 4: code generation + cleanup. *)
   (match Codegen.run graph (Func.entry f) with
    | Codegen.Vectorized -> ()
-   | Codegen.Not_schedulable -> failwith "unexpectedly unschedulable");
+   | Codegen.Not_schedulable -> failwith "unexpectedly unschedulable"
+   | Codegen.Failed msg -> failwith ("codegen failed: " ^ msg));
   Verifier.verify_exn f;
   Fmt.pr "=== vectorized IR ===@.%a@.@." Printer.pp_func f;
 

@@ -17,6 +17,8 @@ type outcome =
   | Unprofitable
   | Not_schedulable
   | Reduction_unmatched of { leaves : int; width : int }
+  | Degraded of { pass : string; error : string }
+  | Budget_exhausted of { pass : string; what : string }
 
 type t = {
   region : string;
@@ -60,7 +62,17 @@ let outcome_rule =
             (Fmt.str
                "reduction not vectorized: %d leaf/leaves is less than the \
                 vector width %d"
-               leaves width));
+               leaves width)
+        | Degraded { pass; error }, _ ->
+          Some
+            (Fmt.str "degraded: %s failed (%s); region rolled back to scalar"
+               pass error)
+        | Budget_exhausted { pass; what }, _ ->
+          Some
+            (Fmt.str
+               "degraded: %s exhausted the %s budget; region rolled back to \
+                scalar"
+               pass what));
   }
 
 let note_rule name pick =
@@ -169,6 +181,8 @@ let outcome_name = function
   | Unprofitable -> "unprofitable"
   | Not_schedulable -> "not-schedulable"
   | Reduction_unmatched _ -> "reduction-unmatched"
+  | Degraded _ -> "degraded"
+  | Budget_exhausted _ -> "budget-exhausted"
 
 let remark_to_json b r =
   Buffer.add_char b '{';

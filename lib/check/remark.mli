@@ -22,6 +22,12 @@ type outcome =
   | Unprofitable
   | Not_schedulable
   | Reduction_unmatched of { leaves : int; width : int }
+  | Degraded of { pass : string; error : string }
+      (** a pass failed mid-transform; the region was rolled back to its
+          scalar form (fail-soft pipeline) *)
+  | Budget_exhausted of { pass : string; what : string }
+      (** a resource budget (fuel, nodes, steps) ran out; the region was
+          rolled back to its scalar form *)
 
 type t = {
   region : string;  (** seed / reduction-root description *)

@@ -16,7 +16,18 @@
 open Lslp_ir
 open Lslp_analysis
 
-type outcome = Vectorized | Not_schedulable
+type outcome = Vectorized | Not_schedulable | Failed of string
+
+(* A malformed graph (bad node shapes, dangling references, ill-typed
+   columns) is a *caller* bug from codegen's point of view, but one the
+   pipeline must survive: emission may already have rewritten scalar
+   operands when the problem surfaces, so the error is typed, caught at the
+   [run] boundary, and surfaced as [Failed] for the transactional driver to
+   roll back.  Genuine internal invariants (states excluded by
+   [Bundle.classify] or by unit construction) stay as [invalid_arg]. *)
+exception Error of string
+
+let error fmt = Fmt.kstr (fun msg -> raise (Error msg)) fmt
 
 (* A horizontal reduction being vectorized alongside the graph: the scalar
    chain [red_chain] (root included) is replaced by element-wise combines of
@@ -43,7 +54,9 @@ let element_scalar (i : Instr.t) =
     (* stores are void-typed; take the element from the address *)
     match Instr.address i with
     | Some a -> a.Instr.elt
-    | None -> invalid_arg "Codegen: cannot determine element type")
+    | None ->
+      error "no element type for bundle member %%%d (%s)" i.Instr.id
+        (Instr.opclass_name (Instr.opclass i)))
 
 let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
     (graph : Graph.t) (block : Block.t) : outcome =
@@ -137,6 +150,7 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
   done;
   if !remaining > 0 then Not_schedulable
   else begin
+    try
     let order = List.rev !order in
     (* ---- emission -------------------------------------------------- *)
     let out = ref [] in
@@ -159,8 +173,10 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
               match Hashtbl.find_opt vec_vals node.Graph.nid with
               | Some v -> v
               | None ->
-                invalid_arg
-                  "Codegen: extract before defining unit was emitted"
+                error
+                  "extract of lane %d (%%%d) before its defining node #%d \
+                   was emitted"
+                  lane i.Instr.id node.Graph.nid
             in
             let e =
               Instr.create ~name:"ext" (Instr.Extract (vec, lane))
@@ -171,7 +187,8 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
             Hashtbl.replace extracts i.id ev;
             ev
           | None ->
-            invalid_arg "Codegen: escaped multi-node internal value"))
+            error "claimed value %%%d escapes its multi-node (no lane)"
+              i.Instr.id))
       | Instr.Ins _ | Instr.Const _ | Instr.Arg _ -> v
     and emit_node (n : Graph.node) : Instr.value =
       match Hashtbl.find_opt vec_vals n.Graph.nid with
@@ -187,13 +204,15 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
                 match Hashtbl.find_opt vec_vals src.Graph.nid with
                 | Some v -> v
                 | None ->
-                  invalid_arg "Codegen: shuffle before its source was emitted"
+                  error "shuffle before its source node #%d was emitted"
+                    src.Graph.nid
               in
               let elt =
                 match Instr.value_ty src_vec with
                 | Some (Types.Vec (s, _)) -> s
                 | Some _ | None ->
-                  invalid_arg "Codegen: shuffle of non-vector"
+                  error "shuffle source node #%d is not vector-typed"
+                    src.Graph.nid
               in
               let ty = Types.vec elt (Array.length vs) in
               let i =
@@ -207,7 +226,8 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
                 match Instr.value_ty (List.hd values) with
                 | Some (Types.Scalar s) -> s
                 | Some _ | None ->
-                  invalid_arg "Codegen: non-scalar gather element"
+                  error "gather lane 0 of a %d-lane column is not scalar"
+                    (Array.length vs)
               in
               let lanes = List.length values in
               let ty = Types.vec elt lanes in
@@ -238,7 +258,9 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
               let child =
                 match n.Graph.children with
                 | [ c ] -> emit_node c
-                | _ -> invalid_arg "Codegen: store group arity"
+                | cs ->
+                  error "%d-lane store group has %d operand node(s), want 1"
+                    lanes (List.length cs)
               in
               let addr = { a with Instr.access_lanes = lanes } in
               let i =
@@ -259,7 +281,9 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
                  push i;
                  record ~lanes:insts ~vector:i;
                  Instr.Ins i
-               | _ -> invalid_arg "Codegen: binop group arity")
+               | cs ->
+                 error "%d-lane binop group has %d operand node(s), want 2"
+                   lanes (List.length cs))
             | Instr.Unop (op, _) ->
               let children = List.map emit_node n.Graph.children in
               (match children with
@@ -269,21 +293,25 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
                  push i;
                  record ~lanes:insts ~vector:i;
                  Instr.Ins i
-               | _ -> invalid_arg "Codegen: unop group arity")
+               | cs ->
+                 error "%d-lane unop group has %d operand node(s), want 1"
+                   lanes (List.length cs))
             | Instr.Splat _ | Instr.Buildvec _ | Instr.Extract _
             | Instr.Reduce _ | Instr.Shuffle _ ->
-              invalid_arg "Codegen: unexpected group shape")
+              (* unreachable: Bundle.classify rejects vector-only opcodes
+                 as Unsupported_shape before a group node can be built *)
+              invalid_arg "Codegen: vector-only opcode in a scalar group")
           | Graph.Multi m ->
             let lanes = Graph.lanes_of_node n in
             let elt =
               match m.Graph.m_groups with
               | g :: _ -> element_scalar g.(0)
-              | [] -> invalid_arg "Codegen: empty multi-node"
+              | [] -> error "multi-node #%d has no internal groups" n.Graph.nid
             in
             let ty = Types.vec elt lanes in
             let children = List.map emit_node n.Graph.children in
             (match children with
-             | [] -> invalid_arg "Codegen: multi-node without operands"
+             | [] -> error "multi-node #%d has no operand nodes" n.Graph.nid
              | first :: rest ->
                let v =
                  List.fold_left
@@ -317,12 +345,16 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
       let lanes =
         match r.red_chunks with
         | c :: _ -> Graph.lanes_of_node c
-        | [] -> invalid_arg "Codegen: reduction without chunks"
+        | [] ->
+          error "reduction rooted at %%%d has no leaf chunks"
+            r.red_root.Instr.id
       in
       let vty = Types.vec elt lanes in
       let combined =
         match chunk_vecs with
-        | [] -> invalid_arg "Codegen: reduction without chunks"
+        | [] ->
+          error "reduction rooted at %%%d emitted no chunk vectors"
+            r.red_root.Instr.id
         | first :: rest ->
           List.fold_left
             (fun acc c ->
@@ -362,9 +394,18 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
           | [ i ] ->
             Instr.map_operands subst i;
             push i
-          | _ -> invalid_arg "Codegen: scalar unit with multiple members")
+          | ms ->
+            (* unreachable: scalar units are built as singletons above *)
+            invalid_arg
+              (Fmt.str "Codegen: scalar unit %d has %d members" u
+                 (List.length ms)))
       order;
     Block.set_order block (List.rev !out);
     ignore (Dce.run_block block);
     Vectorized
+    with Error msg ->
+      (* Emission may have half-rewritten the block (operand substitutions
+         on surviving scalars happen in place); the transactional pipeline
+         rolls the region back when it sees [Failed]. *)
+      Failed msg
   end

@@ -8,7 +8,18 @@
 
 open Lslp_ir
 
-type outcome = Vectorized | Not_schedulable
+type outcome =
+  | Vectorized
+  | Not_schedulable
+  | Failed of string
+      (** a malformed graph was detected mid-emission; the block may be
+          half-rewritten — callers must roll the region back
+          (see {!Lslp_robust.Transact}) *)
+
+exception Error of string
+(** Raised internally on malformed graphs (dangling node references,
+    ill-typed columns, wrong operand arity), naming the offending
+    bundle/lane; caught at the {!run} boundary and returned as [Failed]. *)
 
 (** A horizontal reduction vectorized alongside the graph: the scalar chain
     is replaced by element-wise combines of the leaf chunks, one [Reduce],

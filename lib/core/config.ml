@@ -23,6 +23,11 @@ type t = {
   reductions : bool;       (* also vectorize horizontal reduction chains *)
   validate : bool;         (* run the post-pass legality validator *)
   remarks : bool;          (* collect per-region optimization remarks *)
+  (* Fail-soft knobs: resource caps that make pathological inputs degrade
+     instead of hanging, and the fault-injection hook the robustness tests
+     and [lslpc --inject] use to force rollbacks at pass boundaries. *)
+  budget : Lslp_robust.Budget.t;
+  inject : Lslp_robust.Inject.t option;
 }
 
 let default_model = Lslp_costmodel.Model.skylake_avx2
@@ -40,6 +45,8 @@ let lslp =
     reductions = true;
     validate = false;
     remarks = false;
+    budget = Lslp_robust.Budget.default;
+    inject = None;
   }
 
 let slp = { lslp with name = "SLP"; strategy = Vanilla }
@@ -63,6 +70,8 @@ let with_score_combine score_combine t = { t with score_combine }
 let with_reductions reductions t = { t with reductions }
 let with_validate validate t = { t with validate }
 let with_remarks remarks t = { t with remarks }
+let with_budget budget t = { t with budget }
+let with_inject inject t = { t with inject = Some inject }
 
 let effective_max_lanes t elt =
   let native = Lslp_costmodel.Model.max_lanes t.model elt in

@@ -23,6 +23,8 @@ type t = {
   reductions : bool;
   validate : bool;
   remarks : bool;
+  budget : Lslp_robust.Budget.t;
+  inject : Lslp_robust.Inject.t option;
 }
 
 val lslp : t
@@ -50,6 +52,16 @@ val with_validate : bool -> t -> t
 
 val with_remarks : bool -> t -> t
 (** Record one [Lslp_check.Remark.t] per region considered. *)
+
+val with_budget : Lslp_robust.Budget.t -> t -> t
+(** Resource caps (look-ahead fuel, graph-node cap, per-region step cap);
+    exceeding one degrades the region to scalar with a budget remark
+    instead of hanging or overflowing the stack.  Default
+    {!Lslp_robust.Budget.default}. *)
+
+val with_inject : Lslp_robust.Inject.t -> t -> t
+(** Arm deterministic fault injection at pass boundaries; used by the
+    robustness tests and [lslpc --inject] to exercise the rollback path. *)
 
 val effective_max_lanes : t -> Lslp_ir.Types.scalar -> int
 val multinode_limit : t -> int

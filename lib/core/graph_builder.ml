@@ -25,9 +25,10 @@ type ctx = {
   uses : Use_info.t;
   graph : Graph.t;
   note : Lslp_check.Remark.note -> unit;
+  meter : Lslp_robust.Budget.meter option;
 }
 
-let make_ctx ?(note = fun _ -> ()) config (block : Block.t) =
+let make_ctx ?(note = fun _ -> ()) ?meter config (block : Block.t) =
   {
     config;
     block;
@@ -35,6 +36,7 @@ let make_ctx ?(note = fun _ -> ()) config (block : Block.t) =
     uses = Use_info.compute block;
     graph = Graph.create ();
     note;
+    meter;
   }
 
 let classify ctx (b : Bundle.t) =
@@ -65,6 +67,7 @@ let rec build_bundle ctx (b : Bundle.t) : Graph.node =
   | None -> build_bundle_fresh ctx b
 
 and build_bundle_fresh ctx (b : Bundle.t) : Graph.node =
+  Option.iter Lslp_robust.Budget.spend_node ctx.meter;
   let register node =
     Graph.register_bundle ctx.graph b node;
     node
@@ -95,6 +98,8 @@ and build_bundle_fresh ctx (b : Bundle.t) : Graph.node =
       register (build_multinode ctx insts op)
     | Instr.Binop (op, _, _) when Opcode.is_commutative op ->
       let node = register (Graph.add_node ctx.graph (Graph.Group insts)) in
+      Lslp_robust.Inject.maybe_fail ctx.config.Config.inject
+        Lslp_robust.Inject.Reorder;
       let left, right =
         match ctx.config.Config.strategy with
         | Config.Vanilla -> Reorder.vanilla_pair insts
@@ -183,7 +188,11 @@ and build_multinode ctx (root_insts : Instr.t array) (op : Opcode.binop) =
   let reordered =
     match ctx.config.Config.strategy with
     | Config.Lookahead ->
-      let m, modes = Reorder.reorder_matrix_modes ctx.config matrix in
+      Lslp_robust.Inject.maybe_fail ctx.config.Config.inject
+        Lslp_robust.Inject.Reorder;
+      let m, modes =
+        Reorder.reorder_matrix_modes ?meter:ctx.meter ctx.config matrix
+      in
       let failed =
         Array.fold_left
           (fun acc mode -> if mode = Reorder.Failed_mode then acc + 1 else acc)
@@ -201,14 +210,15 @@ and build_multinode ctx (root_insts : Instr.t array) (op : Opcode.binop) =
     List.map (build_bundle ctx) (Array.to_list reordered);
   node
 
-let build ?note config (block : Block.t) (seed : Instr.t array) =
-  let ctx = make_ctx ?note config block in
+let build ?note ?meter config (block : Block.t) (seed : Instr.t array) =
+  let ctx = make_ctx ?note ?meter config block in
   let root = build_bundle ctx (Bundle.of_insts seed) in
   (ctx.graph, root)
 
 (* Entry point for reduction vectorization: build one node per leaf chunk
    within a single shared graph (so diamonds across chunks still reuse). *)
-let build_columns ?note config (block : Block.t) (columns : Bundle.t list) =
-  let ctx = make_ctx ?note config block in
+let build_columns ?note ?meter config (block : Block.t)
+    (columns : Bundle.t list) =
+  let ctx = make_ctx ?note ?meter config block in
   let nodes = List.map (build_bundle ctx) columns in
   (ctx.graph, nodes)

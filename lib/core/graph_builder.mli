@@ -5,6 +5,7 @@ open Lslp_ir
 
 val build :
   ?note:(Lslp_check.Remark.note -> unit) ->
+  ?meter:Lslp_robust.Budget.meter ->
   Config.t ->
   Block.t ->
   Instr.t array ->
@@ -13,10 +14,16 @@ val build :
     stores) within one block.  Pure with respect to the IR: nothing is
     mutated.
     [note] receives one event per rejected column, capped multi-node and
-    FAILED reorder slot, for the remarks engine. *)
+    FAILED reorder slot, for the remarks engine.
+    [meter] charges one node per fresh bundle and look-ahead fuel per
+    reorder comparison; when a cap is hit the build raises
+    [Lslp_robust.Budget.Exhausted] (the pipeline degrades the region).
+    May also raise [Lslp_robust.Inject.Fault] when the config arms fault
+    injection at the reorder boundary. *)
 
 val build_columns :
   ?note:(Lslp_check.Remark.note -> unit) ->
+  ?meter:Lslp_robust.Budget.meter ->
   Config.t ->
   Block.t ->
   Bundle.t list ->

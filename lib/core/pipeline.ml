@@ -7,6 +7,14 @@
    place; a report records what happened per region, keyed by the label of
    the block it lives in.
 
+   The driver is *fail-soft*: every mutating stage (graph build, codegen,
+   reduction, per-block CSE/DCE) runs inside a transaction
+   ([Lslp_robust.Transact]).  A snapshot of the block is taken first; any
+   exception — a malformed graph, a budget cap, an injected fault, a
+   structural-verifier finding on the transformed block — rolls the region
+   back to its scalar form and records a [Degraded] outcome instead of
+   escaping [run].  Only [Out_of_memory] and [Sys.Break] propagate.
+
    Two optional companions ride along, controlled by the config:
 
    - [validate]: a dependence-graph snapshot is taken before anything is
@@ -18,10 +26,15 @@
      collected while the graph was built. *)
 
 open Lslp_ir
+module Budget = Lslp_robust.Budget
+module Inject = Lslp_robust.Inject
+module Transact = Lslp_robust.Transact
 
 let log_src = Logs.Src.create "lslp" ~doc:"(L)SLP vectorization pass"
 
 module Log = (val Logs.src_log log_src)
+
+type region_outcome = Vectorized | Scalar | Degraded of string
 
 type region = {
   region_id : string;
@@ -30,6 +43,7 @@ type region = {
   cost : Cost.summary;
   vectorized : bool;
   not_schedulable : bool;
+  outcome : region_outcome;
 }
 
 type report = {
@@ -37,9 +51,12 @@ type report = {
   regions : region list;
   total_cost : int;     (* sum of costs of the regions actually vectorized *)
   vectorized_regions : int;
+  degraded_regions : int;  (* regions rolled back to scalar by a failure *)
   remarks : Lslp_check.Remark.t list;          (* empty unless [remarks] *)
   diagnostics : Lslp_check.Diagnostic.t list;  (* empty unless [validate] *)
 }
+
+let zero_cost = { Cost.per_node = []; extract_cost = 0; total = 0 }
 
 let describe_seed (seed : Instr.t array) =
   match Instr.address seed.(0) with
@@ -83,9 +100,29 @@ let aggregate_notes (notes : Lslp_check.Remark.note list) :
       (fun (reason, count) -> Column_rejected { reason; count })
       !columns
 
-let run ?(config = Config.lslp) (f : Func.t) : report =
+let degraded_desc (failure : Transact.failure) =
+  Fmt.str "%a" Transact.pp_failure failure
+
+(* The unprotected driver: individual regions are transactional, but a bug
+   in the driver itself (or in seed collection) would still escape — [run]
+   adds the whole-function safety net around this. *)
+let run_unprotected ~(config : Config.t) (f : Func.t) : report =
   let open Lslp_check in
-  let snap = if config.Config.validate then Some (Legality.snapshot f) else None in
+  let inject = config.Config.inject in
+  let diagnostics = ref [] in
+  let snap =
+    if config.Config.validate then
+      match Legality.snapshot f with
+      | s -> Some s
+      | exception ((Out_of_memory | Sys.Break) as fatal) -> raise fatal
+      | exception e ->
+        diagnostics :=
+          [ Diagnostic.warning ~rule:"legality:snapshot"
+              (Fmt.str "dependence snapshot failed (%s); validation skipped"
+                 (Printexc.to_string e)) ];
+        None
+    else None
+  in
   let provenance : Legality.lane_provenance list ref = ref [] in
   let record_opt =
     if config.Config.validate then
@@ -95,7 +132,6 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
             { Legality.lanes = Array.copy lanes; vector } :: !provenance)
     else None
   in
-  let diagnostics = ref [] in
   let seen_verifier_msgs : (string, unit) Hashtbl.t = Hashtbl.create 8 in
   (* structural verification after each pass, attributed to that pass;
      errors already present after an earlier pass are not re-reported *)
@@ -115,114 +151,218 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
           end)
         (Verifier.check_func f)
   in
+  (* in-transaction structural check: unlike [checkpoint] this always runs
+     on freshly transformed blocks and *aborts* the region on a finding, so
+     a miscompile degrades to scalar instead of reaching the caller *)
+  let verify_or_abort pass =
+    match Verifier.check_func f with
+    | [] -> ()
+    | e :: _ ->
+      raise
+        (Transact.Check_failed
+           { pass; error = Verifier.error_to_string e })
+  in
   let remarks = ref [] in
   let add_remark r = if config.Config.remarks then remarks := r :: !remarks in
   let regions = ref [] in
   (* Regions are self-contained (no cross-block values), so each block is
      an independent vectorization universe: seeds, graphs, reductions and
-     the consumed-store bookkeeping never cross a block boundary. *)
+     the consumed-store bookkeeping never cross a block boundary.  Each
+     block also gets its own budget meter. *)
+  let meters : (string, Budget.meter) Hashtbl.t = Hashtbl.create 4 in
+  let meter_of block =
+    let label = Block.label block in
+    match Hashtbl.find_opt meters label with
+    | Some m -> m
+    | None ->
+      let m = Budget.meter config.Config.budget in
+      Hashtbl.replace meters label m;
+      m
+  in
+  let degrade ~region_id ~seed_desc ~lanes (failure : Transact.failure) =
+    Log.info (fun m ->
+        m "%s: [%s] %s degraded: %a" config.Config.name region_id seed_desc
+          Transact.pp_failure failure);
+    add_remark
+      {
+        Remark.region = seed_desc;
+        block = region_id;
+        lanes;
+        cost = None;
+        threshold = config.Config.threshold;
+        outcome =
+          (if failure.Transact.budget_exhausted then
+             Remark.Budget_exhausted
+               { pass = failure.Transact.pass;
+                 what = failure.Transact.error }
+           else
+             Remark.Degraded
+               { pass = failure.Transact.pass;
+                 error = failure.Transact.error });
+        notes = [];
+      };
+    regions :=
+      {
+        region_id;
+        seed_desc;
+        lanes;
+        cost = zero_cost;
+        vectorized = false;
+        not_schedulable = false;
+        outcome = Degraded (degraded_desc failure);
+      }
+      :: !regions
+  in
   let run_block (block : Block.t) =
     let region_id = Block.label block in
+    let meter = meter_of block in
+    let exhausted = ref false in
     let continue_ = ref true in
     let consumed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
-    while !continue_ do
+    while !continue_ && not !exhausted do
       continue_ := false;
-      let seeds = Seeds.collect config block in
-      let fresh =
-        List.filter
-          (fun (s : Seeds.seed) ->
-            Array.for_all
-              (fun (i : Instr.t) ->
-                (not (Hashtbl.mem consumed i.id)) && Block.mem block i)
-              s)
-          seeds
+      let snapshot = Transact.snapshot_block block in
+      let saved_provenance = !provenance in
+      let cur_pass = ref "seed-collect" in
+      let cur_seed = ref None in
+      let result =
+        Transact.protect ~snapshot ~pass:(fun () -> !cur_pass) (fun () ->
+            Budget.spend_step meter;
+            let seeds = Seeds.collect config block in
+            let fresh =
+              List.filter
+                (fun (s : Seeds.seed) ->
+                  Array.for_all
+                    (fun (i : Instr.t) ->
+                      (not (Hashtbl.mem consumed i.id)) && Block.mem block i)
+                    s)
+                seeds
+            in
+            match fresh with
+            | [] -> ()
+            | seed :: _ ->
+              (* consume the seed and arm the retry *before* any fallible
+                 work: a failure must not make this seed come back forever *)
+              Array.iter
+                (fun (i : Instr.t) -> Hashtbl.replace consumed i.id ())
+                seed;
+              continue_ := true;
+              cur_seed := Some seed;
+              Log.debug (fun m ->
+                  m "%s: [%s] building graph for seed %s" config.Config.name
+                    region_id (describe_seed seed));
+              cur_pass := "graph-build";
+              Inject.maybe_fail inject Inject.Graph_build;
+              let notes = ref [] in
+              let note =
+                if config.Config.remarks then
+                  Some (fun n -> notes := n :: !notes)
+                else None
+              in
+              let graph, root =
+                Graph_builder.build ?note ~meter config block seed
+              in
+              cur_pass := "cost";
+              let cost = Cost.evaluate config graph block in
+              Log.debug (fun m ->
+                  m "%s: [%s] seed %s -> %d nodes, cost %+d"
+                    config.Config.name region_id (describe_seed seed)
+                    (List.length (Graph.nodes graph))
+                    cost.Cost.total);
+              cur_pass := "codegen";
+              let region =
+                if Cost.profitable config cost then begin
+                  Inject.maybe_fail inject Inject.Codegen;
+                  match Codegen.run ?record:record_opt graph block with
+                  | Codegen.Vectorized ->
+                    if Inject.corrupts inject then
+                      ignore (Inject.corrupt_block block);
+                    cur_pass := "verify";
+                    Inject.maybe_fail inject Inject.Verify;
+                    verify_or_abort "verify";
+                    Log.info (fun m ->
+                        m "%s: [%s] vectorized %s (cost %+d)"
+                          config.Config.name region_id (describe_seed seed)
+                          cost.Cost.total);
+                    checkpoint "codegen+dce";
+                    {
+                      region_id;
+                      seed_desc = describe_seed seed;
+                      lanes = Array.length seed;
+                      cost;
+                      vectorized = true;
+                      not_schedulable = false;
+                      outcome = Vectorized;
+                    }
+                  | Codegen.Not_schedulable ->
+                    {
+                      region_id;
+                      seed_desc = describe_seed seed;
+                      lanes = Array.length seed;
+                      cost;
+                      vectorized = false;
+                      not_schedulable = true;
+                      outcome = Scalar;
+                    }
+                  | Codegen.Failed msg ->
+                    raise
+                      (Transact.Check_failed { pass = "codegen"; error = msg })
+                end
+                else
+                  {
+                    region_id;
+                    seed_desc = describe_seed seed;
+                    lanes = Array.length seed;
+                    cost;
+                    vectorized = false;
+                    not_schedulable = false;
+                    outcome = Scalar;
+                  }
+              in
+              (if config.Config.remarks then begin
+                 let notes = List.rev !notes in
+                 (* the first bundle built is the seed itself: if the root
+                    is a gather, its rejection explains the whole region *)
+                 let notes =
+                   match (root.Graph.shape, notes) with
+                   | ( Graph.Gather _,
+                       Remark.Column_rejected { reason; _ } :: rest ) ->
+                     Remark.Seed_rejected { reason } :: rest
+                   | _, notes -> notes
+                 in
+                 add_remark
+                   {
+                     Remark.region = region.seed_desc;
+                     block = region_id;
+                     lanes = region.lanes;
+                     cost = Some cost.Cost.total;
+                     threshold = config.Config.threshold;
+                     outcome =
+                       (if region.vectorized then Remark.Vectorized
+                        else if region.not_schedulable then
+                          Remark.Not_schedulable
+                        else Remark.Unprofitable);
+                     notes = aggregate_notes notes;
+                   }
+               end);
+              regions := region :: !regions)
       in
-      match fresh with
-      | [] -> ()
-      | seed :: _ ->
-        Array.iter
-          (fun (i : Instr.t) -> Hashtbl.replace consumed i.id ())
-          seed;
-        Log.debug (fun m ->
-            m "%s: [%s] building graph for seed %s" config.Config.name
-              region_id (describe_seed seed));
-        let notes = ref [] in
-        let note =
-          if config.Config.remarks then Some (fun n -> notes := n :: !notes)
-          else None
+      match result with
+      | Ok () -> ()
+      | Error failure ->
+        (* rolled back: provenance recorded during the failed attempt
+           refers to instructions that no longer exist *)
+        provenance := saved_provenance;
+        if failure.Transact.budget_exhausted then exhausted := true;
+        let seed_desc, lanes =
+          match !cur_seed with
+          | Some seed -> (describe_seed seed, Array.length seed)
+          | None -> (Fmt.str "(%s)" failure.Transact.pass, 0)
         in
-        let graph, root = Graph_builder.build ?note config block seed in
-        let cost = Cost.evaluate config graph block in
-        Log.debug (fun m ->
-            m "%s: [%s] seed %s -> %d nodes, cost %+d" config.Config.name
-              region_id (describe_seed seed)
-              (List.length (Graph.nodes graph))
-              cost.Cost.total);
-        let region =
-          if Cost.profitable config cost then begin
-            match Codegen.run ?record:record_opt graph block with
-            | Codegen.Vectorized ->
-              Log.info (fun m ->
-                  m "%s: [%s] vectorized %s (cost %+d)" config.Config.name
-                    region_id (describe_seed seed) cost.Cost.total);
-              checkpoint "codegen+dce";
-              {
-                region_id;
-                seed_desc = describe_seed seed;
-                lanes = Array.length seed;
-                cost;
-                vectorized = true;
-                not_schedulable = false;
-              }
-            | Codegen.Not_schedulable ->
-              {
-                region_id;
-                seed_desc = describe_seed seed;
-                lanes = Array.length seed;
-                cost;
-                vectorized = false;
-                not_schedulable = true;
-              }
-          end
-          else
-            {
-              region_id;
-              seed_desc = describe_seed seed;
-              lanes = Array.length seed;
-              cost;
-              vectorized = false;
-              not_schedulable = false;
-            }
-        in
-        (if config.Config.remarks then begin
-           let notes = List.rev !notes in
-           (* the first bundle built is the seed itself: if the root is a
-              gather, its rejection explains the whole region *)
-           let notes =
-             match (root.Graph.shape, notes) with
-             | Graph.Gather _, Remark.Column_rejected { reason; _ } :: rest ->
-               Remark.Seed_rejected { reason } :: rest
-             | _, notes -> notes
-           in
-           add_remark
-             {
-               Remark.region = region.seed_desc;
-               block = region_id;
-               lanes = region.lanes;
-               cost = Some cost.Cost.total;
-               threshold = config.Config.threshold;
-               outcome =
-                 (if region.vectorized then Remark.Vectorized
-                  else if region.not_schedulable then Remark.Not_schedulable
-                  else Remark.Unprofitable);
-               notes = aggregate_notes notes;
-             }
-         end);
-        regions := region :: !regions;
-        continue_ := true
+        degrade ~region_id ~seed_desc ~lanes failure
     done;
     (* after the store seeds: the reduction-tree idiom (paper §2.2) *)
-    if config.Config.reductions then begin
+    if config.Config.reductions && not !exhausted then begin
       let on_skipped (c : Reduction.candidate) =
         let leaves = List.length c.Reduction.cand_leaves in
         let elt =
@@ -246,54 +386,100 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
             notes = [];
           }
       in
-      List.iter
-        (fun (r : Reduction.region) ->
-          add_remark
-            {
-              Remark.region = r.Reduction.root_desc;
-              block = region_id;
-              lanes = r.Reduction.lanes;
-              cost = Some r.Reduction.cost;
-              threshold = config.Config.threshold;
-              outcome =
-                (if r.Reduction.vectorized then Remark.Vectorized
-                 else if r.Reduction.not_schedulable then
-                   Remark.Not_schedulable
-                 else Remark.Unprofitable);
-              notes = [];
-            };
-          regions :=
-            {
-              region_id;
-              seed_desc = r.Reduction.root_desc;
-              lanes = r.Reduction.lanes;
-              cost =
-                {
-                  Cost.per_node = [];
-                  extract_cost = 0;
-                  total = r.Reduction.cost;
-                };
-              vectorized = r.Reduction.vectorized;
-              not_schedulable = r.Reduction.not_schedulable;
-            }
-            :: !regions)
-        (Reduction.run ~config ?record:record_opt ~on_skipped block);
-      checkpoint "reduction"
+      let snapshot = Transact.snapshot_block block in
+      let saved_provenance = !provenance in
+      let result =
+        Transact.protect ~snapshot ~pass:(fun () -> "reduction") (fun () ->
+            let rs =
+              Reduction.run ~config ~meter ?record:record_opt ~on_skipped
+                block
+            in
+            if
+              List.exists (fun r -> r.Reduction.vectorized) rs
+              && Inject.corrupts inject
+            then ignore (Inject.corrupt_block block);
+            verify_or_abort "reduction-verify";
+            rs)
+      in
+      match result with
+      | Ok rs ->
+        List.iter
+          (fun (r : Reduction.region) ->
+            add_remark
+              {
+                Remark.region = r.Reduction.root_desc;
+                block = region_id;
+                lanes = r.Reduction.lanes;
+                cost = Some r.Reduction.cost;
+                threshold = config.Config.threshold;
+                outcome =
+                  (if r.Reduction.vectorized then Remark.Vectorized
+                   else if r.Reduction.not_schedulable then
+                     Remark.Not_schedulable
+                   else Remark.Unprofitable);
+                notes = [];
+              };
+            regions :=
+              {
+                region_id;
+                seed_desc = r.Reduction.root_desc;
+                lanes = r.Reduction.lanes;
+                cost =
+                  {
+                    Cost.per_node = [];
+                    extract_cost = 0;
+                    total = r.Reduction.cost;
+                  };
+                vectorized = r.Reduction.vectorized;
+                not_schedulable = r.Reduction.not_schedulable;
+                outcome =
+                  (if r.Reduction.vectorized then Vectorized else Scalar);
+              }
+              :: !regions)
+          rs;
+        checkpoint "reduction"
+      | Error failure ->
+        provenance := saved_provenance;
+        degrade ~region_id ~seed_desc:"(reduction)" ~lanes:0 failure
     end
   in
   List.iter run_block (Func.blocks f);
   (* whole-function cleanup: regions are vectorized one at a time, so
-     duplicate gathers/extracts across regions only fall out here *)
-  ignore (Cse.run f);
-  checkpoint "cse";
-  ignore (Dce.run f);
-  checkpoint "dce";
+     duplicate gathers/extracts across regions only fall out here.  CSE and
+     DCE are per-block folds, so the cleanup is transactional per block: a
+     cleanup failure keeps that block's (already verified) vectorized form
+     and degrades only the cleanup. *)
+  let cleanup_block (block : Block.t) =
+    let region_id = Block.label block in
+    let snapshot = Transact.snapshot_block block in
+    let cur_pass = ref "cse" in
+    let result =
+      Transact.protect ~snapshot ~pass:(fun () -> !cur_pass) (fun () ->
+          Inject.maybe_fail inject Inject.Cse;
+          ignore (Cse.run_block block);
+          cur_pass := "dce";
+          Inject.maybe_fail inject Inject.Dce;
+          ignore (Dce.run_block block);
+          verify_or_abort "cleanup-verify")
+    in
+    match result with
+    | Ok () -> ()
+    | Error failure ->
+      degrade ~region_id ~seed_desc:"(cleanup)" ~lanes:0 failure
+  in
+  List.iter cleanup_block (Func.blocks f);
+  checkpoint "cleanup";
   (match snap with
-   | Some snap ->
-     diagnostics :=
-       List.rev_append
-         (List.rev (Legality.validate ~provenance:!provenance snap f))
-         !diagnostics
+   | Some snap -> (
+     match Legality.validate ~provenance:!provenance snap f with
+     | ds -> diagnostics := List.rev_append (List.rev ds) !diagnostics
+     | exception ((Out_of_memory | Sys.Break) as fatal) -> raise fatal
+     | exception e ->
+       diagnostics :=
+         Diagnostic.warning ~rule:"legality:validate"
+           (Fmt.str "legality validation crashed (%s)"
+              (Printexc.to_string e))
+         :: !diagnostics)
    | None -> ());
   let regions = List.rev !regions in
   {
@@ -305,9 +491,45 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
         0 regions;
     vectorized_regions =
       List.length (List.filter (fun r -> r.vectorized) regions);
+    degraded_regions =
+      List.length
+        (List.filter
+           (fun r -> match r.outcome with Degraded _ -> true | _ -> false)
+           regions);
     remarks = List.rev !remarks;
     diagnostics = List.rev !diagnostics;
   }
+
+let run ?(config = Config.lslp) (f : Func.t) : report =
+  (* Whole-function safety net: region failures are handled inside, so
+     anything arriving here is a driver bug — restore the function to its
+     scalar input form and report one degraded pseudo-region rather than
+     letting the exception escape the compiler. *)
+  let whole = Transact.snapshot_func f in
+  match run_unprotected ~config f with
+  | report -> report
+  | exception ((Out_of_memory | Sys.Break) as fatal) -> raise fatal
+  | exception e ->
+    Transact.restore whole;
+    let failure = Transact.failure_of_exn ~pass:"pipeline" e in
+    {
+      config_name = config.Config.name;
+      regions =
+        [ {
+            region_id = f.Func.fname;
+            seed_desc = Fmt.str "(%s)" failure.Transact.pass;
+            lanes = 0;
+            cost = zero_cost;
+            vectorized = false;
+            not_schedulable = false;
+            outcome = Degraded (degraded_desc failure);
+          } ];
+      total_cost = 0;
+      vectorized_regions = 0;
+      degraded_regions = 1;
+      remarks = [];
+      diagnostics = [];
+    }
 
 (* Convenience: clone, run, return (report, transformed clone). *)
 let run_cloned ?(config = Config.lslp) (f : Func.t) : report * Func.t =
@@ -316,14 +538,21 @@ let run_cloned ?(config = Config.lslp) (f : Func.t) : report * Func.t =
   (report, g)
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>%s: %d region(s), %d vectorized, total cost %+d"
-    r.config_name (List.length r.regions) r.vectorized_regions r.total_cost;
+  Fmt.pf ppf "@[<v>%s: %d region(s), %d vectorized%s, total cost %+d"
+    r.config_name (List.length r.regions) r.vectorized_regions
+    (if r.degraded_regions > 0 then
+       Fmt.str ", %d degraded" r.degraded_regions
+     else "")
+    r.total_cost;
   List.iter
     (fun reg ->
       Fmt.pf ppf "@,  [%s] %s (VL=%d): cost %+d%s" reg.region_id
         reg.seed_desc reg.lanes reg.cost.Cost.total
-        (if reg.vectorized then " [vectorized]"
-         else if reg.not_schedulable then " [not schedulable]"
-         else " [kept scalar]"))
+        (match reg.outcome with
+         | Vectorized -> " [vectorized]"
+         | Degraded why -> Fmt.str " [degraded: %s]" why
+         | Scalar ->
+           if reg.not_schedulable then " [not schedulable]"
+           else " [kept scalar]"))
     r.regions;
   Fmt.pf ppf "@]"

@@ -3,9 +3,24 @@
     Per basic block of the function: repeatedly collect seeds, build the
     graph for the next unconsumed seed, cost it, vectorize when profitable.
     Transforms the function in place; every region record names the block
-    it lives in via [region_id]. *)
+    it lives in via [region_id].
+
+    {!run} is fail-soft: each region transforms inside a transactional
+    snapshot ({!Lslp_robust.Transact}), so malformed graphs, resource-budget
+    exhaustion ({!Lslp_robust.Budget}), injected faults
+    ({!Lslp_robust.Inject}) and structural-verifier findings roll the region
+    back to its scalar form and surface as a [Degraded] outcome — they never
+    raise out of the pipeline.  A whole-function snapshot backstops driver
+    bugs the same way.  Only [Out_of_memory] and [Sys.Break] propagate. *)
 
 open Lslp_ir
+
+type region_outcome =
+  | Vectorized
+  | Scalar      (** kept scalar: unprofitable or not schedulable *)
+  | Degraded of string
+      (** a pass failed; the region was rolled back to scalar.  The string
+          is ["pass: error"], e.g. ["codegen: injected fault"]. *)
 
 type region = {
   region_id : string;  (** label of the basic block holding this region *)
@@ -14,6 +29,7 @@ type region = {
   cost : Cost.summary;
   vectorized : bool;
   not_schedulable : bool;
+  outcome : region_outcome;
 }
 
 type report = {
@@ -21,6 +37,8 @@ type report = {
   regions : region list;
   total_cost : int;
   vectorized_regions : int;
+  degraded_regions : int;
+      (** regions rolled back by a failure; 0 on any healthy run *)
   remarks : Lslp_check.Remark.t list;
       (** one per region considered; empty unless [config.remarks] *)
   diagnostics : Lslp_check.Diagnostic.t list;
@@ -32,9 +50,16 @@ val run : ?config:Config.t -> Func.t -> report
     With [config.validate] the pre-pass dependence graph is snapshotted and
     the transformed function is checked against it ({!Lslp_check.Legality});
     the structural verifier also runs after codegen, reduction, CSE and DCE,
-    attributing any new error to the pass that introduced it. *)
+    attributing any new error to the pass that introduced it.
+
+    Independent of [validate], every freshly transformed block is checked by
+    the structural verifier *inside* its transaction: a finding aborts and
+    rolls back that region (degrading it) instead of producing a diagnostic
+    on a miscompiled function. *)
 
 val run_cloned : ?config:Config.t -> Func.t -> report * Func.t
 (** Like {!run} but on a deep copy, leaving the input untouched. *)
 
 val pp_report : report Fmt.t
+(** Renders like the pre-fail-soft format; the degraded count and per-region
+    [\[degraded: ...\]] markers only appear when something degraded. *)

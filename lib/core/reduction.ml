@@ -99,8 +99,8 @@ type plan = {
    graph nodes (chunk trees and their gathers/extracts) + (chunks-1)
    element-wise vector ops + the horizontal reduce + tail scalar ops,
    minus the removed scalar chain ops. *)
-let plan_candidate (config : Config.t) (block : Block.t) (c : candidate) :
-    plan option =
+let plan_candidate ?meter (config : Config.t) (block : Block.t)
+    (c : candidate) : plan option =
   let model = config.Config.model in
   let elt =
     match Types.scalar_of c.cand_root.Instr.ty with
@@ -111,7 +111,9 @@ let plan_candidate (config : Config.t) (block : Block.t) (c : candidate) :
   if List.length c.cand_leaves < lanes then None
   else begin
     let chunks, tail = chunk_leaves ~lanes c.cand_leaves in
-    let graph, chunk_nodes = Graph_builder.build_columns config block chunks in
+    let graph, chunk_nodes =
+      Graph_builder.build_columns ?meter config block chunks
+    in
     let in_chain (u : Instr.t) =
       List.exists (fun (ci : Instr.t) -> Instr.equal ci u) c.cand_chain
     in
@@ -155,7 +157,7 @@ type region = {
 
 (* Vectorize every profitable reduction in one block, in program order.
    Returns one region record per candidate considered. *)
-let run ?(config = Config.lslp) ?record ?(on_skipped = fun _ -> ())
+let run ?(config = Config.lslp) ?meter ?record ?(on_skipped = fun _ -> ())
     (block : Block.t) : region list =
   let regions = ref [] in
   let continue_ = ref true in
@@ -172,15 +174,18 @@ let run ?(config = Config.lslp) ?record ?(on_skipped = fun _ -> ())
     | c :: _ -> (
       Hashtbl.replace consumed c.cand_root.Instr.id ();
       continue_ := true;
+      Option.iter Lslp_robust.Budget.spend_step meter;
       let desc =
         Fmt.str "reduce %s x%d"
           (Opcode.binop_name c.cand_op)
           (List.length c.cand_leaves)
       in
-      match plan_candidate config block c with
+      match plan_candidate ?meter config block c with
       | None -> on_skipped c
       | Some plan ->
         if plan.cost < config.Config.threshold then begin
+          Lslp_robust.Inject.maybe_fail config.Config.inject
+            Lslp_robust.Inject.Reduction;
           match Codegen.run ~reduction:plan.reduction ?record plan.graph block
           with
           | Codegen.Vectorized ->
@@ -194,6 +199,12 @@ let run ?(config = Config.lslp) ?record ?(on_skipped = fun _ -> ())
               { root_desc = desc; lanes = plan.lanes; cost = plan.cost;
                 vectorized = false; not_schedulable = true }
               :: !regions
+          | Codegen.Failed msg ->
+            (* the block may be half-rewritten; abort the transaction the
+               caller wrapped around us so it rolls the region back *)
+            raise
+              (Lslp_robust.Transact.Check_failed
+                 { pass = "reduction-codegen"; error = msg })
         end
         else
           regions :=

@@ -28,6 +28,7 @@ type region = {
 
 val run :
   ?config:Config.t ->
+  ?meter:Lslp_robust.Budget.meter ->
   ?record:(lanes:Instr.t array -> vector:Instr.t -> unit) ->
   ?on_skipped:(candidate -> unit) ->
   Block.t ->
@@ -35,4 +36,10 @@ val run :
 (** Vectorize every profitable reduction, mutating the block.  One region record
     per candidate with at least a full chunk of leaves; [on_skipped] fires
     for candidates with too few leaves for even one chunk; [record] is
-    forwarded to {!Codegen.run} for provenance. *)
+    forwarded to {!Codegen.run} for provenance.
+
+    Not fail-soft on its own: raises [Lslp_robust.Transact.Check_failed]
+    when codegen reports a malformed graph (the block may be
+    half-rewritten), [Lslp_robust.Budget.Exhausted] when [meter] runs out,
+    and [Lslp_robust.Inject.Fault] under fault injection — run it inside
+    {!Lslp_robust.Transact.protect} (as {!Pipeline.run} does). *)

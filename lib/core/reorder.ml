@@ -68,8 +68,12 @@ let pair_score (v1 : Instr.value) (v2 : Instr.value) =
    able to realize, and an all-pairs sum would spuriously reward repeated
    operands (x*x vs x*y).  [Score_max] is the footnote-4 alternative: the
    single best pair instead of the pairing sum. *)
-let rec lookahead_score ~(combine : Config.score_combine) (v1 : Instr.value)
-    (v2 : Instr.value) ~(level : int) : int =
+let rec lookahead_score ?meter ~(combine : Config.score_combine)
+    (v1 : Instr.value) (v2 : Instr.value) ~(level : int) : int =
+  (* Each recursive comparison burns one unit of fuel, so a pathological
+     deeply-shared DAG bails with [Budget.Exhausted] instead of going
+     exponential. *)
+  Option.iter Lslp_robust.Budget.spend_fuel meter;
   let base () = pair_score v1 v2 in
   if level <= 0 || Instr.equal_value v1 v2 then base ()
   else
@@ -78,7 +82,7 @@ let rec lookahead_score ~(combine : Config.score_combine) (v1 : Instr.value)
       when Instr.equal_opclass (Instr.opclass a) (Instr.opclass b)
            && (not (Instr.is_load a))
            && Instr.operands a <> [] && Instr.operands b <> [] -> (
-      let score x y = lookahead_score ~combine x y ~level:(level - 1) in
+      let score x y = lookahead_score ?meter ~combine x y ~level:(level - 1) in
       match (Instr.operands a, Instr.operands b, combine) with
       | [ a1; a2 ], [ b1; b2 ], Config.Score_sum ->
         let aligned = score a1 b1 + score a2 b2 in
@@ -112,7 +116,7 @@ let remove_once pool v =
 
 (* Listing 6: pick the best candidate for one slot in one lane.  Returns the
    choice (None = deferred, slot already FAILED) and the updated mode. *)
-let get_best (config : Config.t) (mode : mode) (last : Instr.value)
+let get_best ?meter (config : Config.t) (mode : mode) (last : Instr.value)
     (candidates : Instr.value list) : Instr.value option * mode =
   match mode with
   | Failed_mode -> (None, Failed_mode)
@@ -139,7 +143,7 @@ let get_best (config : Config.t) (mode : mode) (last : Instr.value)
       let rec try_level level =
         let scores =
           List.map
-            (fun c -> (c, lookahead_score ~combine last c ~level))
+            (fun c -> (c, lookahead_score ?meter ~combine last c ~level))
             matching
         in
         let all_equal =
@@ -164,7 +168,7 @@ let get_best (config : Config.t) (mode : mode) (last : Instr.value)
 (* Listing 5: the top-level matrix reorder.  [columns.(slot).(lane)] is the
    unordered operand matrix; the result has the same multiset of values per
    lane, rearranged across slots. *)
-let reorder_matrix_modes (config : Config.t)
+let reorder_matrix_modes ?meter (config : Config.t)
     (columns : Instr.value array array) :
     Instr.value array array * mode array =
   let num_slots = Array.length columns in
@@ -192,7 +196,7 @@ let reorder_matrix_modes (config : Config.t)
             | Some v -> v
             | None -> columns.(s).(lane - 1)
           in
-          let best, mode' = get_best config mode.(s) last !pool in
+          let best, mode' = get_best ?meter config mode.(s) last !pool in
           mode.(s) <- mode';
           (match best with
            | Some v ->
@@ -217,7 +221,8 @@ let reorder_matrix_modes (config : Config.t)
     (Array.map (Array.map Option.get) final, mode)
   end
 
-let reorder_matrix config columns = fst (reorder_matrix_modes config columns)
+let reorder_matrix ?meter config columns =
+  fst (reorder_matrix_modes ?meter config columns)
 
 (* ------------------------------------------------------------------ *)
 (* Vanilla SLP (LLVM 4.0 reorderInputsAccordingToOpcode).              *)

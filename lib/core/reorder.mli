@@ -21,16 +21,21 @@ val pair_score : Instr.value -> Instr.value -> int
     (including non-consecutive loads) 0. *)
 
 val lookahead_score :
+  ?meter:Lslp_robust.Budget.meter ->
   combine:Config.score_combine ->
   Instr.value ->
   Instr.value ->
   level:int ->
   int
-(** Listing 7: recursive match count between two sub-DAGs down to [level]. *)
+(** Listing 7: recursive match count between two sub-DAGs down to [level].
+    With [?meter], every recursive comparison spends one unit of look-ahead
+    fuel and the whole reorder bails with [Budget.Exhausted] when the cap is
+    hit — the defense against exponentially-shared DAGs. *)
 
 val init_mode : Instr.value -> mode
 
 val get_best :
+  ?meter:Lslp_robust.Budget.meter ->
   Config.t ->
   mode ->
   Instr.value ->
@@ -40,12 +45,18 @@ val get_best :
     previous lane's pick; [None] means the slot defers (already FAILED). *)
 
 val reorder_matrix :
-  Config.t -> Instr.value array array -> Instr.value array array
+  ?meter:Lslp_robust.Budget.meter ->
+  Config.t ->
+  Instr.value array array ->
+  Instr.value array array
 (** Listing 5 over [columns.(slot).(lane)].  Preserves each lane's multiset
     of operands; lane 0 is kept as-is. *)
 
 val reorder_matrix_modes :
-  Config.t -> Instr.value array array -> Instr.value array array * mode array
+  ?meter:Lslp_robust.Budget.meter ->
+  Config.t ->
+  Instr.value array array ->
+  Instr.value array array * mode array
 (** Like {!reorder_matrix}, but also returns the final per-slot mode —
     [Failed_mode] slots are the ones the remarks engine reports. *)
 

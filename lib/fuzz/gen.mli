@@ -1,0 +1,46 @@
+(** Random well-typed kernel generation for the differential fuzzer.
+
+    Three shapes — straight-line lanes of one commutative expression with
+    hidden per-lane isomorphism, reduction chains, and counted loops that
+    vectorize through the unroller.  Programs only load from A/B/C and
+    store to R/S, and are verified well-formed before leaving the
+    generator. *)
+
+open Lslp_ir
+
+type elt = E_f64 | E_i64
+
+type leaf =
+  | L_load of int * int * int  (** array id, zone, stride *)
+  | L_const of float           (** distinct constant per lane *)
+  | L_shared of float          (** same constant in every lane *)
+
+type shape =
+  | Straight of {
+      vl : int;
+      op : Opcode.binop;
+      leaves : leaf list;
+      perms : int list list;
+      left_assoc : bool list;
+      decoy_store : bool;
+    }
+  | Reduction of { r_op : Opcode.binop; r_leaves : leaf list; r_left : bool }
+  | Loop of {
+      l_op : Opcode.binop;
+      l_leaves : leaf list;
+      l_left : bool;
+      l_trip : int;
+      l_symbolic : bool;
+    }
+
+type prog = { elt : elt; shape : shape }
+
+val generate : Random.State.t -> prog
+(** Draw one program description; deterministic in the state. *)
+
+val build : prog -> Func.t
+(** Construct (and verify) the scalar function.  Fresh instructions every
+    call. *)
+
+val describe : prog -> string
+(** One-line printable form for failure reports. *)

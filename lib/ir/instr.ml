@@ -58,6 +58,11 @@ let create ?(name = "") kind ty = { id = fresh_id (); kind; ty; name }
    instructions; callers remap them afterwards. *)
 let copy i = { i with id = fresh_id () }
 
+(* Rollback primitive: reinstate a previously captured [kind].  The only
+   mutable field any pass writes is [kind], so (kind, program order) is a
+   complete transactional snapshot of a block. *)
+let set_kind i kind = i.kind <- kind
+
 let map_address_index f i =
   match i.kind with
   | Load a -> i.kind <- Load { a with index = f a.index }

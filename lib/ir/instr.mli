@@ -56,6 +56,12 @@ val copy : t -> t
     {!Func.clone} and the unroller; operands still point at the original
     instructions — remap them afterwards with {!map_operands}. *)
 
+val set_kind : t -> kind -> unit
+(** Reinstate a previously captured [kind] — the rollback primitive behind
+    transactional regions ({!Lslp_robust.Transact}).  [kind] is the only
+    mutable field any pass writes, so saving it (plus the block's
+    instruction order) snapshots a block completely. *)
+
 val map_address_index : (Affine.t -> Affine.t) -> t -> unit
 (** Rewrite the address index of a load/store in place; no-op on
     non-memory instructions.  Used by the unroller to shift the loop

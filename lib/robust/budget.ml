@@ -1,0 +1,64 @@
+(* Resource budgets.
+
+   A production vectorizer must never hang or blow the stack on adversarial
+   input: look-ahead scoring is exponential in the worst case, multi-node
+   coarsening can chase arbitrarily long chains, and a buggy seed filter
+   could re-offer the same region forever.  A budget caps each of those
+   dimensions; a [meter] is the per-region mutable counter set, and checked
+   spends raise {!Exhausted} — which the pipeline's transaction layer turns
+   into a clean [Budget_exhausted] rollback instead of a hang. *)
+
+type t = {
+  lookahead_fuel : int;
+  max_graph_nodes : int;
+  max_region_steps : int;
+}
+
+let unlimited =
+  {
+    lookahead_fuel = max_int;
+    max_graph_nodes = max_int;
+    max_region_steps = max_int;
+  }
+
+(* Orders of magnitude above anything the catalog or the fuzzer produces:
+   tripping a default budget means the input is pathological, not large. *)
+let default =
+  {
+    lookahead_fuel = 200_000;
+    max_graph_nodes = 4_096;
+    max_region_steps = 1_024;
+  }
+
+exception Exhausted of string
+
+type meter = {
+  budget : t;
+  mutable fuel_used : int;
+  mutable nodes_built : int;
+  mutable steps_taken : int;
+}
+
+let meter budget = { budget; fuel_used = 0; nodes_built = 0; steps_taken = 0 }
+
+let exhaust what limit = raise (Exhausted (Fmt.str "%s cap of %d" what limit))
+
+let spend_fuel m =
+  m.fuel_used <- m.fuel_used + 1;
+  if m.fuel_used > m.budget.lookahead_fuel then
+    exhaust "look-ahead fuel" m.budget.lookahead_fuel
+
+let spend_node m =
+  m.nodes_built <- m.nodes_built + 1;
+  if m.nodes_built > m.budget.max_graph_nodes then
+    exhaust "graph-node" m.budget.max_graph_nodes
+
+let spend_step m =
+  m.steps_taken <- m.steps_taken + 1;
+  if m.steps_taken > m.budget.max_region_steps then
+    exhaust "region-step" m.budget.max_region_steps
+
+let pp ppf t =
+  let lim ppf n = if n = max_int then Fmt.string ppf "inf" else Fmt.int ppf n in
+  Fmt.pf ppf "fuel=%a nodes=%a steps=%a" lim t.lookahead_fuel lim
+    t.max_graph_nodes lim t.max_region_steps

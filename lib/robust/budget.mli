@@ -1,0 +1,33 @@
+(** Resource budgets: caps that make pathological inputs bail cleanly
+    instead of hanging or overflowing the stack.
+
+    A {!t} is the static limit set carried by the vectorizer configuration;
+    a {!meter} is the mutable per-region counter set.  Checked spends raise
+    {!Exhausted}, which the pipeline's transaction layer converts into a
+    [Budget_exhausted] rollback. *)
+
+type t = {
+  lookahead_fuel : int;
+      (** total recursive look-ahead score evaluations per region *)
+  max_graph_nodes : int;  (** SLP-graph nodes built per region *)
+  max_region_steps : int;
+      (** seed attempts (graph + codegen cycles) per basic block *)
+}
+
+val unlimited : t
+val default : t
+
+exception Exhausted of string
+(** Carries a description of the cap that tripped, e.g.
+    ["look-ahead fuel cap of 200000"]. *)
+
+type meter
+
+val meter : t -> meter
+(** A fresh counter set against [t]; create one per region. *)
+
+val spend_fuel : meter -> unit
+val spend_node : meter -> unit
+val spend_step : meter -> unit
+
+val pp : t Fmt.t

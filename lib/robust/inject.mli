@@ -1,0 +1,59 @@
+(** Seeded, deterministic fault injection at pass boundaries.
+
+    Tests and [lslpc --inject pass:rate:seed] use this to force failures
+    inside the pipeline and prove the transactional rollback path end to
+    end.  All points except {!Corrupt} raise {!Fault} when they fire;
+    [Corrupt] instead scrambles the freshly vectorized block so the
+    in-transaction verifier has to detect the damage and trigger the
+    rollback itself. *)
+
+open Lslp_ir
+
+type point =
+  | Graph_build
+  | Reorder
+  | Codegen
+  | Reduction
+  | Cse
+  | Dce
+  | Verify
+  | Corrupt
+
+val all_points : point list
+val point_name : point -> string
+val point_of_name : string -> point option
+
+type t
+
+exception Fault of point
+
+val make : ?points:point list -> ?rate:float -> seed:int -> unit -> t
+(** [points] defaults to every boundary, [rate] to 1.0 (always fire). *)
+
+val parse : string -> (t, string) result
+(** ["pass[:rate[:seed]]"] with [pass] a point name or ["all"]; rate
+    defaults to 1.0, seed to 0. *)
+
+val fired : t -> int
+(** How many faults have fired so far (monotone across a run). *)
+
+val reseed : t -> seed:int -> t
+(** A fresh injector with the same points and rate but new dice — how the
+    fuzzer turns one [--inject] spec into a per-case deterministic
+    injector. *)
+
+val fires : t -> point -> bool
+(** Roll the seeded dice for one boundary; counts towards {!fired}. *)
+
+val maybe_fail : t option -> point -> unit
+(** @raise Fault when the spec covers [point] and the dice fire.  Never
+    raises for {!Corrupt} (see {!corrupts}). *)
+
+val corrupts : t option -> bool
+(** Whether the post-codegen corruption should be applied now. *)
+
+val corrupt_block : Block.t -> bool
+(** Damage the block in a way the structural verifier always detects
+    (duplicate instruction identity).  Returns false on an empty block. *)
+
+val pp : t Fmt.t

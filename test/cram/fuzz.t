@@ -1,0 +1,57 @@
+Fail-soft operation end to end.
+
+Arming fault injection at every boundary (rate 1.0 never consults the
+dice, so this output is identical on every OCaml version) degrades every
+region; the IR rolls back to scalar and no exception escapes:
+
+  $ lslpc compile --kernel motivation-multi --inject all:1.0:7
+  LSLP: 2 region(s), 0 vectorized, 2 degraded, total cost +0
+    [entry] A[i] x2 (VL=2): cost +0 [degraded: graph-build: injected fault]
+    [entry] (cleanup) (VL=0): cost +0 [degraded: cse: injected fault]
+  
+
+
+A rolled-back region still simulates identically to the scalar reference
+(no speedup, but no miscompile either):
+
+  $ lslpc run --kernel motivation-loads --config lslp --inject codegen
+  LSLP: 1 region(s), 0 vectorized, 1 degraded, total cost +0
+    [entry] A[i] x2 (VL=2): cost +0 [degraded: codegen: injected fault]
+  
+  scalar cycles:     12
+  vectorized cycles: 12
+  speedup:           1.000x
+  equivalence:       OK
+
+
+The corrupt point damages the vectorized block instead of raising; the
+in-transaction verifier catches it and triggers the same rollback:
+
+  $ lslpc run --kernel motivation-loads --config lslp --inject corrupt | tail -1
+  equivalence:       OK
+
+Degraded regions explain themselves through the remarks engine:
+
+  $ lslpc analyze --kernel motivation-loads --inject graph-build
+  LSLP: motivation_loads, 1 region(s) considered
+  region [entry] A[i] x2 (VL=2):
+    remark[outcome]: degraded: graph-build failed (injected fault); region rolled back to scalar
+  legality: 0 error(s), 0 warning(s)
+
+Bad injection specs are rejected up front:
+
+  $ lslpc compile --kernel motivation-loads --inject bogus 2>&1 | head -1
+  lslpc: option '--inject': unknown injection point "bogus"
+
+The differential fuzzer: random well-typed kernels through the pipeline
+under random configurations, checked against the scalar oracle.  The
+stdout summary is stable (the RNG-dependent counters go to stderr):
+
+  $ lslpc fuzz --cases 25 --seed 42 2>/dev/null
+  fuzz: 25 case(s): 0 failure(s)
+
+Forcing faults into every case must not break the property either — every
+fault lands in a transaction and rolls back:
+
+  $ lslpc fuzz --cases 10 --seed 1 --inject all:1.0:3 2>/dev/null
+  fuzz: 10 case(s): 0 failure(s)

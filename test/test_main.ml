@@ -20,4 +20,5 @@ let () =
       ("reduction", Test_reduction.suite);
       ("properties", Test_qcheck.suite);
       ("check", Test_check.suite);
+      ("robust", Test_robust.suite);
     ]

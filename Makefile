@@ -1,6 +1,6 @@
 # Convenience wrappers around dune.
 
-.PHONY: all test check bench ci clean fuzz lint-exceptions
+.PHONY: all test check bench ci clean fuzz lint-exceptions stats-golden
 
 all:
 	dune build
@@ -21,12 +21,20 @@ ci:
 	dune build @check
 	$(MAKE) lint-exceptions
 	$(MAKE) fuzz
+	$(MAKE) stats-golden
 
 # The pinned-seed differential fuzz run CI's fuzz-smoke job executes:
 # 500 random programs through the pipeline, checked against the scalar
 # oracle, with and without injected faults.
 fuzz:
 	dune exec bin/lslpc.exe -- fuzz --cases 500 --seed 42
+
+# Telemetry gate: the golden counter tables (test/cram/stats.t) plus the
+# cache-differential fuzz — 200 random programs whose cached and uncached
+# look-ahead scoring must agree on IR, remarks and region outcomes.
+stats-golden:
+	dune build @test/cram/runtest
+	dune exec bin/lslpc.exe -- fuzz --cases 200 --seed 42 --config cache-diff
 
 # Library code must not raise bare Failure: the fail-soft pipeline's
 # guarantees rest on typed errors (Codegen.Error, Transact.Check_failed,

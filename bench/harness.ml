@@ -136,11 +136,12 @@ let bench_speedup m =
    is scalar).  The result is kept live so the work cannot be elided. *)
 let fig14_filler_functions = 40
 
-let compile_all_kernels config_opt =
+let compile_all_kernels ?(on_report = fun (_ : Pipeline.report) -> ())
+    config_opt =
   let acc = ref 0 in
   let consume (f : Lslp_ir.Func.t) =
     (match config_opt with
-     | Some config -> ignore (Pipeline.run ~config f)
+     | Some config -> on_report (Pipeline.run ~config f)
      | None -> ());
     acc := !acc + Lslp_ir.Func.num_instrs f
   in
@@ -149,3 +150,31 @@ let compile_all_kernels config_opt =
     consume (Catalog.compile_key "filler-chain")
   done;
   !acc
+
+(* One timed pass over the same translation unit, summing the telemetry:
+   the score_evals (and fallback compile-time) column of Figure 14 comes
+   from the pipeline's own counters, not a separate model. *)
+type fig14_stats = {
+  live_instrs : int;
+  score_evals : int;
+  wall_seconds : float;
+}
+
+let compile_all_kernels_stats config_opt =
+  let evals = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let live =
+    compile_all_kernels
+      ~on_report:(fun report ->
+        let c =
+          Lslp_telemetry.Report.total_counters
+            report.Pipeline.telemetry
+        in
+        evals := !evals + c.Lslp_telemetry.Probe.score_evals)
+      config_opt
+  in
+  {
+    live_instrs = live;
+    score_evals = !evals;
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }

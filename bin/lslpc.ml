@@ -7,16 +7,20 @@
               reporting cycles, speedup and an equivalence check
      analyze  explain the vectorizer's decisions: one remark per region
               considered, plus the output of the legality validator
+     stats    run the whole kernel catalog and tabulate the telemetry
+              counters (score evaluations, cache hits, graph nodes, ...)
      kernels  list the built-in kernel catalog
      show     print a catalog kernel's source and IR
      fuzz     differential fuzzing: random kernels vs the scalar oracle
+              (--config cache-diff checks the memoized scorer instead)
 
    Example:
      lslpc compile --config lslp --dump-ir examples/kernels/foo.k
      lslpc run --kernel 453.boy-surface --config slp
-     lslpc analyze --kernel 464.motivation-multi --config lslp --json
+     lslpc analyze --kernel 464.motivation-multi --config lslp --stats
      lslpc compile --kernel 453.boy-surface --inject codegen:1.0:7
-     lslpc fuzz --cases 500 --seed 42
+     lslpc stats --config lslp
+     lslpc fuzz --cases 200 --config cache-diff
 *)
 
 open Cmdliner
@@ -69,6 +73,36 @@ let apply_inject inject config =
   match inject with
   | Some i -> Lslp_core.Config.with_inject i config
   | None -> config
+
+let no_score_cache_arg =
+  Arg.(value & flag
+       & info [ "no-score-cache" ]
+           ~doc:"Disable the memoized look-ahead scorer (same results, \
+                 more score evaluations).")
+
+let apply_score_cache no_cache config =
+  if no_cache then Lslp_core.Config.with_score_cache false config else config
+
+let stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print the telemetry counter table (stdout; deterministic) \
+                 and pass timings (stderr; wall clock).")
+
+let stats_json_arg =
+  Arg.(value & flag
+       & info [ "stats-json" ]
+           ~doc:"Emit the telemetry report (counters and timers) as JSON.")
+
+(* Counters are deterministic per (input, config) and go to stdout so
+   golden tests can pin them; wall-clock timings go to stderr. *)
+let print_stats ~stats ~stats_json (report : Lslp_core.Pipeline.report) =
+  let t = report.Lslp_core.Pipeline.telemetry in
+  if stats then begin
+    Fmt.pr "%a" Lslp_telemetry.Report.pp_counters t;
+    Fmt.epr "%a" Lslp_telemetry.Report.pp_timers t
+  end;
+  if stats_json then Fmt.pr "%s@." (Lslp_telemetry.Report.to_json t)
 
 (* Region formation happens here, in the driver, exactly once: Lower and
    Catalog.compile stay pure so nothing double-unrolls. *)
@@ -139,14 +173,14 @@ let print_diagnostics diags =
 
 let compile_cmd =
   let run file kernel config unroll inject dump_ir dump_graph quiet
-      verify_output verbose =
+      verify_output no_cache stats stats_json verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let config =
       if verify_output then Lslp_core.Config.with_validate true config
       else config
     in
-    let config = apply_inject inject config in
+    let config = apply_inject inject (apply_score_cache no_cache config) in
     let f = load_kernel ~unroll file kernel in
     if dump_ir then
       Fmt.pr "=== scalar IR ===@.%a@.@." Lslp_ir.Printer.pp_func f;
@@ -166,6 +200,7 @@ let compile_cmd =
         (Lslp_ir.Func.blocks f);
     let report, g = Lslp_core.Pipeline.run_cloned ~config f in
     if not quiet then Fmt.pr "%a@.@." Lslp_core.Pipeline.pp_report report;
+    print_stats ~stats ~stats_json report;
     if dump_ir then
       Fmt.pr "=== %s IR ===@.%a@." config.name Lslp_ir.Printer.pp_func g;
     if verify_output
@@ -191,19 +226,20 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Vectorize a kernel and report what happened")
     Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg
           $ inject_arg $ dump_ir $ dump_graph $ quiet $ verify_output_arg
-          $ verbose_arg)
+          $ no_score_cache_arg $ stats_arg $ stats_json_arg $ verbose_arg)
 
 (* ---- run --------------------------------------------------------- *)
 
 let run_cmd =
-  let run file kernel config unroll inject seed verify_output verbose =
+  let run file kernel config unroll inject seed verify_output no_cache stats
+      stats_json verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let config =
       if verify_output then Lslp_core.Config.with_validate true config
       else config
     in
-    let config = apply_inject inject config in
+    let config = apply_inject inject (apply_score_cache no_cache config) in
     (* the reference is the kernel as written (loops intact), so the oracle
        checks region formation and vectorization together *)
     let reference = load_kernel ~unroll:0 file kernel in
@@ -213,6 +249,7 @@ let run_cmd =
       Lslp_interp.Oracle.compare_runs ~seed ~reference ~candidate:g ()
     in
     Fmt.pr "%a@.@." Lslp_core.Pipeline.pp_report report;
+    print_stats ~stats ~stats_json report;
     if verify_output
        && print_diagnostics report.Lslp_core.Pipeline.diagnostics
     then exit 1;
@@ -236,18 +273,20 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Vectorize a kernel, simulate scalar vs vector, compare")
     Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg
-          $ inject_arg $ seed $ verify_output_arg $ verbose_arg)
+          $ inject_arg $ seed $ verify_output_arg $ no_score_cache_arg
+          $ stats_arg $ stats_json_arg $ verbose_arg)
 
 (* ---- analyze ------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run file kernel config unroll inject json verbose =
+  let run file kernel config unroll inject json no_cache stats stats_json
+      verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let config =
       Lslp_core.Config.(config |> with_remarks true |> with_validate true)
     in
-    let config = apply_inject inject config in
+    let config = apply_inject inject (apply_score_cache no_cache config) in
     let f = load_kernel ~unroll file kernel in
     let report, _g = Lslp_core.Pipeline.run_cloned ~config f in
     let remarks = report.Lslp_core.Pipeline.remarks in
@@ -256,12 +295,14 @@ let analyze_cmd =
       Fmt.pr "%s@."
         (Lslp_check.Remark.report_to_json ~config_name:config.name
            ~func_name:f.Lslp_ir.Func.fname ~diagnostics:diags remarks);
+      print_stats ~stats ~stats_json report;
       if Lslp_check.Diagnostic.errors diags <> [] then exit 1
     end
     else begin
       Fmt.pr "%s: %s, %d region(s) considered@." config.name
         f.Lslp_ir.Func.fname (List.length remarks);
       List.iter (fun r -> Fmt.pr "%a@." Lslp_check.Remark.pp r) remarks;
+      print_stats ~stats ~stats_json report;
       if print_diagnostics diags then exit 1
     end
   in
@@ -275,7 +316,66 @@ let analyze_cmd =
          "Explain the vectorizer's decisions: one remark per region \
           considered, with the legality validator's verdict")
     Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg
-          $ inject_arg $ json $ verbose_arg)
+          $ inject_arg $ json $ no_score_cache_arg $ stats_arg
+          $ stats_json_arg $ verbose_arg)
+
+(* ---- stats -------------------------------------------------------- *)
+
+let stats_cmd =
+  let run config unroll no_cache json =
+    handle_errors @@ fun () ->
+    setup_logs false;
+    let config = apply_score_cache no_cache config in
+    let rows =
+      List.map
+        (fun (k : Lslp_kernels.Catalog.kernel) ->
+          let f = Lslp_kernels.Catalog.compile k in
+          ignore (Lslp_frontend.Unroll.run ~factor:unroll f);
+          let report = Lslp_core.Pipeline.run ~config f in
+          (k.key, report.Lslp_core.Pipeline.telemetry))
+        Lslp_kernels.Catalog.all
+    in
+    if json then
+      Fmt.pr "[%s]@."
+        (String.concat ","
+           (List.map
+              (fun (_, t) -> Lslp_telemetry.Report.to_json t)
+              rows))
+    else begin
+      (* one total row per kernel; timings stay on stderr *)
+      Fmt.pr "=== catalog telemetry: %s ===@." config.Lslp_core.Config.name;
+      Fmt.pr "%-26s" "kernel";
+      List.iter
+        (fun (name, _) -> Fmt.pr " %8s" name)
+        Lslp_telemetry.Probe.counter_fields;
+      Fmt.pr "@.";
+      List.iter
+        (fun (key, t) ->
+          let c = Lslp_telemetry.Report.total_counters t in
+          Fmt.pr "%-26s" key;
+          List.iter
+            (fun (_, get) -> Fmt.pr " %8d" (get c))
+            Lslp_telemetry.Probe.counter_fields;
+          Fmt.pr "@.")
+        rows;
+      List.iter
+        (fun (key, t) ->
+          Fmt.epr "--- %s@.%a" key Lslp_telemetry.Report.pp_timers t)
+        rows
+    end
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit one telemetry report per kernel as a \
+                                 JSON array.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Vectorize the whole kernel catalog and tabulate the telemetry \
+          counters (seeds, score evaluations, cache hits, graph nodes, \
+          regions)")
+    Term.(const run $ config_arg $ unroll_arg $ no_score_cache_arg $ json)
 
 (* ---- fuzz --------------------------------------------------------- *)
 
@@ -284,7 +384,16 @@ let fuzz_cmd =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let stats =
-      Lslp_fuzz.Fuzz.run ~cases ~seed ?config ?inject_spec:inject ()
+      match config with
+      | Some "cache-diff" ->
+        (* differential check of the memoized scorer: cache on vs off *)
+        Lslp_fuzz.Fuzz.run_cache_diff ~cases ~seed ()
+      | Some s -> (
+        match config_of_string s with
+        | Ok c -> Lslp_fuzz.Fuzz.run ~cases ~seed ~config:c
+                    ?inject_spec:inject ()
+        | Error e -> failwith e)
+      | None -> Lslp_fuzz.Fuzz.run ~cases ~seed ?inject_spec:inject ()
     in
     (* summary on stdout is stable per seed; the RNG-dependent counters go
        to stderr so cram tests can pin the former *)
@@ -303,9 +412,11 @@ let fuzz_cmd =
   in
   let config =
     let doc =
-      "Pin one vectorizer configuration instead of drawing from the pool."
+      "Pin one vectorizer configuration instead of drawing from the pool, \
+       or $(b,cache-diff) to differentially test the memoized look-ahead \
+       scorer (cache on vs off must agree byte-for-byte)."
     in
-    Arg.(value & opt (some config_conv) None
+    Arg.(value & opt (some string) None
          & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
   in
   Cmd.v
@@ -353,5 +464,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; run_cmd; analyze_cmd; fuzz_cmd; kernels_cmd;
-            show_cmd ]))
+          [ compile_cmd; run_cmd; analyze_cmd; stats_cmd; fuzz_cmd;
+            kernels_cmd; show_cmd ]))

@@ -58,7 +58,7 @@ let element_scalar (i : Instr.t) =
       error "no element type for bundle member %%%d (%s)" i.Instr.id
         (Instr.opclass_name (Instr.opclass i)))
 
-let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
+let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe
     (graph : Graph.t) (block : Block.t) : outcome =
   let deps = Depgraph.build block in
   (* ---- units ---------------------------------------------------- *)
@@ -155,6 +155,9 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
     (* ---- emission -------------------------------------------------- *)
     let out = ref [] in
     let push i = out := i :: !out in
+    (* surviving scalars are re-pushed, not materialized; everything else in
+       [out] is fresh — the probe's instrs_emitted, charged only on commit *)
+    let scalar_repushes = ref 0 in
     let vec_vals : (int, Instr.value) Hashtbl.t = Hashtbl.create 32 in
     let extracts : (int, Instr.value) Hashtbl.t = Hashtbl.create 16 in
     (* scalar replacements (e.g. a reduction root's final value) *)
@@ -393,6 +396,7 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
           match members.(u) with
           | [ i ] ->
             Instr.map_operands subst i;
+            incr scalar_repushes;
             push i
           | ms ->
             (* unreachable: scalar units are built as singletons above *)
@@ -400,6 +404,13 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ())
               (Fmt.str "Codegen: scalar unit %d has %d members" u
                  (List.length ms)))
       order;
+    Option.iter
+      (fun p ->
+        let c = Lslp_telemetry.Probe.counters p in
+        c.Lslp_telemetry.Probe.instrs_emitted <-
+          c.Lslp_telemetry.Probe.instrs_emitted
+          + (List.length !out - !scalar_repushes))
+      probe;
     Block.set_order block (List.rev !out);
     ignore (Dce.run_block block);
     Vectorized

@@ -35,9 +35,13 @@ type reduction = {
 val run :
   ?reduction:reduction ->
   ?record:(lanes:Instr.t array -> vector:Instr.t -> unit) ->
+  ?probe:Lslp_telemetry.Probe.t ->
   Graph.t ->
   Block.t ->
   outcome
 (** [record] is invoked once per emitted vector instruction with the scalar
     lanes it replaces — the provenance feed of the legality validator.
-    Multi-node internal bundles all map to the chain's final combine. *)
+    Multi-node internal bundles all map to the chain's final combine.
+    [probe] counts the freshly materialized instructions (vector ops,
+    gathers, shuffles, extracts, reduction combines), charged only when the
+    outcome is [Vectorized]. *)

@@ -26,9 +26,10 @@ type ctx = {
   graph : Graph.t;
   note : Lslp_check.Remark.note -> unit;
   meter : Lslp_robust.Budget.meter option;
+  probe : Lslp_telemetry.Probe.t option;
 }
 
-let make_ctx ?(note = fun _ -> ()) ?meter config (block : Block.t) =
+let make_ctx ?(note = fun _ -> ()) ?meter ?probe config (block : Block.t) =
   {
     config;
     block;
@@ -37,6 +38,7 @@ let make_ctx ?(note = fun _ -> ()) ?meter config (block : Block.t) =
     graph = Graph.create ();
     note;
     meter;
+    probe;
   }
 
 let classify ctx (b : Bundle.t) =
@@ -68,6 +70,12 @@ let rec build_bundle ctx (b : Bundle.t) : Graph.node =
 
 and build_bundle_fresh ctx (b : Bundle.t) : Graph.node =
   Option.iter Lslp_robust.Budget.spend_node ctx.meter;
+  Option.iter
+    (fun p ->
+      let c = Lslp_telemetry.Probe.counters p in
+      c.Lslp_telemetry.Probe.graph_nodes <-
+        c.Lslp_telemetry.Probe.graph_nodes + 1)
+    ctx.probe;
   let register node =
     Graph.register_bundle ctx.graph b node;
     node
@@ -191,7 +199,8 @@ and build_multinode ctx (root_insts : Instr.t array) (op : Opcode.binop) =
       Lslp_robust.Inject.maybe_fail ctx.config.Config.inject
         Lslp_robust.Inject.Reorder;
       let m, modes =
-        Reorder.reorder_matrix_modes ?meter:ctx.meter ctx.config matrix
+        Reorder.reorder_matrix_modes ?meter:ctx.meter ?probe:ctx.probe
+          ctx.config matrix
       in
       let failed =
         Array.fold_left
@@ -210,15 +219,16 @@ and build_multinode ctx (root_insts : Instr.t array) (op : Opcode.binop) =
     List.map (build_bundle ctx) (Array.to_list reordered);
   node
 
-let build ?note ?meter config (block : Block.t) (seed : Instr.t array) =
-  let ctx = make_ctx ?note ?meter config block in
+let build ?note ?meter ?probe config (block : Block.t) (seed : Instr.t array)
+    =
+  let ctx = make_ctx ?note ?meter ?probe config block in
   let root = build_bundle ctx (Bundle.of_insts seed) in
   (ctx.graph, root)
 
 (* Entry point for reduction vectorization: build one node per leaf chunk
    within a single shared graph (so diamonds across chunks still reuse). *)
-let build_columns ?note ?meter config (block : Block.t)
+let build_columns ?note ?meter ?probe config (block : Block.t)
     (columns : Bundle.t list) =
-  let ctx = make_ctx ?note ?meter config block in
+  let ctx = make_ctx ?note ?meter ?probe config block in
   let nodes = List.map (build_bundle ctx) columns in
   (ctx.graph, nodes)

@@ -6,6 +6,7 @@ open Lslp_ir
 val build :
   ?note:(Lslp_check.Remark.note -> unit) ->
   ?meter:Lslp_robust.Budget.meter ->
+  ?probe:Lslp_telemetry.Probe.t ->
   Config.t ->
   Block.t ->
   Instr.t array ->
@@ -19,11 +20,13 @@ val build :
     reorder comparison; when a cap is hit the build raises
     [Lslp_robust.Budget.Exhausted] (the pipeline degrades the region).
     May also raise [Lslp_robust.Inject.Fault] when the config arms fault
-    injection at the reorder boundary. *)
+    injection at the reorder boundary.
+    [probe] counts fresh graph nodes and score evaluations. *)
 
 val build_columns :
   ?note:(Lslp_check.Remark.note -> unit) ->
   ?meter:Lslp_robust.Budget.meter ->
+  ?probe:Lslp_telemetry.Probe.t ->
   Config.t ->
   Block.t ->
   Bundle.t list ->

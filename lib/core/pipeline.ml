@@ -29,6 +29,7 @@ open Lslp_ir
 module Budget = Lslp_robust.Budget
 module Inject = Lslp_robust.Inject
 module Transact = Lslp_robust.Transact
+module Probe = Lslp_telemetry.Probe
 
 let log_src = Logs.Src.create "lslp" ~doc:"(L)SLP vectorization pass"
 
@@ -54,6 +55,7 @@ type report = {
   degraded_regions : int;  (* regions rolled back to scalar by a failure *)
   remarks : Lslp_check.Remark.t list;          (* empty unless [remarks] *)
   diagnostics : Lslp_check.Diagnostic.t list;  (* empty unless [validate] *)
+  telemetry : Lslp_telemetry.Report.t;  (* counters + timers, always on *)
 }
 
 let zero_cost = { Cost.per_node = []; extract_cost = 0; total = 0 }
@@ -179,7 +181,22 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
       Hashtbl.replace meters label m;
       m
   in
+  (* One probe per block, same lifetime as the block's budget meter.
+     Counters measure work *performed*, so a rolled-back attempt keeps its
+     score evaluations and graph nodes — only [instrs_emitted] is charged
+     exclusively on commit (inside codegen). *)
+  let probes : (string, Probe.t) Hashtbl.t = Hashtbl.create 4 in
+  let probe_of label =
+    match Hashtbl.find_opt probes label with
+    | Some p -> p
+    | None ->
+      let p = Probe.create () in
+      Hashtbl.replace probes label p;
+      p
+  in
   let degrade ~region_id ~seed_desc ~lanes (failure : Transact.failure) =
+    let c = Probe.counters (probe_of region_id) in
+    c.Probe.regions_degraded <- c.Probe.regions_degraded + 1;
     Log.info (fun m ->
         m "%s: [%s] %s degraded: %a" config.Config.name region_id seed_desc
           Transact.pp_failure failure);
@@ -216,6 +233,8 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
   let run_block (block : Block.t) =
     let region_id = Block.label block in
     let meter = meter_of block in
+    let probe = probe_of region_id in
+    let pc = Probe.counters probe in
     let exhausted = ref false in
     let continue_ = ref true in
     let consumed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -228,7 +247,10 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
       let result =
         Transact.protect ~snapshot ~pass:(fun () -> !cur_pass) (fun () ->
             Budget.spend_step meter;
-            let seeds = Seeds.collect config block in
+            let seeds =
+              Probe.span probe "seed-collect" (fun () ->
+                  Seeds.collect ~probe config block)
+            in
             let fresh =
               List.filter
                 (fun (s : Seeds.seed) ->
@@ -248,6 +270,7 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
                 seed;
               continue_ := true;
               cur_seed := Some seed;
+              pc.Probe.seeds_tried <- pc.Probe.seeds_tried + 1;
               Log.debug (fun m ->
                   m "%s: [%s] building graph for seed %s" config.Config.name
                     region_id (describe_seed seed));
@@ -260,10 +283,14 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
                 else None
               in
               let graph, root =
-                Graph_builder.build ?note ~meter config block seed
+                Probe.span probe "graph-build" (fun () ->
+                    Graph_builder.build ?note ~meter ~probe config block seed)
               in
               cur_pass := "cost";
-              let cost = Cost.evaluate config graph block in
+              let cost =
+                Probe.span probe "cost" (fun () ->
+                    Cost.evaluate config graph block)
+              in
               Log.debug (fun m ->
                   m "%s: [%s] seed %s -> %d nodes, cost %+d"
                     config.Config.name region_id (describe_seed seed)
@@ -273,13 +300,20 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
               let region =
                 if Cost.profitable config cost then begin
                   Inject.maybe_fail inject Inject.Codegen;
-                  match Codegen.run ?record:record_opt graph block with
+                  match
+                    Probe.span probe "codegen" (fun () ->
+                        Codegen.run ?record:record_opt ~probe graph block)
+                  with
                   | Codegen.Vectorized ->
                     if Inject.corrupts inject then
                       ignore (Inject.corrupt_block block);
                     cur_pass := "verify";
                     Inject.maybe_fail inject Inject.Verify;
                     verify_or_abort "verify";
+                    (* only now is the region committed; a verify abort
+                       above must not leave a phantom vectorized count *)
+                    pc.Probe.regions_vectorized <-
+                      pc.Probe.regions_vectorized + 1;
                     Log.info (fun m ->
                         m "%s: [%s] vectorized %s (cost %+d)"
                           config.Config.name region_id (describe_seed seed)
@@ -391,8 +425,9 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
       let result =
         Transact.protect ~snapshot ~pass:(fun () -> "reduction") (fun () ->
             let rs =
-              Reduction.run ~config ~meter ?record:record_opt ~on_skipped
-                block
+              Probe.span probe "reduction" (fun () ->
+                  Reduction.run ~config ~meter ~probe ?record:record_opt
+                    ~on_skipped block)
             in
             if
               List.exists (fun r -> r.Reduction.vectorized) rs
@@ -403,6 +438,11 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
       in
       match result with
       | Ok rs ->
+        List.iter
+          (fun (r : Reduction.region) ->
+            if r.Reduction.vectorized then
+              pc.Probe.regions_vectorized <- pc.Probe.regions_vectorized + 1)
+          rs;
         List.iter
           (fun (r : Reduction.region) ->
             add_remark
@@ -451,15 +491,16 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
      and degrades only the cleanup. *)
   let cleanup_block (block : Block.t) =
     let region_id = Block.label block in
+    let probe = probe_of region_id in
     let snapshot = Transact.snapshot_block block in
     let cur_pass = ref "cse" in
     let result =
       Transact.protect ~snapshot ~pass:(fun () -> !cur_pass) (fun () ->
           Inject.maybe_fail inject Inject.Cse;
-          ignore (Cse.run_block block);
+          Probe.span probe "cse" (fun () -> ignore (Cse.run_block block));
           cur_pass := "dce";
           Inject.maybe_fail inject Inject.Dce;
-          ignore (Dce.run_block block);
+          Probe.span probe "dce" (fun () -> ignore (Dce.run_block block));
           verify_or_abort "cleanup-verify")
     in
     match result with
@@ -482,6 +523,16 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
          :: !diagnostics)
    | None -> ());
   let regions = List.rev !regions in
+  let telemetry =
+    Lslp_telemetry.Report.make ~func:f.Func.fname ~config:config.Config.name
+      (List.filter_map
+         (fun block ->
+           let label = Block.label block in
+           Option.map
+             (fun p -> (label, Probe.snapshot p))
+             (Hashtbl.find_opt probes label))
+         (Func.blocks f))
+  in
   {
     config_name = config.Config.name;
     regions;
@@ -498,6 +549,7 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
            regions);
     remarks = List.rev !remarks;
     diagnostics = List.rev !diagnostics;
+    telemetry;
   }
 
 let run ?(config = Config.lslp) (f : Func.t) : report =
@@ -529,6 +581,9 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
       degraded_regions = 1;
       remarks = [];
       diagnostics = [];
+      telemetry =
+        Lslp_telemetry.Report.empty ~func:f.Func.fname
+          ~config:config.Config.name;
     }
 
 (* Convenience: clone, run, return (report, transformed clone). *)

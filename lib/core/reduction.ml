@@ -99,7 +99,7 @@ type plan = {
    graph nodes (chunk trees and their gathers/extracts) + (chunks-1)
    element-wise vector ops + the horizontal reduce + tail scalar ops,
    minus the removed scalar chain ops. *)
-let plan_candidate ?meter (config : Config.t) (block : Block.t)
+let plan_candidate ?meter ?probe (config : Config.t) (block : Block.t)
     (c : candidate) : plan option =
   let model = config.Config.model in
   let elt =
@@ -112,7 +112,7 @@ let plan_candidate ?meter (config : Config.t) (block : Block.t)
   else begin
     let chunks, tail = chunk_leaves ~lanes c.cand_leaves in
     let graph, chunk_nodes =
-      Graph_builder.build_columns ?meter config block chunks
+      Graph_builder.build_columns ?meter ?probe config block chunks
     in
     let in_chain (u : Instr.t) =
       List.exists (fun (ci : Instr.t) -> Instr.equal ci u) c.cand_chain
@@ -157,8 +157,8 @@ type region = {
 
 (* Vectorize every profitable reduction in one block, in program order.
    Returns one region record per candidate considered. *)
-let run ?(config = Config.lslp) ?meter ?record ?(on_skipped = fun _ -> ())
-    (block : Block.t) : region list =
+let run ?(config = Config.lslp) ?meter ?probe ?record
+    ?(on_skipped = fun _ -> ()) (block : Block.t) : region list =
   let regions = ref [] in
   let continue_ = ref true in
   let consumed : (int, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -180,13 +180,15 @@ let run ?(config = Config.lslp) ?meter ?record ?(on_skipped = fun _ -> ())
           (Opcode.binop_name c.cand_op)
           (List.length c.cand_leaves)
       in
-      match plan_candidate ?meter config block c with
+      match plan_candidate ?meter ?probe config block c with
       | None -> on_skipped c
       | Some plan ->
         if plan.cost < config.Config.threshold then begin
           Lslp_robust.Inject.maybe_fail config.Config.inject
             Lslp_robust.Inject.Reduction;
-          match Codegen.run ~reduction:plan.reduction ?record plan.graph block
+          match
+            Codegen.run ~reduction:plan.reduction ?record ?probe plan.graph
+              block
           with
           | Codegen.Vectorized ->
             ignore (Dce.run_block block);

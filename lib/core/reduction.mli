@@ -29,6 +29,7 @@ type region = {
 val run :
   ?config:Config.t ->
   ?meter:Lslp_robust.Budget.meter ->
+  ?probe:Lslp_telemetry.Probe.t ->
   ?record:(lanes:Instr.t array -> vector:Instr.t -> unit) ->
   ?on_skipped:(candidate -> unit) ->
   Block.t ->

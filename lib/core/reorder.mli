@@ -22,38 +22,54 @@ val pair_score : Instr.value -> Instr.value -> int
 
 val lookahead_score :
   ?meter:Lslp_robust.Budget.meter ->
+  ?cache:Lslp_telemetry.Score_cache.t ->
+  ?probe:Lslp_telemetry.Probe.t ->
   combine:Config.score_combine ->
   Instr.value ->
   Instr.value ->
   level:int ->
   int
 (** Listing 7: recursive match count between two sub-DAGs down to [level].
-    With [?meter], every recursive comparison spends one unit of look-ahead
+    With [?meter], every computed comparison spends one unit of look-ahead
     fuel and the whole reorder bails with [Budget.Exhausted] when the cap is
-    hit — the defense against exponentially-shared DAGs. *)
+    hit — the defense against exponentially-shared DAGs.
+    With [?cache], instruction/instruction comparisons memoize on
+    (id, id, level, combine); hits skip the recursion and burn no fuel.
+    The cache is only sound while the operand DAG is frozen — scope it to
+    one reorder invocation.  [?probe] counts evaluations and hits/misses. *)
 
 val init_mode : Instr.value -> mode
 
 val get_best :
   ?meter:Lslp_robust.Budget.meter ->
+  ?cache:Lslp_telemetry.Score_cache.t ->
+  ?probe:Lslp_telemetry.Probe.t ->
   Config.t ->
   mode ->
   Instr.value ->
   Instr.value list ->
   Instr.value option * mode
 (** Listing 6: choose among candidates given the slot's mode and the
-    previous lane's pick; [None] means the slot defers (already FAILED). *)
+    previous lane's pick; [None] means the slot defers (already FAILED).
+    When [Config.score_cache] is on and no [?cache] is supplied, the
+    look-ahead tie-break memoizes within itself per candidate, so
+    deepening from level k to k+1 extends the level-k results instead of
+    recomputing them.  With [Config.score_cache] off there is no
+    memoization anywhere — the paper's Listing 7 exactly as written. *)
 
 val reorder_matrix :
   ?meter:Lslp_robust.Budget.meter ->
+  ?probe:Lslp_telemetry.Probe.t ->
   Config.t ->
   Instr.value array array ->
   Instr.value array array
 (** Listing 5 over [columns.(slot).(lane)].  Preserves each lane's multiset
-    of operands; lane 0 is kept as-is. *)
+    of operands; lane 0 is kept as-is.  With [Config.score_cache] one score
+    cache is created for (and discarded with) the invocation. *)
 
 val reorder_matrix_modes :
   ?meter:Lslp_robust.Budget.meter ->
+  ?probe:Lslp_telemetry.Probe.t ->
   Config.t ->
   Instr.value array array ->
   Instr.value array array * mode array

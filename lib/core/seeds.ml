@@ -30,7 +30,7 @@ let rec windows max_lanes (run : Instr.t list) : seed list =
     Array.of_list first :: windows max_lanes rest
   end
 
-let collect (config : Config.t) (block : Block.t) : seed list =
+let collect ?probe (config : Config.t) (block : Block.t) : seed list =
   let stores = Block.find_all Instr.is_store block in
   (* group by (array, element type) *)
   let by_array = Hashtbl.create 8 in
@@ -80,9 +80,18 @@ let collect (config : Config.t) (block : Block.t) : seed list =
           (List.rev !runs))
     by_array;
   (* deterministic order: by position of the first store *)
-  List.sort
-    (fun (a : seed) (b : seed) ->
-      Int.compare
-        (Block.position_exn block a.(0))
-        (Block.position_exn block b.(0)))
-    !seeds
+  let sorted =
+    List.sort
+      (fun (a : seed) (b : seed) ->
+        Int.compare
+          (Block.position_exn block a.(0))
+          (Block.position_exn block b.(0)))
+      !seeds
+  in
+  Option.iter
+    (fun p ->
+      let c = Lslp_telemetry.Probe.counters p in
+      c.Lslp_telemetry.Probe.seeds_collected <-
+        c.Lslp_telemetry.Probe.seeds_collected + List.length sorted)
+    probe;
+  sorted

@@ -5,5 +5,7 @@ open Lslp_ir
 
 type seed = Instr.t array
 
-val collect : Config.t -> Block.t -> seed list
-(** Seeds of one region, ordered by the position of their first store. *)
+val collect :
+  ?probe:Lslp_telemetry.Probe.t -> Config.t -> Block.t -> seed list
+(** Seeds of one region, ordered by the position of their first store.
+    [probe] counts the bundles found. *)

@@ -142,6 +142,114 @@ let run ?(cases = 500) ?(seed = 42) ?config ?inject_spec () : stats =
     injected_runs = !injected_runs;
   }
 
+(* Printed IR embeds the global instruction-id counter in every label
+   (see Lslp_ir.Printer), so two pipeline runs in one process are never
+   textually identical even when they build the same instructions.
+   Alpha-rename every %label by first appearance before comparing. *)
+let normalize_ids s =
+  let b = Buffer.create (String.length s) in
+  let tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let n = String.length s in
+  let is_tok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.'
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = '%' then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_tok s.[!j] do incr j done;
+      let tok = String.sub s !i (!j - !i) in
+      let k =
+        match Hashtbl.find_opt tbl tok with
+        | Some k -> k
+        | None ->
+          let k = Hashtbl.length tbl in
+          Hashtbl.replace tbl tok k;
+          k
+      in
+      Buffer.add_string b (Fmt.str "%%r%d" k);
+      i := !j
+    end
+    else begin
+      Buffer.add_char b c;
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* Differential check for the memoized look-ahead scorer: the same program
+   through the same configuration with the score cache on and off must
+   produce identical IR (modulo instruction-id renaming), identical
+   remarks and identical region counts.  Fault injection stays off — an
+   armed injector advances its own RNG per probe, so the two runs would
+   diverge for reasons unrelated to the cache. *)
+let run_cache_diff ?(cases = 200) ?(seed = 42) () : stats =
+  let st = Random.State.make [| seed |] in
+  let failures = ref [] in
+  let vectorized = ref 0 in
+  let degraded = ref 0 in
+  for case = 0 to cases - 1 do
+    let prog = Gen.generate st in
+    let desc = Gen.describe prog in
+    let base =
+      config_pool.(Random.State.int st (Array.length config_pool))
+    in
+    let config = Config.with_remarks true base in
+    let fail problem =
+      failures :=
+        { case; desc; config_name = base.Config.name; injected = None;
+          problem }
+        :: !failures
+    in
+    match Gen.build prog with
+    | exception e ->
+      fail (Fmt.str "generator crashed: %s" (Printexc.to_string e))
+    | reference -> (
+      let run_one cache =
+        let candidate = Func.clone reference in
+        ignore (Lslp_frontend.Unroll.run ~factor:unroll_factor candidate);
+        let report =
+          Pipeline.run ~config:(Config.with_score_cache cache config)
+            candidate
+        in
+        (report, normalize_ids (Fmt.str "%a" Printer.pp_func candidate))
+      in
+      match (run_one true, run_one false) with
+      | exception e ->
+        fail (Fmt.str "pipeline raised %s" (Printexc.to_string e))
+      | (cached, ir_cached), (uncached, ir_uncached) ->
+        let remarks r =
+          List.map
+            (Fmt.str "%a" Lslp_check.Remark.pp)
+            r.Pipeline.remarks
+        in
+        if ir_cached <> ir_uncached then
+          fail "cached and uncached runs produced different IR"
+        else if remarks cached <> remarks uncached then
+          fail "cached and uncached runs produced different remarks"
+        else if
+          cached.Pipeline.vectorized_regions
+          <> uncached.Pipeline.vectorized_regions
+          || cached.Pipeline.degraded_regions
+             <> uncached.Pipeline.degraded_regions
+        then fail "cached and uncached runs transformed different regions"
+        else begin
+          vectorized := !vectorized + cached.Pipeline.vectorized_regions;
+          degraded := !degraded + cached.Pipeline.degraded_regions
+        end)
+  done;
+  {
+    cases;
+    failures = List.rev !failures;
+    vectorized = !vectorized;
+    degraded = !degraded;
+    injected_runs = 0;
+  }
+
 let pp_failure ppf f =
   Fmt.pf ppf "case %d: %s@,  program: %s%a" f.case f.problem f.desc
     (fun ppf -> function

@@ -34,6 +34,20 @@ val run :
     per case; without it, a quarter of the cases arm a random low-rate
     injector anyway. *)
 
+val normalize_ids : string -> string
+(** Alpha-rename every [%label] in printed IR by first appearance.
+    Instruction labels embed a process-global id counter, so two pipeline
+    runs over clones of one function are never byte-identical — after this
+    renaming, textual equality means structural equality. *)
+
+val run_cache_diff : ?cases:int -> ?seed:int -> unit -> stats
+(** Differential check of the memoized look-ahead scorer
+    ([lslpc fuzz --config cache-diff]): each generated program runs through
+    the same drawn configuration with {!Lslp_core.Config.with_score_cache}
+    on and off; any difference in the printed IR, the remarks or the
+    region counts is a failure.  Fault injection stays off — its RNG would
+    make the two runs diverge for unrelated reasons. *)
+
 val ok : stats -> bool
 
 val pp_summary : stats Fmt.t

@@ -1,0 +1,97 @@
+(* Aggregated telemetry: per-block probe snapshots plus their sum.
+
+   Rendering discipline (shared with the fuzzer's summary/detail split):
+   counters are deterministic and go to stdout so cram tests can pin them;
+   timers are wall-clock and render through a separate printer the CLI
+   sends to stderr.  The JSON document carries both. *)
+
+type t = {
+  func : string;
+  config : string;
+  blocks : (string * Probe.snapshot) list;  (* block label, in block order *)
+  total : Probe.snapshot;
+}
+
+let make ~func ~config blocks =
+  { func; config; blocks; total = Probe.merge (List.map snd blocks) }
+
+let empty ~func ~config =
+  { func; config; blocks = []; total = Probe.empty_snapshot }
+
+let total_counters t = t.total.Probe.s_counters
+
+(* ---- human rendering --------------------------------------------- *)
+
+let pp_row ppf label (c : Probe.counters) =
+  Fmt.pf ppf "%-10s" label;
+  List.iter (fun (_, get) -> Fmt.pf ppf " %8d" (get c)) Probe.counter_fields
+
+let pp_counters ppf t =
+  Fmt.pf ppf "=== telemetry: %s, %s ===@." t.config t.func;
+  Fmt.pf ppf "%-10s" "block";
+  List.iter (fun (name, _) -> Fmt.pf ppf " %8s" name) Probe.counter_fields;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun (label, (s : Probe.snapshot)) ->
+      pp_row ppf label s.Probe.s_counters;
+      Fmt.pf ppf "@.")
+    t.blocks;
+  pp_row ppf "total" t.total.Probe.s_counters;
+  Fmt.pf ppf "@."
+
+let pp_timers ppf t =
+  Fmt.pf ppf "=== pass timings (wall clock, %s) ===@." t.config;
+  match t.total.Probe.s_timers with
+  | [] -> Fmt.pf ppf "(no timed passes)@."
+  | timers ->
+    List.iter
+      (fun (pass, seconds, calls) ->
+        Fmt.pf ppf "%-14s %6d call(s) %12.6fs@." pass calls seconds)
+      timers
+
+(* ---- JSON (hand-rolled, same style as Lslp_check.Remark) ----------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let counters_to_json (c : Probe.counters) =
+  Fmt.str "{%s}"
+    (String.concat ","
+       (List.map
+          (fun (name, get) -> Fmt.str "\"%s\":%d" name (get c))
+          Probe.counter_fields))
+
+let snapshot_to_json (s : Probe.snapshot) =
+  Fmt.str "{\"counters\":%s,\"timers\":[%s]}"
+    (counters_to_json s.Probe.s_counters)
+    (String.concat ","
+       (List.map
+          (fun (pass, seconds, calls) ->
+            Fmt.str "{\"pass\":\"%s\",\"calls\":%d,\"seconds\":%.9f}"
+              (json_escape pass) calls seconds)
+          s.Probe.s_timers))
+
+let to_json t =
+  Fmt.str "{\"config\":\"%s\",\"function\":\"%s\",\"blocks\":[%s],\"total\":%s}"
+    (json_escape t.config) (json_escape t.func)
+    (String.concat ","
+       (List.map
+          (fun (label, s) ->
+            Fmt.str "{\"block\":\"%s\",%s"
+              (json_escape label)
+              (let body = snapshot_to_json s in
+               (* splice the snapshot's fields into the block object *)
+               String.sub body 1 (String.length body - 1)))
+          t.blocks))
+    (snapshot_to_json t.total)

@@ -1,0 +1,30 @@
+(** Aggregated telemetry for one pipeline run: per-block snapshots plus a
+    function-wide total.
+
+    {!pp_counters} renders the deterministic counter table (pin it in
+    golden tests); {!pp_timers} renders wall-clock pass timings (send it
+    to stderr); {!to_json} carries both. *)
+
+type t = {
+  func : string;
+  config : string;
+  blocks : (string * Probe.snapshot) list;
+  total : Probe.snapshot;
+}
+
+val make : func:string -> config:string -> (string * Probe.snapshot) list -> t
+(** [make ~func ~config blocks] computes the total as the pointwise sum. *)
+
+val empty : func:string -> config:string -> t
+
+val total_counters : t -> Probe.counters
+
+val pp_counters : t Fmt.t
+(** Deterministic counter table, one row per block plus a total row. *)
+
+val pp_timers : t Fmt.t
+(** Wall-clock per-pass timings of the whole function; not deterministic. *)
+
+val to_json : t -> string
+(** Hand-rolled JSON document (counters and timers), no external JSON
+    dependency. *)

@@ -1,0 +1,26 @@
+(* Memo table for the look-ahead score.
+
+   Key soundness: a cached entry is only valid while the operand DAG under
+   both instructions is immutable, because the score is a pure function of
+   (instruction identity, instruction identity, remaining depth, combine
+   mode) *given* frozen operands.  The reorderer therefore creates one
+   cache per reorder invocation — no pass mutates instructions while a
+   single operand matrix is being reordered — and drops it on return, so
+   entries can never leak across codegen rewrites, transactional rollbacks
+   or later regions.  See DESIGN.md §11. *)
+
+type key = { ka : int; kb : int; klevel : int; kmode : int }
+
+type t = (key, int) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let find (t : t) ~a ~b ~level ~mode =
+  Hashtbl.find_opt t { ka = a; kb = b; klevel = level; kmode = mode }
+
+let store (t : t) ~a ~b ~level ~mode score =
+  Hashtbl.replace t { ka = a; kb = b; klevel = level; kmode = mode } score
+
+let size = Hashtbl.length
+
+let clear = Hashtbl.reset

@@ -1,0 +1,16 @@
+(** Memo table for the recursive look-ahead score.
+
+    Keyed by (instruction id, instruction id, remaining depth, combine
+    mode).  Only sound while the operand DAG under both instructions is
+    frozen, so callers scope one cache to one reorder invocation and
+    discard it afterwards — entries never survive a mutation, a rollback
+    or a budget abort.  Constants and arguments have no ids and are never
+    cached (their comparisons are O(1) anyway). *)
+
+type t
+
+val create : unit -> t
+val find : t -> a:int -> b:int -> level:int -> mode:int -> int option
+val store : t -> a:int -> b:int -> level:int -> mode:int -> int -> unit
+val size : t -> int
+val clear : t -> unit

@@ -1,0 +1,62 @@
+Golden telemetry counters.  Counters are deterministic per (kernel,
+configuration) and print on stdout; the wall-clock pass timings are not
+and go to stderr, which these tests drop.
+
+The paper's Figure 4 example: one region vectorized, look-ahead scoring
+memoized (hits > 0), nothing degraded:
+
+  $ lslpc analyze --kernel motivation-multi --stats 2>/dev/null
+  LSLP: motivation_multi, 2 region(s) considered
+  region [entry] A[i] x2 (VL=2):
+    remark[outcome]: vectorized at VL=2: cost -10 beats threshold 0
+  region [entry] reduce and x3:
+    remark[outcome]: reduction not vectorized: 3 leaf/leaves is less than the vector width 4
+  === telemetry: LSLP, motivation_multi ===
+  block         seeds    tried    evals     hits   misses    nodes  emitted      vec degraded
+  entry             1        1       10        0       10        9       10        1        0
+  total             1        1       10        0       10        9       10        1        0
+  legality: 0 error(s), 0 warning(s)
+
+A deep-DAG kernel where the cache pays: 198 evaluations serve 297 hits —
+without the cache the same reorder costs 2.5x the evaluations:
+
+  $ lslpc analyze --kernel 453.vsumsqr --stats 2>/dev/null
+  LSLP: vsumsqr, 2 region(s) considered
+  region [entry] R[4*i] x4 (VL=4):
+    remark[outcome]: vectorized at VL=4: cost -6 beats threshold 0
+    remark[operand-mode-failed]: look-ahead reorder: 6 operand slot(s) ended in FAILED mode
+    remark[gathered-columns]: operand column(s) gathered: loads do not access consecutive memory (x3)
+  region [entry] reduce fadd x3:
+    remark[outcome]: reduction not vectorized: 3 leaf/leaves is less than the vector width 4
+  === telemetry: LSLP, vsumsqr ===
+  block         seeds    tried    evals     hits   misses    nodes  emitted      vec degraded
+  entry             1        1      198      297      198        8        9        1        0
+  total             1        1      198      297      198        8        9        1        0
+  legality: 0 error(s), 0 warning(s)
+
+The same kernel with memoization off is the paper's Listing 7 as written:
+more evaluations, zero cache traffic, byte-identical everything else:
+
+  $ lslpc analyze --kernel 453.boy-surface --stats 2>/dev/null
+  LSLP: boy_surface, 2 region(s) considered
+  region [entry] P[4*i] x4 (VL=4):
+    remark[outcome]: vectorized at VL=4: cost -33 beats threshold 0
+  region [entry] reduce fadd x4 (VL=4):
+    remark[outcome]: kept scalar: cost +4 is not below threshold 0
+  === telemetry: LSLP, boy_surface ===
+  block         seeds    tried    evals     hits   misses    nodes  emitted      vec degraded
+  entry             1        1       54       81       54       10       11        1        0
+  total             1        1       54       81       54       10       11        1        0
+  legality: 0 error(s), 0 warning(s)
+
+  $ lslpc analyze --kernel 453.boy-surface --stats --no-score-cache 2>/dev/null
+  LSLP: boy_surface, 2 region(s) considered
+  region [entry] P[4*i] x4 (VL=4):
+    remark[outcome]: vectorized at VL=4: cost -33 beats threshold 0
+  region [entry] reduce fadd x4 (VL=4):
+    remark[outcome]: kept scalar: cost +4 is not below threshold 0
+  === telemetry: LSLP, boy_surface ===
+  block         seeds    tried    evals     hits   misses    nodes  emitted      vec degraded
+  entry             1        1      135        0        0       10       11        1        0
+  total             1        1      135        0        0       10       11        1        0
+  legality: 0 error(s), 0 warning(s)

@@ -21,4 +21,5 @@ let () =
       ("properties", Test_qcheck.suite);
       ("check", Test_check.suite);
       ("robust", Test_robust.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -1,6 +1,7 @@
 # Convenience wrappers around dune.
 
-.PHONY: all test check bench ci clean fuzz lint-exceptions stats-golden
+.PHONY: all test check bench ci clean fuzz lint-exceptions stats-golden \
+  bench-check bench-baseline trace-golden
 
 all:
 	dune build
@@ -22,6 +23,8 @@ ci:
 	$(MAKE) lint-exceptions
 	$(MAKE) fuzz
 	$(MAKE) stats-golden
+	$(MAKE) trace-golden
+	$(MAKE) bench-check
 
 # The pinned-seed differential fuzz run CI's fuzz-smoke job executes:
 # 500 random programs through the pipeline, checked against the scalar
@@ -47,6 +50,24 @@ lint-exceptions:
 	else \
 	  echo 'lint-exceptions: OK (no failwith in lib/)'; \
 	fi
+
+# Tracing gate: the golden decision logs (test/cram/trace.t) plus the
+# exporter self-check — every catalog kernel traced in all three formats,
+# each Chrome stream re-parsed through the project's own JSON reader.
+trace-golden:
+	dune build @test/cram/runtest
+	dune exec bin/lslpc.exe -- trace --all
+
+# Tolerance-free counter regression gate: compare today's deterministic
+# pipeline counters (score evals, graph nodes, regions, emitted instrs)
+# against the committed snapshot.  After an intended change, regenerate
+# with `make bench-baseline` and commit the diff.
+bench-check:
+	dune exec bench/baseline.exe -- --check
+	dune exec bench/baseline.exe -- --selftest
+
+bench-baseline:
+	dune exec bench/baseline.exe -- --write
 
 bench:
 	dune exec bench/main.exe

@@ -7,6 +7,9 @@
               reporting cycles, speedup and an equivalence check
      analyze  explain the vectorizer's decisions: one remark per region
               considered, plus the output of the legality validator
+              (--dot prints the SLP graphs as Graphviz instead)
+     trace    record the decision trace and export it as Chrome trace-event
+              JSON (Perfetto), Graphviz DOT or a decision log
      stats    run the whole kernel catalog and tabulate the telemetry
               counters (score evaluations, cache hits, graph nodes, ...)
      kernels  list the built-in kernel catalog
@@ -19,6 +22,8 @@
      lslpc run --kernel 453.boy-surface --config slp
      lslpc analyze --kernel 464.motivation-multi --config lslp --stats
      lslpc compile --kernel 453.boy-surface --inject codegen:1.0:7
+     lslpc trace examples/kernels/loop_saxpy.k --trace-format chrome
+     lslpc analyze --kernel 464.motivation-multi --dot | dot -Tsvg
      lslpc stats --config lslp
      lslpc fuzz --cases 200 --config cache-diff
 *)
@@ -104,6 +109,60 @@ let print_stats ~stats ~stats_json (report : Lslp_core.Pipeline.report) =
   end;
   if stats_json then Fmt.pr "%s@." (Lslp_telemetry.Report.to_json t)
 
+(* ---- decision trace ----------------------------------------------- *)
+
+type trace_format = Chrome | Dot | Log
+
+let trace_format_arg =
+  let doc =
+    "Trace export format: $(b,chrome) (trace-event JSON, loads in Perfetto \
+     and chrome://tracing), $(b,dot) (Graphviz SLP graphs) or $(b,log) \
+     (human-readable decision log)."
+  in
+  Arg.(value
+       & opt (enum [ ("chrome", Chrome); ("dot", Dot); ("log", Log) ]) Chrome
+       & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Record the decision trace (seeds, graph shape, get_best calls, cost \
+     verdicts, rollbacks) and write it to $(docv) ($(b,-) for stdout)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let render_trace ~format ~func_name events =
+  match format with
+  | Chrome ->
+    Lslp_trace.Trace.chrome_string ~meta:[ ("function", func_name) ] events
+  | Dot -> Lslp_trace.Trace.to_dot events
+  | Log -> Lslp_trace.Trace.to_log events
+
+let write_out path contents =
+  match path with
+  | "-" ->
+    print_string contents;
+    flush stdout
+  | path ->
+    let oc = open_out_bin path in
+    output_string oc contents;
+    close_out oc
+
+(* [--trace-out] is the opt-in: without it [Config.trace] stays off and the
+   pipeline allocates no sink. *)
+let apply_trace trace_out config =
+  if trace_out <> None then Lslp_core.Config.with_trace true config
+  else config
+
+let emit_trace ~trace_out ~format ~func_name
+    (report : Lslp_core.Pipeline.report) =
+  Option.iter
+    (fun path ->
+      write_out path
+        (render_trace ~format ~func_name
+           report.Lslp_core.Pipeline.trace_events))
+    trace_out
+
 (* Region formation happens here, in the driver, exactly once: Lower and
    Catalog.compile stay pure so nothing double-unrolls. *)
 let load_kernel ?(unroll = 0) file kernel_key =
@@ -173,7 +232,8 @@ let print_diagnostics diags =
 
 let compile_cmd =
   let run file kernel config unroll inject dump_ir dump_graph quiet
-      verify_output no_cache stats stats_json verbose =
+      verify_output no_cache stats stats_json trace_out trace_format verbose
+      =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let config =
@@ -181,6 +241,7 @@ let compile_cmd =
       else config
     in
     let config = apply_inject inject (apply_score_cache no_cache config) in
+    let config = apply_trace trace_out config in
     let f = load_kernel ~unroll file kernel in
     if dump_ir then
       Fmt.pr "=== scalar IR ===@.%a@.@." Lslp_ir.Printer.pp_func f;
@@ -201,6 +262,8 @@ let compile_cmd =
     let report, g = Lslp_core.Pipeline.run_cloned ~config f in
     if not quiet then Fmt.pr "%a@.@." Lslp_core.Pipeline.pp_report report;
     print_stats ~stats ~stats_json report;
+    emit_trace ~trace_out ~format:trace_format
+      ~func_name:f.Lslp_ir.Func.fname report;
     if dump_ir then
       Fmt.pr "=== %s IR ===@.%a@." config.name Lslp_ir.Printer.pp_func g;
     if verify_output
@@ -226,13 +289,14 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Vectorize a kernel and report what happened")
     Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg
           $ inject_arg $ dump_ir $ dump_graph $ quiet $ verify_output_arg
-          $ no_score_cache_arg $ stats_arg $ stats_json_arg $ verbose_arg)
+          $ no_score_cache_arg $ stats_arg $ stats_json_arg $ trace_out_arg
+          $ trace_format_arg $ verbose_arg)
 
 (* ---- run --------------------------------------------------------- *)
 
 let run_cmd =
   let run file kernel config unroll inject seed verify_output no_cache stats
-      stats_json verbose =
+      stats_json trace_out trace_format verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let config =
@@ -240,6 +304,7 @@ let run_cmd =
       else config
     in
     let config = apply_inject inject (apply_score_cache no_cache config) in
+    let config = apply_trace trace_out config in
     (* the reference is the kernel as written (loops intact), so the oracle
        checks region formation and vectorization together *)
     let reference = load_kernel ~unroll:0 file kernel in
@@ -250,6 +315,8 @@ let run_cmd =
     in
     Fmt.pr "%a@.@." Lslp_core.Pipeline.pp_report report;
     print_stats ~stats ~stats_json report;
+    emit_trace ~trace_out ~format:trace_format
+      ~func_name:f.Lslp_ir.Func.fname report;
     if verify_output
        && print_diagnostics report.Lslp_core.Pipeline.diagnostics
     then exit 1;
@@ -274,28 +341,40 @@ let run_cmd =
        ~doc:"Vectorize a kernel, simulate scalar vs vector, compare")
     Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg
           $ inject_arg $ seed $ verify_output_arg $ no_score_cache_arg
-          $ stats_arg $ stats_json_arg $ verbose_arg)
+          $ stats_arg $ stats_json_arg $ trace_out_arg $ trace_format_arg
+          $ verbose_arg)
 
 (* ---- analyze ------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run file kernel config unroll inject json no_cache stats stats_json
-      verbose =
+  let run file kernel config unroll inject json dot no_cache stats stats_json
+      trace_out trace_format verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let config =
       Lslp_core.Config.(config |> with_remarks true |> with_validate true)
     in
     let config = apply_inject inject (apply_score_cache no_cache config) in
+    let config =
+      if dot then Lslp_core.Config.with_trace true config
+      else apply_trace trace_out config
+    in
     let f = load_kernel ~unroll file kernel in
     let report, _g = Lslp_core.Pipeline.run_cloned ~config f in
     let remarks = report.Lslp_core.Pipeline.remarks in
     let diags = report.Lslp_core.Pipeline.diagnostics in
-    if json then begin
+    if dot then
+      (* alias for `lslpc trace --trace-format dot`: just the graphs, so the
+         output pipes straight into dot(1) *)
+      print_string
+        (Lslp_trace.Trace.to_dot report.Lslp_core.Pipeline.trace_events)
+    else if json then begin
       Fmt.pr "%s@."
         (Lslp_check.Remark.report_to_json ~config_name:config.name
            ~func_name:f.Lslp_ir.Func.fname ~diagnostics:diags remarks);
       print_stats ~stats ~stats_json report;
+      emit_trace ~trace_out ~format:trace_format
+        ~func_name:f.Lslp_ir.Func.fname report;
       if Lslp_check.Diagnostic.errors diags <> [] then exit 1
     end
     else begin
@@ -303,6 +382,8 @@ let analyze_cmd =
         f.Lslp_ir.Func.fname (List.length remarks);
       List.iter (fun r -> Fmt.pr "%a@." Lslp_check.Remark.pp r) remarks;
       print_stats ~stats ~stats_json report;
+      emit_trace ~trace_out ~format:trace_format
+        ~func_name:f.Lslp_ir.Func.fname report;
       if print_diagnostics diags then exit 1
     end
   in
@@ -310,14 +391,99 @@ let analyze_cmd =
     Arg.(value & flag
          & info [ "json" ] ~doc:"Emit the report as a JSON document.")
   in
+  let dot =
+    Arg.(value & flag
+         & info [ "dot" ]
+             ~doc:"Print the SLP graphs as Graphviz DOT on stdout (alias \
+                   for the trace subcommand with --trace-format dot); \
+                   replaces the normal report.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Explain the vectorizer's decisions: one remark per region \
           considered, with the legality validator's verdict")
     Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg
-          $ inject_arg $ json $ no_score_cache_arg $ stats_arg
-          $ stats_json_arg $ verbose_arg)
+          $ inject_arg $ json $ dot $ no_score_cache_arg $ stats_arg
+          $ stats_json_arg $ trace_out_arg $ trace_format_arg $ verbose_arg)
+
+(* ---- trace -------------------------------------------------------- *)
+
+let trace_cmd =
+  let run file kernel config unroll inject format out all no_cache verbose =
+    handle_errors @@ fun () ->
+    setup_logs verbose;
+    let config = apply_inject inject (apply_score_cache no_cache config) in
+    let config = Lslp_core.Config.with_trace true config in
+    let validated_chrome ~what events ~func_name =
+      let chrome =
+        Lslp_trace.Trace.chrome_string ~meta:[ ("function", func_name) ]
+          events
+      in
+      match Lslp_util.Json.of_string chrome with
+      | Ok _ -> chrome
+      | Error e ->
+        failwith (Fmt.str "%s: chrome trace is not valid JSON: %s" what e)
+    in
+    if all then
+      (* the whole catalog through every exporter, with the Chrome JSON
+         re-parsed by the shared strict parser — the CI smoke test *)
+      List.iter
+        (fun (k : Lslp_kernels.Catalog.kernel) ->
+          let f = Lslp_kernels.Catalog.compile k in
+          ignore (Lslp_frontend.Unroll.run ~factor:unroll f);
+          let report, _ = Lslp_core.Pipeline.run_cloned ~config f in
+          let events = report.Lslp_core.Pipeline.trace_events in
+          let chrome =
+            validated_chrome ~what:k.key events
+              ~func_name:f.Lslp_ir.Func.fname
+          in
+          let dot = Lslp_trace.Trace.to_dot events in
+          let log = Lslp_trace.Trace.to_log events in
+          if
+            String.length chrome = 0
+            || String.length dot = 0
+            || String.length log = 0
+          then failwith (Fmt.str "%s: empty trace export" k.key);
+          Fmt.pr "%-26s %4d event(s): chrome ok, dot ok, log ok@." k.key
+            (List.length events))
+        Lslp_kernels.Catalog.all
+    else begin
+      let f = load_kernel ~unroll file kernel in
+      let report, _ = Lslp_core.Pipeline.run_cloned ~config f in
+      let events = report.Lslp_core.Pipeline.trace_events in
+      let contents =
+        match format with
+        | Chrome ->
+          validated_chrome ~what:"trace" events
+            ~func_name:f.Lslp_ir.Func.fname
+        | Dot -> Lslp_trace.Trace.to_dot events
+        | Log -> Lslp_trace.Trace.to_log events
+      in
+      write_out (Option.value ~default:"-" out) contents
+    end
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the trace to $(docv) instead of stdout.")
+  in
+  let all =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Trace every catalog kernel through all three exporters \
+                   (validating the Chrome JSON) and print one summary line \
+                   each; ignores FILE/--kernel/--out/--trace-format.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record the vectorizer's decision trace for a kernel and export \
+          it as Chrome trace-event JSON (Perfetto), Graphviz DOT or a \
+          decision log")
+    Term.(const run $ file_arg $ kernel_arg $ config_arg $ unroll_arg
+          $ inject_arg $ trace_format_arg $ out $ all $ no_score_cache_arg
+          $ verbose_arg)
 
 (* ---- stats -------------------------------------------------------- *)
 
@@ -380,7 +546,7 @@ let stats_cmd =
 (* ---- fuzz --------------------------------------------------------- *)
 
 let fuzz_cmd =
-  let run cases seed config inject verbose =
+  let run cases seed config inject json verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let stats =
@@ -397,9 +563,16 @@ let fuzz_cmd =
     in
     (* summary on stdout is stable per seed; the RNG-dependent counters go
        to stderr so cram tests can pin the former *)
-    Fmt.pr "%a@." Lslp_fuzz.Fuzz.pp_summary stats;
+    if json then Fmt.pr "%s@." (Lslp_fuzz.Fuzz.to_json stats)
+    else Fmt.pr "%a@." Lslp_fuzz.Fuzz.pp_summary stats;
     Fmt.epr "%a@." Lslp_fuzz.Fuzz.pp_detail stats;
     if not (Lslp_fuzz.Fuzz.ok stats) then exit 1
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the run's summary (cases, failures, counters) as a \
+                   JSON document instead of the text summary.")
   in
   let cases =
     Arg.(value & opt int 500
@@ -425,7 +598,8 @@ let fuzz_cmd =
          "Differential fuzzing: random well-typed kernels through the \
           pipeline under random configurations (and injected faults), \
           checked against the scalar oracle")
-    Term.(const run $ cases $ seed $ config $ inject_arg $ verbose_arg)
+    Term.(const run $ cases $ seed $ config $ inject_arg $ json
+          $ verbose_arg)
 
 (* ---- kernels ------------------------------------------------------ *)
 
@@ -464,5 +638,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ compile_cmd; run_cmd; analyze_cmd; stats_cmd; fuzz_cmd;
-            kernels_cmd; show_cmd ]))
+          [ compile_cmd; run_cmd; analyze_cmd; trace_cmd; stats_cmd;
+            fuzz_cmd; kernels_cmd; show_cmd ]))

@@ -152,29 +152,7 @@ let pp ppf r =
 
 (* ---- JSON rendering ------------------------------------------------ *)
 
-let json_escape b s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s
-
-let json_string b s =
-  Buffer.add_char b '"';
-  json_escape b s;
-  Buffer.add_char b '"'
-
-let json_field b ~first name value =
-  if not first then Buffer.add_char b ',';
-  json_string b name;
-  Buffer.add_char b ':';
-  value ()
+module Json = Lslp_util.Json
 
 let outcome_name = function
   | Vectorized -> "vectorized"
@@ -184,66 +162,44 @@ let outcome_name = function
   | Degraded _ -> "degraded"
   | Budget_exhausted _ -> "budget-exhausted"
 
-let remark_to_json b r =
-  Buffer.add_char b '{';
-  json_field b ~first:true "region" (fun () -> json_string b r.region);
-  json_field b ~first:false "block" (fun () -> json_string b r.block);
-  json_field b ~first:false "lanes" (fun () ->
-      Buffer.add_string b (string_of_int r.lanes));
-  json_field b ~first:false "cost" (fun () ->
-      match r.cost with
-      | Some c -> Buffer.add_string b (string_of_int c)
-      | None -> Buffer.add_string b "null");
-  json_field b ~first:false "threshold" (fun () ->
-      Buffer.add_string b (string_of_int r.threshold));
-  json_field b ~first:false "outcome" (fun () ->
-      json_string b (outcome_name r.outcome));
-  json_field b ~first:false "remarks" (fun () ->
-      Buffer.add_char b '[';
-      List.iteri
-        (fun k (name, msg) ->
-          if k > 0 then Buffer.add_char b ',';
-          Buffer.add_char b '{';
-          json_field b ~first:true "rule" (fun () -> json_string b name);
-          json_field b ~first:false "message" (fun () -> json_string b msg);
-          Buffer.add_char b '}')
-        (explain r);
-      Buffer.add_char b ']');
-  Buffer.add_char b '}'
+let remark_json r =
+  Json.Obj
+    [
+      ("region", Json.Str r.region);
+      ("block", Json.Str r.block);
+      ("lanes", Json.Int r.lanes);
+      ("cost", match r.cost with Some c -> Json.Int c | None -> Json.Null);
+      ("threshold", Json.Int r.threshold);
+      ("outcome", Json.Str (outcome_name r.outcome));
+      ( "remarks",
+        Json.Arr
+          (List.map
+             (fun (name, msg) ->
+               Json.Obj
+                 [ ("rule", Json.Str name); ("message", Json.Str msg) ])
+             (explain r)) );
+    ]
 
-let diagnostic_to_json b (d : Diagnostic.t) =
-  Buffer.add_char b '{';
-  json_field b ~first:true "severity" (fun () ->
-      json_string b
-        (match d.Diagnostic.severity with
-         | Diagnostic.Error -> "error"
-         | Diagnostic.Warning -> "warning"));
-  json_field b ~first:false "rule" (fun () ->
-      json_string b d.Diagnostic.rule);
-  json_field b ~first:false "message" (fun () ->
-      json_string b d.Diagnostic.message);
-  Buffer.add_char b '}'
+let diagnostic_json (d : Diagnostic.t) =
+  Json.Obj
+    [
+      ( "severity",
+        Json.Str
+          (match d.Diagnostic.severity with
+           | Diagnostic.Error -> "error"
+           | Diagnostic.Warning -> "warning") );
+      ("rule", Json.Str d.Diagnostic.rule);
+      ("message", Json.Str d.Diagnostic.message);
+    ]
+
+let report_json ~config_name ~func_name ~diagnostics remarks =
+  Json.Obj
+    [
+      ("config", Json.Str config_name);
+      ("function", Json.Str func_name);
+      ("regions", Json.Arr (List.map remark_json remarks));
+      ("diagnostics", Json.Arr (List.map diagnostic_json diagnostics));
+    ]
 
 let report_to_json ~config_name ~func_name ~diagnostics remarks =
-  let b = Buffer.create 1024 in
-  Buffer.add_char b '{';
-  json_field b ~first:true "config" (fun () -> json_string b config_name);
-  json_field b ~first:false "function" (fun () -> json_string b func_name);
-  json_field b ~first:false "regions" (fun () ->
-      Buffer.add_char b '[';
-      List.iteri
-        (fun k r ->
-          if k > 0 then Buffer.add_char b ',';
-          remark_to_json b r)
-        remarks;
-      Buffer.add_char b ']');
-  json_field b ~first:false "diagnostics" (fun () ->
-      Buffer.add_char b '[';
-      List.iteri
-        (fun k d ->
-          if k > 0 then Buffer.add_char b ',';
-          diagnostic_to_json b d)
-        diagnostics;
-      Buffer.add_char b ']');
-  Buffer.add_char b '}';
-  Buffer.contents b
+  Json.to_string (report_json ~config_name ~func_name ~diagnostics remarks)

@@ -58,7 +58,7 @@ let element_scalar (i : Instr.t) =
       error "no element type for bundle member %%%d (%s)" i.Instr.id
         (Instr.opclass_name (Instr.opclass i)))
 
-let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe
+let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
     (graph : Graph.t) (block : Block.t) : outcome =
   let deps = Depgraph.build block in
   (* ---- units ---------------------------------------------------- *)
@@ -154,7 +154,26 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe
     let order = List.rev !order in
     (* ---- emission -------------------------------------------------- *)
     let out = ref [] in
-    let push i = out := i :: !out in
+    (* [push] is for freshly materialized instructions (vector ops, gathers,
+       extracts) and records an [Emit] trace event; surviving scalars go
+       through [repush] below, unrecorded. *)
+    let repush i = out := i :: !out in
+    let push (i : Instr.t) =
+      Option.iter
+        (fun tr ->
+          let lanes =
+            match i.Instr.ty with
+            | Types.Vec (_, n) -> n
+            | Types.Scalar _ | Types.Void -> (
+              match Instr.address i with
+              | Some a -> a.Instr.access_lanes
+              | None -> 1)
+          in
+          Lslp_trace.Trace.record tr
+            (Lslp_trace.Trace.Emit { instr = Printer.instr_to_string i; lanes }))
+        trace;
+      repush i
+    in
     (* surviving scalars are re-pushed, not materialized; everything else in
        [out] is fresh — the probe's instrs_emitted, charged only on commit *)
     let scalar_repushes = ref 0 in
@@ -397,7 +416,7 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe
           | [ i ] ->
             Instr.map_operands subst i;
             incr scalar_repushes;
-            push i
+            repush i
           | ms ->
             (* unreachable: scalar units are built as singletons above *)
             invalid_arg

@@ -36,6 +36,7 @@ val run :
   ?reduction:reduction ->
   ?record:(lanes:Instr.t array -> vector:Instr.t -> unit) ->
   ?probe:Lslp_telemetry.Probe.t ->
+  ?trace:Lslp_trace.Trace.t ->
   Graph.t ->
   Block.t ->
   outcome
@@ -44,4 +45,6 @@ val run :
     Multi-node internal bundles all map to the chain's final combine.
     [probe] counts the freshly materialized instructions (vector ops,
     gathers, shuffles, extracts, reduction combines), charged only when the
-    outcome is [Vectorized]. *)
+    outcome is [Vectorized].
+    [trace] records one [Emit] event per freshly materialized instruction
+    (in emission order, including ones a later rollback discards). *)

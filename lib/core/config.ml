@@ -28,6 +28,11 @@ type t = {
   reductions : bool;       (* also vectorize horizontal reduction chains *)
   validate : bool;         (* run the post-pass legality validator *)
   remarks : bool;          (* collect per-region optimization remarks *)
+  (* Decision tracing: record the structured event stream (seeds, graph
+     shape, per-slot modes, get_best scores, cost verdicts, rollbacks) in
+     [Pipeline.report.trace_events].  Default off; the off-path allocates
+     no sink and produces byte-identical output. *)
+  trace : bool;
   (* Fail-soft knobs: resource caps that make pathological inputs degrade
      instead of hanging, and the fault-injection hook the robustness tests
      and [lslpc --inject] use to force rollbacks at pass boundaries. *)
@@ -51,6 +56,7 @@ let lslp =
     reductions = true;
     validate = false;
     remarks = false;
+    trace = false;
     budget = Lslp_robust.Budget.default;
     inject = None;
   }
@@ -77,6 +83,7 @@ let with_score_cache score_cache t = { t with score_cache }
 let with_reductions reductions t = { t with reductions }
 let with_validate validate t = { t with validate }
 let with_remarks remarks t = { t with remarks }
+let with_trace trace t = { t with trace }
 let with_budget budget t = { t with budget }
 let with_inject inject t = { t with inject = Some inject }
 

@@ -24,6 +24,7 @@ type t = {
   reductions : bool;
   validate : bool;
   remarks : bool;
+  trace : bool;
   budget : Lslp_robust.Budget.t;
   inject : Lslp_robust.Inject.t option;
 }
@@ -63,6 +64,17 @@ val with_validate : bool -> t -> t
 
 val with_remarks : bool -> t -> t
 (** Record one [Lslp_check.Remark.t] per region considered. *)
+
+val with_trace : bool -> t -> t
+(** Record the decision-trace event stream ([Lslp_trace.Trace]) in
+    [Pipeline.report.trace_events]: seeds found/tried, SLP-graph shape,
+    per-slot operand modes, every [get_best] call with its candidate set
+    and per-level look-ahead scores, cost accept/reject, emitted vector
+    instructions, rollbacks and region outcomes.  Default off.  Off is
+    observationally invisible: no sink is allocated and IR, remarks and
+    telemetry are byte-identical (a QCheck differential property asserts
+    it); events carry logical timestamps, so traces themselves are
+    deterministic per (input, configuration). *)
 
 val with_budget : Lslp_robust.Budget.t -> t -> t
 (** Resource caps (look-ahead fuel, graph-node cap, per-region step cap);

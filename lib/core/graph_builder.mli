@@ -7,6 +7,7 @@ val build :
   ?note:(Lslp_check.Remark.note -> unit) ->
   ?meter:Lslp_robust.Budget.meter ->
   ?probe:Lslp_telemetry.Probe.t ->
+  ?trace:Lslp_trace.Trace.t ->
   Config.t ->
   Block.t ->
   Instr.t array ->
@@ -21,15 +22,22 @@ val build :
     [Lslp_robust.Budget.Exhausted] (the pipeline degrades the region).
     May also raise [Lslp_robust.Inject.Fault] when the config arms fault
     injection at the reorder boundary.
-    [probe] counts fresh graph nodes and score evaluations. *)
+    [probe] counts fresh graph nodes and score evaluations.
+    [trace] records the finished graph ([Graph_start]/[Graph_node]/
+    [Graph_edge]/[Dep_edge]) plus the reorder decisions made along the
+    way. *)
 
 val build_columns :
   ?note:(Lslp_check.Remark.note -> unit) ->
   ?meter:Lslp_robust.Budget.meter ->
   ?probe:Lslp_telemetry.Probe.t ->
+  ?trace:Lslp_trace.Trace.t ->
+  ?desc:string ->
   Config.t ->
   Block.t ->
   Bundle.t list ->
   Graph.t * Graph.node list
 (** Build one node per value column within a single shared graph — the
-    entry point reduction vectorization uses for its leaf chunks. *)
+    entry point reduction vectorization uses for its leaf chunks.
+    [desc] labels the graph's [Graph_start] trace event (default
+    ["reduction"]). *)

@@ -56,19 +56,31 @@ type report = {
   remarks : Lslp_check.Remark.t list;          (* empty unless [remarks] *)
   diagnostics : Lslp_check.Diagnostic.t list;  (* empty unless [validate] *)
   telemetry : Lslp_telemetry.Report.t;  (* counters + timers, always on *)
+  trace_events : Lslp_trace.Trace.event list;  (* empty unless [trace] *)
 }
 
 let zero_cost = { Cost.per_node = []; extract_cost = 0; total = 0 }
 
-let describe_seed (seed : Instr.t array) =
-  match Instr.address seed.(0) with
-  | Some a ->
-    Fmt.str "%s[%a] x%d" a.Instr.base Affine.pp a.Instr.index
-      (Array.length seed)
-  | None ->
-    Fmt.str "seed %s %%%s x%d"
-      (Instr.opclass_name (Instr.opclass seed.(0)))
-      seed.(0).Instr.name (Array.length seed)
+let describe_seed = Seeds.describe
+
+(* Probe span plus matching Span_begin/Span_end trace events; the end event
+   fires on the exception path too, so spans stay well-nested even when a
+   pass aborts into the transaction layer. *)
+let traced_span ?trace probe name f =
+  match trace with
+  | None -> Probe.span probe name f
+  | Some tr ->
+    Lslp_trace.Trace.record tr (Lslp_trace.Trace.Span_begin { pass = name });
+    let finish () =
+      Lslp_trace.Trace.record tr (Lslp_trace.Trace.Span_end { pass = name })
+    in
+    (match Probe.span probe name f with
+     | v ->
+       finish ();
+       v
+     | exception e ->
+       finish ();
+       raise e)
 
 (* Raw build notes arrive one per event; fold duplicate column rejections
    into counts and duplicate cap/FAILED events into one note each. *)
@@ -108,7 +120,7 @@ let degraded_desc (failure : Transact.failure) =
 (* The unprotected driver: individual regions are transactional, but a bug
    in the driver itself (or in seed collection) would still escape — [run]
    adds the whole-function safety net around this. *)
-let run_unprotected ~(config : Config.t) (f : Func.t) : report =
+let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
   let open Lslp_check in
   let inject = config.Config.inject in
   let diagnostics = ref [] in
@@ -197,6 +209,19 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
   let degrade ~region_id ~seed_desc ~lanes (failure : Transact.failure) =
     let c = Probe.counters (probe_of region_id) in
     c.Probe.regions_degraded <- c.Probe.regions_degraded + 1;
+    Option.iter
+      (fun tr ->
+        Lslp_trace.Trace.record tr
+          (Lslp_trace.Trace.Rollback
+             {
+               pass = failure.Transact.pass;
+               error = failure.Transact.error;
+               budget_exhausted = failure.Transact.budget_exhausted;
+             });
+        Lslp_trace.Trace.record tr
+          (Lslp_trace.Trace.Region_outcome
+             { seed = seed_desc; lanes; outcome = "degraded"; cost = None }))
+      trace;
     Log.info (fun m ->
         m "%s: [%s] %s degraded: %a" config.Config.name region_id seed_desc
           Transact.pp_failure failure);
@@ -232,6 +257,7 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
   in
   let run_block (block : Block.t) =
     let region_id = Block.label block in
+    Option.iter (fun tr -> Lslp_trace.Trace.set_region tr region_id) trace;
     let meter = meter_of block in
     let probe = probe_of region_id in
     let pc = Probe.counters probe in
@@ -248,8 +274,8 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
         Transact.protect ~snapshot ~pass:(fun () -> !cur_pass) (fun () ->
             Budget.spend_step meter;
             let seeds =
-              Probe.span probe "seed-collect" (fun () ->
-                  Seeds.collect ~probe config block)
+              traced_span ?trace probe "seed-collect" (fun () ->
+                  Seeds.collect ~probe ?trace config block)
             in
             let fresh =
               List.filter
@@ -271,6 +297,13 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
               continue_ := true;
               cur_seed := Some seed;
               pc.Probe.seeds_tried <- pc.Probe.seeds_tried + 1;
+              Option.iter
+                (fun tr ->
+                  Lslp_trace.Trace.record tr
+                    (Lslp_trace.Trace.Seed_tried
+                       { seed = describe_seed seed;
+                         lanes = Array.length seed }))
+                trace;
               Log.debug (fun m ->
                   m "%s: [%s] building graph for seed %s" config.Config.name
                     region_id (describe_seed seed));
@@ -283,14 +316,27 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
                 else None
               in
               let graph, root =
-                Probe.span probe "graph-build" (fun () ->
-                    Graph_builder.build ?note ~meter ~probe config block seed)
+                traced_span ?trace probe "graph-build" (fun () ->
+                    Graph_builder.build ?note ~meter ~probe ?trace config
+                      block seed)
               in
               cur_pass := "cost";
               let cost =
-                Probe.span probe "cost" (fun () ->
+                traced_span ?trace probe "cost" (fun () ->
                     Cost.evaluate config graph block)
               in
+              Option.iter
+                (fun tr ->
+                  Lslp_trace.Trace.record tr
+                    (Lslp_trace.Trace.Cost_computed
+                       {
+                         seed = describe_seed seed;
+                         nodes = List.length (Graph.nodes graph);
+                         total = cost.Cost.total;
+                         threshold = config.Config.threshold;
+                         accepted = Cost.profitable config cost;
+                       }))
+                trace;
               Log.debug (fun m ->
                   m "%s: [%s] seed %s -> %d nodes, cost %+d"
                     config.Config.name region_id (describe_seed seed)
@@ -301,8 +347,9 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
                 if Cost.profitable config cost then begin
                   Inject.maybe_fail inject Inject.Codegen;
                   match
-                    Probe.span probe "codegen" (fun () ->
-                        Codegen.run ?record:record_opt ~probe graph block)
+                    traced_span ?trace probe "codegen" (fun () ->
+                        Codegen.run ?record:record_opt ~probe ?trace graph
+                          block)
                   with
                   | Codegen.Vectorized ->
                     if Inject.corrupts inject then
@@ -379,6 +426,21 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
                      notes = aggregate_notes notes;
                    }
                end);
+              Option.iter
+                (fun tr ->
+                  Lslp_trace.Trace.record tr
+                    (Lslp_trace.Trace.Region_outcome
+                       {
+                         seed = region.seed_desc;
+                         lanes = region.lanes;
+                         outcome =
+                           (if region.vectorized then "vectorized"
+                            else if region.not_schedulable then
+                              "not-schedulable"
+                            else "rejected-cost");
+                         cost = Some cost.Cost.total;
+                       }))
+                trace;
               regions := region :: !regions)
       in
       match result with
@@ -425,9 +487,9 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
       let result =
         Transact.protect ~snapshot ~pass:(fun () -> "reduction") (fun () ->
             let rs =
-              Probe.span probe "reduction" (fun () ->
-                  Reduction.run ~config ~meter ~probe ?record:record_opt
-                    ~on_skipped block)
+              traced_span ?trace probe "reduction" (fun () ->
+                  Reduction.run ~config ~meter ~probe ?trace
+                    ?record:record_opt ~on_skipped block)
             in
             if
               List.exists (fun r -> r.Reduction.vectorized) rs
@@ -491,16 +553,19 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
      and degrades only the cleanup. *)
   let cleanup_block (block : Block.t) =
     let region_id = Block.label block in
+    Option.iter (fun tr -> Lslp_trace.Trace.set_region tr region_id) trace;
     let probe = probe_of region_id in
     let snapshot = Transact.snapshot_block block in
     let cur_pass = ref "cse" in
     let result =
       Transact.protect ~snapshot ~pass:(fun () -> !cur_pass) (fun () ->
           Inject.maybe_fail inject Inject.Cse;
-          Probe.span probe "cse" (fun () -> ignore (Cse.run_block block));
+          traced_span ?trace probe "cse" (fun () ->
+              ignore (Cse.run_block block));
           cur_pass := "dce";
           Inject.maybe_fail inject Inject.Dce;
-          Probe.span probe "dce" (fun () -> ignore (Dce.run_block block));
+          traced_span ?trace probe "dce" (fun () ->
+              ignore (Dce.run_block block));
           verify_or_abort "cleanup-verify")
     in
     match result with
@@ -550,6 +615,10 @@ let run_unprotected ~(config : Config.t) (f : Func.t) : report =
     remarks = List.rev !remarks;
     diagnostics = List.rev !diagnostics;
     telemetry;
+    trace_events =
+      (match trace with
+       | Some tr -> Lslp_trace.Trace.events tr
+       | None -> []);
   }
 
 let run ?(config = Config.lslp) (f : Func.t) : report =
@@ -557,13 +626,18 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
      anything arriving here is a driver bug — restore the function to its
      scalar input form and report one degraded pseudo-region rather than
      letting the exception escape the compiler. *)
+  let trace =
+    if config.Config.trace then Some (Lslp_trace.Trace.create ()) else None
+  in
   let whole = Transact.snapshot_func f in
-  match run_unprotected ~config f with
+  match run_unprotected ?trace ~config f with
   | report -> report
   | exception ((Out_of_memory | Sys.Break) as fatal) -> raise fatal
   | exception e ->
     Transact.restore whole;
     let failure = Transact.failure_of_exn ~pass:"pipeline" e in
+    (* events recorded before the driver died survive into the report —
+       exactly the breadcrumbs needed to debug the driver bug *)
     {
       config_name = config.Config.name;
       regions =
@@ -584,6 +658,10 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
       telemetry =
         Lslp_telemetry.Report.empty ~func:f.Func.fname
           ~config:config.Config.name;
+      trace_events =
+        (match trace with
+         | Some tr -> Lslp_trace.Trace.events tr
+         | None -> []);
     }
 
 (* Convenience: clone, run, return (report, transformed clone). *)

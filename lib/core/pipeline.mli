@@ -49,6 +49,11 @@ type report = {
           evaluations and graph nodes; only [instrs_emitted],
           [regions_vectorized] and [regions_degraded] reflect committed
           outcomes. *)
+  trace_events : Lslp_trace.Trace.event list;
+      (** the decision trace in recording order; empty unless
+          [config.trace].  Events recorded before a whole-function failure
+          survive into the degraded report.  Render with the
+          {!Lslp_trace.Trace} exporters. *)
 }
 
 val run : ?config:Config.t -> Func.t -> report

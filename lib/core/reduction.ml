@@ -99,8 +99,8 @@ type plan = {
    graph nodes (chunk trees and their gathers/extracts) + (chunks-1)
    element-wise vector ops + the horizontal reduce + tail scalar ops,
    minus the removed scalar chain ops. *)
-let plan_candidate ?meter ?probe (config : Config.t) (block : Block.t)
-    (c : candidate) : plan option =
+let plan_candidate ?meter ?probe ?trace ~desc (config : Config.t)
+    (block : Block.t) (c : candidate) : plan option =
   let model = config.Config.model in
   let elt =
     match Types.scalar_of c.cand_root.Instr.ty with
@@ -112,7 +112,8 @@ let plan_candidate ?meter ?probe (config : Config.t) (block : Block.t)
   else begin
     let chunks, tail = chunk_leaves ~lanes c.cand_leaves in
     let graph, chunk_nodes =
-      Graph_builder.build_columns ?meter ?probe config block chunks
+      Graph_builder.build_columns ?meter ?probe ?trace ~desc config block
+        chunks
     in
     let in_chain (u : Instr.t) =
       List.exists (fun (ci : Instr.t) -> Instr.equal ci u) c.cand_chain
@@ -157,7 +158,7 @@ type region = {
 
 (* Vectorize every profitable reduction in one block, in program order.
    Returns one region record per candidate considered. *)
-let run ?(config = Config.lslp) ?meter ?probe ?record
+let run ?(config = Config.lslp) ?meter ?probe ?trace ?record
     ?(on_skipped = fun _ -> ()) (block : Block.t) : region list =
   let regions = ref [] in
   let continue_ = ref true in
@@ -180,23 +181,47 @@ let run ?(config = Config.lslp) ?meter ?probe ?record
           (Opcode.binop_name c.cand_op)
           (List.length c.cand_leaves)
       in
-      match plan_candidate ?meter ?probe config block c with
+      match plan_candidate ?meter ?probe ?trace ~desc config block c with
       | None -> on_skipped c
       | Some plan ->
-        if plan.cost < config.Config.threshold then begin
+        let accepted = plan.cost < config.Config.threshold in
+        Option.iter
+          (fun tr ->
+            Lslp_trace.Trace.record tr
+              (Lslp_trace.Trace.Cost_computed
+                 {
+                   seed = desc;
+                   nodes = List.length (Graph.nodes plan.graph);
+                   total = plan.cost;
+                   threshold = config.Config.threshold;
+                   accepted;
+                 }))
+          trace;
+        let outcome_event outcome =
+          Option.iter
+            (fun tr ->
+              Lslp_trace.Trace.record tr
+                (Lslp_trace.Trace.Region_outcome
+                   { seed = desc; lanes = plan.lanes; outcome;
+                     cost = Some plan.cost }))
+            trace
+        in
+        if accepted then begin
           Lslp_robust.Inject.maybe_fail config.Config.inject
             Lslp_robust.Inject.Reduction;
           match
-            Codegen.run ~reduction:plan.reduction ?record ?probe plan.graph
-              block
+            Codegen.run ~reduction:plan.reduction ?record ?probe ?trace
+              plan.graph block
           with
           | Codegen.Vectorized ->
             ignore (Dce.run_block block);
+            outcome_event "vectorized";
             regions :=
               { root_desc = desc; lanes = plan.lanes; cost = plan.cost;
                 vectorized = true; not_schedulable = false }
               :: !regions
           | Codegen.Not_schedulable ->
+            outcome_event "not-schedulable";
             regions :=
               { root_desc = desc; lanes = plan.lanes; cost = plan.cost;
                 vectorized = false; not_schedulable = true }
@@ -208,10 +233,12 @@ let run ?(config = Config.lslp) ?meter ?probe ?record
               (Lslp_robust.Transact.Check_failed
                  { pass = "reduction-codegen"; error = msg })
         end
-        else
+        else begin
+          outcome_event "rejected-cost";
           regions :=
             { root_desc = desc; lanes = plan.lanes; cost = plan.cost;
               vectorized = false; not_schedulable = false }
-            :: !regions)
+            :: !regions
+        end)
   done;
   List.rev !regions

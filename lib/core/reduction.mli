@@ -30,6 +30,7 @@ val run :
   ?config:Config.t ->
   ?meter:Lslp_robust.Budget.meter ->
   ?probe:Lslp_telemetry.Probe.t ->
+  ?trace:Lslp_trace.Trace.t ->
   ?record:(lanes:Instr.t array -> vector:Instr.t -> unit) ->
   ?on_skipped:(candidate -> unit) ->
   Block.t ->
@@ -37,7 +38,8 @@ val run :
 (** Vectorize every profitable reduction, mutating the block.  One region record
     per candidate with at least a full chunk of leaves; [on_skipped] fires
     for candidates with too few leaves for even one chunk; [record] is
-    forwarded to {!Codegen.run} for provenance.
+    forwarded to {!Codegen.run} for provenance; [trace] records the chunk
+    graphs, the cost decision and one [Region_outcome] per candidate.
 
     Not fail-soft on its own: raises [Lslp_robust.Transact.Check_failed]
     when codegen reports a malformed graph (the block may be

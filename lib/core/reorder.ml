@@ -174,80 +174,123 @@ let remove_once pool v =
    slots, lanes and candidates.  With [score_cache] off, scoring is the
    paper's Listing 7 as written — the baseline the telemetry counters
    measure against. *)
-let get_best ?meter ?cache ?probe (config : Config.t) (mode : mode)
+let value_text (v : Instr.value) = Fmt.str "%a" Printer.pp_value v
+
+let get_best ?meter ?cache ?probe ?trace (config : Config.t) (mode : mode)
     (last : Instr.value) (candidates : Instr.value list) :
     Instr.value option * mode =
-  match mode with
-  | Failed_mode -> (None, Failed_mode)
-  | Splat_mode -> (
-    match List.find_opt (Instr.equal_value last) candidates with
-    | Some v -> (Some v, Splat_mode)
-    | None -> (
-      (* no splat continuation: fall back to the default candidate *)
-      match candidates with
-      | v :: _ -> (Some v, Splat_mode)
-      | [] -> (None, Failed_mode)))
-  | Const_mode | Load_mode | Opcode_mode -> (
-    let matching = List.filter (consecutive_or_match last) candidates in
-    match matching with
-    | [] -> (
-      (* no match: this slot can no longer vectorize; consume the default *)
-      match candidates with
-      | v :: _ -> (Some v, Failed_mode)
-      | [] -> (None, Failed_mode))
-    | [ v ] -> (Some v, mode)
-    | _ :: _ when mode = Opcode_mode && config.Config.lookahead_depth > 0 ->
-      (* look-ahead tie-break: deepen until the scores separate *)
-      let combine = config.Config.score_combine in
-      let with_caches =
-        match cache with
-        | Some c -> List.map (fun cand -> (cand, Some c)) matching
-        | None when config.Config.score_cache ->
-          (* per-candidate hoist: level k+1 recurses through exactly the
-             (pair, level<=k) comparisons the level-k round computed for
-             this candidate, so each deepening step extends the previous
-             one instead of re-scoring from level 1. *)
-          List.map
-            (fun cand ->
-              (cand, Some (Lslp_telemetry.Score_cache.create ())))
-            matching
-        | None ->
-          (* memoization off: the paper's Listing 7 as written — the
-             baseline the telemetry counters measure speedups against *)
-          List.map (fun cand -> (cand, None)) matching
-      in
-      let rec try_level level =
-        let scores =
-          List.map
-            (fun (c, ccache) ->
-              ( c,
-                lookahead_score ?meter ?cache:ccache ?probe ~combine last c
-                  ~level ))
-            with_caches
+  (* Decision-trace bookkeeping: the per-level scores of the tie-break and
+     the Score_cache traffic this call generated.  Reads only; the search
+     itself is untouched, traced or not. *)
+  let levels_acc = ref [] in
+  let cache_base =
+    match (trace, probe) with
+    | Some _, Some p ->
+      let c = Lslp_telemetry.Probe.counters p in
+      Some
+        ( c.Lslp_telemetry.Probe.score_hits,
+          c.Lslp_telemetry.Probe.score_misses )
+    | (Some _ | None), _ -> None
+  in
+  let result =
+    match mode with
+    | Failed_mode -> (None, Failed_mode)
+    | Splat_mode -> (
+      match List.find_opt (Instr.equal_value last) candidates with
+      | Some v -> (Some v, Splat_mode)
+      | None -> (
+        (* no splat continuation: fall back to the default candidate *)
+        match candidates with
+        | v :: _ -> (Some v, Splat_mode)
+        | [] -> (None, Failed_mode)))
+    | Const_mode | Load_mode | Opcode_mode -> (
+      let matching = List.filter (consecutive_or_match last) candidates in
+      match matching with
+      | [] -> (
+        (* no match: this slot can no longer vectorize; consume the default *)
+        match candidates with
+        | v :: _ -> (Some v, Failed_mode)
+        | [] -> (None, Failed_mode))
+      | [ v ] -> (Some v, mode)
+      | _ :: _ when mode = Opcode_mode && config.Config.lookahead_depth > 0
+        ->
+        (* look-ahead tie-break: deepen until the scores separate *)
+        let combine = config.Config.score_combine in
+        let with_caches =
+          match cache with
+          | Some c -> List.map (fun cand -> (cand, Some c)) matching
+          | None when config.Config.score_cache ->
+            (* per-candidate hoist: level k+1 recurses through exactly the
+               (pair, level<=k) comparisons the level-k round computed for
+               this candidate, so each deepening step extends the previous
+               one instead of re-scoring from level 1. *)
+            List.map
+              (fun cand ->
+                (cand, Some (Lslp_telemetry.Score_cache.create ())))
+              matching
+          | None ->
+            (* memoization off: the paper's Listing 7 as written — the
+               baseline the telemetry counters measure speedups against *)
+            List.map (fun cand -> (cand, None)) matching
         in
-        let all_equal =
-          match scores with
-          | [] -> true
-          | (_, s0) :: rest -> List.for_all (fun (_, s) -> s = s0) rest
-        in
-        if not all_equal then
-          let best, _ =
-            List.fold_left
-              (fun (bv, bs) (c, s) -> if s > bs then (c, s) else (bv, bs))
-              (List.hd matching, min_int)
-              scores
+        let rec try_level level =
+          let scores =
+            List.map
+              (fun (c, ccache) ->
+                ( c,
+                  lookahead_score ?meter ?cache:ccache ?probe ~combine last c
+                    ~level ))
+              with_caches
           in
-          best
-        else if level >= config.Config.lookahead_depth then List.hd matching
-        else try_level (level + 1)
+          if trace <> None then
+            levels_acc := (level, List.map snd scores) :: !levels_acc;
+          let all_equal =
+            match scores with
+            | [] -> true
+            | (_, s0) :: rest -> List.for_all (fun (_, s) -> s = s0) rest
+          in
+          if not all_equal then
+            let best, _ =
+              List.fold_left
+                (fun (bv, bs) (c, s) -> if s > bs then (c, s) else (bv, bs))
+                (List.hd matching, min_int)
+                scores
+            in
+            best
+          else if level >= config.Config.lookahead_depth then List.hd matching
+          else try_level (level + 1)
+        in
+        (Some (try_level 1), mode)
+      | first :: _ -> (Some first, mode))
+  in
+  Option.iter
+    (fun tr ->
+      let cache_hits, cache_misses =
+        match (cache_base, probe) with
+        | Some (h0, m0), Some p ->
+          let c = Lslp_telemetry.Probe.counters p in
+          ( c.Lslp_telemetry.Probe.score_hits - h0,
+            c.Lslp_telemetry.Probe.score_misses - m0 )
+        | _ -> (0, 0)
       in
-      (Some (try_level 1), mode)
-    | first :: _ -> (Some first, mode))
+      Lslp_trace.Trace.record tr
+        (Lslp_trace.Trace.Get_best
+           {
+             mode = mode_to_string mode;
+             last = value_text last;
+             candidates = List.map value_text candidates;
+             levels = List.rev !levels_acc;
+             chosen = Option.map value_text (fst result);
+             cache_hits;
+             cache_misses;
+           }))
+    trace;
+  result
 
 (* Listing 5: the top-level matrix reorder.  [columns.(slot).(lane)] is the
    unordered operand matrix; the result has the same multiset of values per
    lane, rearranged across slots. *)
-let reorder_matrix_modes ?meter ?probe (config : Config.t)
+let reorder_matrix_modes ?meter ?probe ?trace (config : Config.t)
     (columns : Instr.value array array) :
     Instr.value array array * mode array =
   let num_slots = Array.length columns in
@@ -284,7 +327,9 @@ let reorder_matrix_modes ?meter ?probe (config : Config.t)
             | Some v -> v
             | None -> columns.(s).(lane - 1)
           in
-          let best, mode' = get_best ?meter ?cache ?probe config mode.(s) last !pool in
+          let best, mode' =
+            get_best ?meter ?cache ?probe ?trace config mode.(s) last !pool
+          in
           mode.(s) <- mode';
           (match best with
            | Some v ->
@@ -306,11 +351,17 @@ let reorder_matrix_modes ?meter ?probe (config : Config.t)
         end
       done
     done;
+    Option.iter
+      (fun tr ->
+        Lslp_trace.Trace.record tr
+          (Lslp_trace.Trace.Slot_modes
+             { modes = Array.to_list (Array.map mode_to_string mode) }))
+      trace;
     (Array.map (Array.map Option.get) final, mode)
   end
 
-let reorder_matrix ?meter ?probe config columns =
-  fst (reorder_matrix_modes ?meter ?probe config columns)
+let reorder_matrix ?meter ?probe ?trace config columns =
+  fst (reorder_matrix_modes ?meter ?probe ?trace config columns)
 
 (* ------------------------------------------------------------------ *)
 (* Vanilla SLP (LLVM 4.0 reorderInputsAccordingToOpcode).              *)

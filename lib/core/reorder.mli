@@ -44,6 +44,7 @@ val get_best :
   ?meter:Lslp_robust.Budget.meter ->
   ?cache:Lslp_telemetry.Score_cache.t ->
   ?probe:Lslp_telemetry.Probe.t ->
+  ?trace:Lslp_trace.Trace.t ->
   Config.t ->
   mode ->
   Instr.value ->
@@ -55,11 +56,15 @@ val get_best :
     look-ahead tie-break memoizes within itself per candidate, so
     deepening from level k to k+1 extends the level-k results instead of
     recomputing them.  With [Config.score_cache] off there is no
-    memoization anywhere — the paper's Listing 7 exactly as written. *)
+    memoization anywhere — the paper's Listing 7 exactly as written.
+    [?trace] records one [Get_best] event per call: the candidate set,
+    the per-level look-ahead scores of the tie-break, the winner, and the
+    Score_cache hit/miss delta (derived from [?probe], 0/0 without one). *)
 
 val reorder_matrix :
   ?meter:Lslp_robust.Budget.meter ->
   ?probe:Lslp_telemetry.Probe.t ->
+  ?trace:Lslp_trace.Trace.t ->
   Config.t ->
   Instr.value array array ->
   Instr.value array array
@@ -70,11 +75,13 @@ val reorder_matrix :
 val reorder_matrix_modes :
   ?meter:Lslp_robust.Budget.meter ->
   ?probe:Lslp_telemetry.Probe.t ->
+  ?trace:Lslp_trace.Trace.t ->
   Config.t ->
   Instr.value array array ->
   Instr.value array array * mode array
 (** Like {!reorder_matrix}, but also returns the final per-slot mode —
-    [Failed_mode] slots are the ones the remarks engine reports. *)
+    [Failed_mode] slots are the ones the remarks engine reports; [?trace]
+    additionally records the [Slot_modes] assignment (paper Table 1). *)
 
 val vanilla_pair : Instr.t array -> Instr.value array * Instr.value array
 (** LLVM-4.0-faithful two-operand reorder (peeled lane 0, splat /

@@ -9,6 +9,16 @@ open Lslp_analysis
 
 type seed = Instr.t array
 
+let describe (seed : seed) =
+  match Instr.address seed.(0) with
+  | Some a ->
+    Fmt.str "%s[%a] x%d" a.Instr.base Affine.pp a.Instr.index
+      (Array.length seed)
+  | None ->
+    Fmt.str "seed %s %%%s x%d"
+      (Instr.opclass_name (Instr.opclass seed.(0)))
+      seed.(0).Instr.name (Array.length seed)
+
 (* Split one consecutive run of stores into windows: greedily take the
    largest power-of-two width that fits (>= 2). *)
 let rec windows max_lanes (run : Instr.t list) : seed list =
@@ -30,7 +40,7 @@ let rec windows max_lanes (run : Instr.t list) : seed list =
     Array.of_list first :: windows max_lanes rest
   end
 
-let collect ?probe (config : Config.t) (block : Block.t) : seed list =
+let collect ?probe ?trace (config : Config.t) (block : Block.t) : seed list =
   let stores = Block.find_all Instr.is_store block in
   (* group by (array, element type) *)
   let by_array = Hashtbl.create 8 in
@@ -94,4 +104,13 @@ let collect ?probe (config : Config.t) (block : Block.t) : seed list =
       c.Lslp_telemetry.Probe.seeds_collected <-
         c.Lslp_telemetry.Probe.seeds_collected + List.length sorted)
     probe;
+  Option.iter
+    (fun tr ->
+      Lslp_trace.Trace.record tr
+        (Lslp_trace.Trace.Seeds_found
+           {
+             seeds =
+               List.map (fun s -> (describe s, Array.length s)) sorted;
+           }))
+    trace;
   sorted

@@ -5,7 +5,16 @@ open Lslp_ir
 
 type seed = Instr.t array
 
+val describe : seed -> string
+(** One-line printable form ("A[i] x4"); shared by the pipeline's region
+    records, the remarks and the decision trace. *)
+
 val collect :
-  ?probe:Lslp_telemetry.Probe.t -> Config.t -> Block.t -> seed list
+  ?probe:Lslp_telemetry.Probe.t ->
+  ?trace:Lslp_trace.Trace.t ->
+  Config.t ->
+  Block.t ->
+  seed list
 (** Seeds of one region, ordered by the position of their first store.
-    [probe] counts the bundles found. *)
+    [probe] counts the bundles found; [trace] records them as a
+    [Seeds_found] event. *)

@@ -270,4 +270,31 @@ let pp_detail ppf s =
   Fmt.pf ppf "%d region(s) vectorized, %d degraded, %d/%d case(s) with faults"
     s.vectorized s.degraded s.injected_runs s.cases
 
+(* Machine form, shared emitter (same style as remarks and telemetry). *)
+module Json = Lslp_util.Json
+
+let failure_json f =
+  Json.Obj
+    [
+      ("case", Json.Int f.case);
+      ("problem", Json.Str f.problem);
+      ("program", Json.Str f.desc);
+      ("config", Json.Str f.config_name);
+      ( "injected",
+        match f.injected with Some i -> Json.Str i | None -> Json.Null );
+    ]
+
+let json s =
+  Json.Obj
+    [
+      ("cases", Json.Int s.cases);
+      ("failures", Json.Arr (List.map failure_json s.failures));
+      ("vectorized", Json.Int s.vectorized);
+      ("degraded", Json.Int s.degraded);
+      ("injected_runs", Json.Int s.injected_runs);
+      ("ok", Json.Bool (s.failures = []));
+    ]
+
+let to_json s = Json.to_string (json s)
+
 let ok s = s.failures = []

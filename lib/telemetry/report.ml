@@ -49,49 +49,43 @@ let pp_timers ppf t =
         Fmt.pf ppf "%-14s %6d call(s) %12.6fs@." pass calls seconds)
       timers
 
-(* ---- JSON (hand-rolled, same style as Lslp_check.Remark) ----------- *)
+(* ---- JSON (shared emitter, same document shape as before) ----------- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun ch ->
-      match ch with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+module Json = Lslp_util.Json
 
-let counters_to_json (c : Probe.counters) =
-  Fmt.str "{%s}"
-    (String.concat ","
-       (List.map
-          (fun (name, get) -> Fmt.str "\"%s\":%d" name (get c))
-          Probe.counter_fields))
+let counters_json (c : Probe.counters) =
+  Json.Obj
+    (List.map (fun (name, get) -> (name, Json.Int (get c)))
+       Probe.counter_fields)
 
-let snapshot_to_json (s : Probe.snapshot) =
-  Fmt.str "{\"counters\":%s,\"timers\":[%s]}"
-    (counters_to_json s.Probe.s_counters)
-    (String.concat ","
-       (List.map
-          (fun (pass, seconds, calls) ->
-            Fmt.str "{\"pass\":\"%s\",\"calls\":%d,\"seconds\":%.9f}"
-              (json_escape pass) calls seconds)
-          s.Probe.s_timers))
+let snapshot_fields (s : Probe.snapshot) =
+  [
+    ("counters", counters_json s.Probe.s_counters);
+    ( "timers",
+      Json.Arr
+        (List.map
+           (fun (pass, seconds, calls) ->
+             Json.Obj
+               [
+                 ("pass", Json.Str pass);
+                 ("calls", Json.Int calls);
+                 ("seconds", Json.Float seconds);
+               ])
+           s.Probe.s_timers) );
+  ]
 
-let to_json t =
-  Fmt.str "{\"config\":\"%s\",\"function\":\"%s\",\"blocks\":[%s],\"total\":%s}"
-    (json_escape t.config) (json_escape t.func)
-    (String.concat ","
-       (List.map
-          (fun (label, s) ->
-            Fmt.str "{\"block\":\"%s\",%s"
-              (json_escape label)
-              (let body = snapshot_to_json s in
-               (* splice the snapshot's fields into the block object *)
-               String.sub body 1 (String.length body - 1)))
-          t.blocks))
-    (snapshot_to_json t.total)
+let json t =
+  Json.Obj
+    [
+      ("config", Json.Str t.config);
+      ("function", Json.Str t.func);
+      ( "blocks",
+        Json.Arr
+          (List.map
+             (fun (label, s) ->
+               Json.Obj (("block", Json.Str label) :: snapshot_fields s))
+             t.blocks) );
+      ("total", Json.Obj (snapshot_fields t.total));
+    ]
+
+let to_json t = Json.to_string (json t)

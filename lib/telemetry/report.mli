@@ -25,6 +25,8 @@ val pp_counters : t Fmt.t
 val pp_timers : t Fmt.t
 (** Wall-clock per-pass timings of the whole function; not deterministic. *)
 
+val json : t -> Lslp_util.Json.t
+(** The report (counters and timers) as a {!Lslp_util.Json} value. *)
+
 val to_json : t -> string
-(** Hand-rolled JSON document (counters and timers), no external JSON
-    dependency. *)
+(** {!json} rendered minified. *)

@@ -1,0 +1,150 @@
+Golden decision traces.  Logical timestamps are the sink's own event
+counter, so a trace is a pure function of (kernel, configuration) and can
+be pinned byte for byte — instruction labels included, because each
+`lslpc` process numbers instructions deterministically from zero.
+
+The paper's Figure 4 example (multi-node formation over commutative
+operands), as a decision log:
+
+  $ lslpc trace --kernel motivation-multi --trace-format log 2>/dev/null
+  0000 [entry] begin seed-collect
+  0001 [entry]   seeds: 1
+  A[i] x2
+  0002 [entry] end seed-collect
+  0003 [entry] try seed A[i] x2 (VL=2)
+  0004 [entry] begin graph-build
+  0005 [entry]   get_best mode=LOAD last=%ld0.21 {%t11.33, %t14.36,
+  %ld16.38} -> %ld16.38
+  0006 [entry]   get_best mode=OPCODE last=%t3.24 {%t11.33,
+  %t14.36} -> %t14.36 L1:0/4 (cache 0h/10m)
+  0007 [entry]   get_best mode=OPCODE last=%t7.28 {%t11.33} -> %t11.33
+  0008 [entry]   slot modes: LOAD, OPCODE,
+  OPCODE
+  0009 [entry]   get_best mode=LOAD last=%ld1.22 {%ld12.34,
+  %ld13.35} -> %ld12.34
+  0010 [entry]   get_best mode=LOAD last=%ld2.23 {%ld13.35} -> %ld13.35
+  0011 [entry]   slot modes: LOAD,
+  LOAD
+  0012 [entry]   get_best mode=LOAD last=%ld5.26 {%ld9.31,
+  %ld10.32} -> %ld9.31
+  0013 [entry]   get_best mode=LOAD last=%ld6.27 {%ld10.32} -> %ld10.32
+  0014 [entry]   slot modes: LOAD,
+  LOAD
+  0015 [entry]   graph g0 for A[i] x2
+  0016 [entry]   g0 node#1 group store [%v30, %v40]
+  0017 [entry]   g0 node#2 multi and [%t8.29, %t17.39];
+  [%t4.25, %t15.37]
+  0018 [entry]   g0 node#3 group load [%ld0.21, %ld16.38]
+  0019 [entry]   g0 node#4 multi add [%t3.24, %t14.36]
+  0020 [entry]   g0 node#5 group load [%ld1.22, %ld12.34]
+  0021 [entry]   g0 node#6 group load [%ld2.23, %ld13.35]
+  0022 [entry]   g0 node#7 multi add [%t7.28, %t11.33]
+  0023 [entry]   g0 node#8 group load [%ld5.26, %ld9.31]
+  0024 [entry]   g0 node#9 group load [%ld6.27, %ld10.32]
+  0025 [entry]   g0 edge #1 -> #2 (slot 0)
+  0026 [entry]   g0 edge #2 -> #3 (slot 0)
+  0027 [entry]   g0 edge #2 -> #4 (slot 1)
+  0028 [entry]   g0 edge #2 -> #7 (slot 2)
+  0029 [entry]   g0 edge #4 -> #5 (slot 0)
+  0030 [entry]   g0 edge #4 -> #6 (slot 1)
+  0031 [entry]   g0 edge #7 -> #8 (slot 0)
+  0032 [entry]   g0 edge #7 -> #9 (slot 1)
+  0033 [entry]   g0 dep #1 ~> #3
+  0034 [entry]   g0 dep #1 ~> #4
+  0035 [entry]   g0 dep #1 ~> #5
+  0036 [entry]   g0 dep #1 ~> #6
+  0037 [entry]   g0 dep #1 ~> #7
+  0038 [entry]   g0 dep #1 ~> #8
+  0039 [entry]   g0 dep #1 ~> #9
+  0040 [entry]   g0 dep #2 ~> #5
+  0041 [entry]   g0 dep #2 ~> #6
+  0042 [entry]   g0 dep #2 ~> #8
+  0043 [entry]   g0 dep #2 ~> #9
+  0044 [entry] end graph-build
+  0045 [entry] begin cost
+  0046 [entry] end cost
+  0047 [entry] cost A[i] x2: -10 vs threshold 0 over 9 node(s) -> accept
+  0048 [entry] begin codegen
+  0049 [entry]   emit x2 %vload.41 : <2 x i64> = load <2 x i64> A[i]
+  0050 [entry]   emit x2 %vload.42 : <2 x i64> = load <2 x i64> B[i]
+  0051 [entry]   emit x2 %vload.43 : <2 x i64> = load <2 x i64> C[i]
+  0052 [entry]   emit x2 %v.44 : <2 x i64> = add %vload.42, %vload.43
+  0053 [entry]   emit x2 %vload.45 : <2 x i64> = load <2 x i64> D[i]
+  0054 [entry]   emit x2 %vload.46 : <2 x i64> = load <2 x i64> E[i]
+  0055 [entry]   emit x2 %v.47 : <2 x i64> = add %vload.45, %vload.46
+  0056 [entry]   emit x2 %v.48 : <2 x i64> = and %vload.41, %v.44
+  0057 [entry]   emit x2 %v.49 : <2 x i64> = and %v.48, %v.47
+  0058 [entry]   emit x2 store <2 x i64> A[i], %v.49
+  0059 [entry] end codegen
+  0060 [entry] outcome A[i] x2 (VL=2): vectorized (cost -10)
+  0061 [entry] begin seed-collect
+  0062 [entry]   seeds: 0
+  0063 [entry] end seed-collect
+  0064 [entry] begin reduction
+  0065 [entry] end reduction
+  0066 [entry] begin cse
+  0067 [entry] end cse
+  0068 [entry] begin dce
+  0069 [entry] end dce
+
+The motivating loads example (Figure 2: look-ahead breaks the tie between
+isomorphic-looking operands by peeking at the loads underneath):
+
+  $ lslpc trace --kernel motivation-loads --trace-format log 2>/dev/null
+  0000 [entry] begin seed-collect
+  0001 [entry]   seeds: 1
+  A[i] x2
+  0002 [entry] end seed-collect
+  0003 [entry] try seed A[i] x2 (VL=2)
+  0004 [entry] begin graph-build
+  0005 [entry]   get_best mode=OPCODE last=%t1.14 {%t6.20,
+  %t8.22} -> %t8.22 L1:1/3 (cache 0h/4m)
+  0006 [entry]   get_best mode=OPCODE last=%t3.16 {%t6.20} -> %t6.20
+  0007 [entry]   slot modes: OPCODE,
+  OPCODE
+  0008 [entry]   graph g0 for A[i] x2
+  0009 [entry]   g0 node#1 group store [%v18, %v24]
+  0010 [entry]   g0 node#2 multi and [%t4.17, %t9.23]
+  0011 [entry]   g0 node#3 group shl [%t1.14, %t8.22]
+  0012 [entry]   g0 node#4 gather [1, 4]
+  0013 [entry]   g0 node#5 group load [%ld0.13, %ld7.21]
+  0014 [entry]   g0 node#6 group shl [%t3.16, %t6.20]
+  0015 [entry]   g0 node#7 gather [2, 3]
+  0016 [entry]   g0 node#8 group load [%ld2.15, %ld5.19]
+  0017 [entry]   g0 edge #1 -> #2 (slot 0)
+  0018 [entry]   g0 edge #2 -> #3 (slot 0)
+  0019 [entry]   g0 edge #2 -> #6 (slot 1)
+  0020 [entry]   g0 edge #3 -> #5 (slot 0)
+  0021 [entry]   g0 edge #3 -> #4 (slot 1)
+  0022 [entry]   g0 edge #6 -> #8 (slot 0)
+  0023 [entry]   g0 edge #6 -> #7 (slot 1)
+  0024 [entry]   g0 dep #1 ~> #3
+  0025 [entry]   g0 dep #1 ~> #5
+  0026 [entry]   g0 dep #1 ~> #6
+  0027 [entry]   g0 dep #1 ~> #8
+  0028 [entry]   g0 dep #2 ~> #5
+  0029 [entry]   g0 dep #2 ~> #8
+  0030 [entry] end graph-build
+  0031 [entry] begin cost
+  0032 [entry] end cost
+  0033 [entry] cost A[i] x2: -6 vs threshold 0 over 8 node(s) -> accept
+  0034 [entry] begin codegen
+  0035 [entry]   emit x2 %vload.25 : <2 x i64> = load <2 x i64> B[i]
+  0036 [entry]   emit x2 %gath.26 : <2 x i64> = buildvec [1, 4]
+  0037 [entry]   emit x2 %v.27 : <2 x i64> = shl %vload.25, %gath.26
+  0038 [entry]   emit x2 %vload.28 : <2 x i64> = load <2 x i64> C[i]
+  0039 [entry]   emit x2 %gath.29 : <2 x i64> = buildvec [2, 3]
+  0040 [entry]   emit x2 %v.30 : <2 x i64> = shl %vload.28, %gath.29
+  0041 [entry]   emit x2 %v.31 : <2 x i64> = and %v.27, %v.30
+  0042 [entry]   emit x2 store <2 x i64> A[i], %v.31
+  0043 [entry] end codegen
+  0044 [entry] outcome A[i] x2 (VL=2): vectorized (cost -6)
+  0045 [entry] begin seed-collect
+  0046 [entry]   seeds: 0
+  0047 [entry] end seed-collect
+  0048 [entry] begin reduction
+  0049 [entry] end reduction
+  0050 [entry] begin cse
+  0051 [entry] end cse
+  0052 [entry] begin dce
+  0053 [entry] end dce

@@ -22,4 +22,5 @@ let () =
       ("check", Test_check.suite);
       ("robust", Test_robust.suite);
       ("telemetry", Test_telemetry.suite);
+      ("trace", Test_trace.suite);
     ]

@@ -1,7 +1,8 @@
 # Convenience wrappers around dune.
 
-.PHONY: all test check bench ci clean fuzz lint-exceptions stats-golden \
-  bench-check bench-baseline trace-golden
+.PHONY: all test check bench ci clean fuzz lint lint-exceptions \
+  domain-smoke bench-lint stats-golden bench-check bench-baseline \
+  trace-golden
 
 all:
 	dune build
@@ -20,7 +21,8 @@ ci:
 	dune build
 	dune runtest
 	dune build @check
-	$(MAKE) lint-exceptions
+	$(MAKE) lint
+	$(MAKE) domain-smoke
 	$(MAKE) fuzz
 	$(MAKE) stats-golden
 	$(MAKE) trace-golden
@@ -39,17 +41,29 @@ stats-golden:
 	dune build @test/cram/runtest
 	dune exec bin/lslpc.exe -- fuzz --cases 200 --seed 42 --config cache-diff
 
-# Library code must not raise bare Failure: the fail-soft pipeline's
-# guarantees rest on typed errors (Codegen.Error, Transact.Check_failed,
-# Budget.Exhausted).  Grows an allowlist via --exclude if a file ever
-# earns an exemption; none does today.
+# The project's own static-analysis pass (lib/lint): R1 global mutable
+# state, R2 ambient Random, R3 raising primitives, R4 wall-clock reads.
+# Fails on any unwaived finding and on stale entries in lint.waivers.
+lint:
+	dune exec bin/lint.exe -- --check-waivers lib bin
+
+# Historical alias: the exception-discipline gate is now lslp-lint rule
+# R3 (which also sees invalid_arg and bare raises of predefined
+# exceptions, with per-site waivers in lint.waivers).
 lint-exceptions:
-	@if grep -rn --include='*.ml' --include='*.mli' -w 'failwith' lib/; then \
-	  echo 'error: failwith in lib/ -- raise a typed error instead'; \
-	  exit 1; \
-	else \
-	  echo 'lint-exceptions: OK (no failwith in lib/)'; \
-	fi
+	dune exec bin/lint.exe -- --rule R3 lib bin
+
+# Domain-safety proof behind the planned parallel compile service: the
+# whole catalog compiled on 8 concurrent domains must reproduce the
+# sequential IR, remarks and counters (modulo id alpha-renaming).
+domain-smoke:
+	dune exec bin/lslpc.exe -- domains --jobs 8
+
+# Refresh the committed lint bench entry (files scanned, findings by
+# rule, wall time).
+bench-lint:
+	dune exec bin/lint.exe -- --check-waivers \
+	  --bench-out bench_results/BENCH_lint.json lib bin
 
 # Tracing gate: the golden decision logs (test/cram/trace.t) plus the
 # exporter self-check — every catalog kernel traced in all three formats,

@@ -16,6 +16,9 @@
      show     print a catalog kernel's source and IR
      fuzz     differential fuzzing: random kernels vs the scalar oracle
               (--config cache-diff checks the memoized scorer instead)
+     domains  domain-pool determinism smoke: the whole catalog on N
+              concurrent domains must reproduce the sequential IR,
+              remarks and counters (modulo id alpha-renaming)
 
    Example:
      lslpc compile --config lslp --dump-ir examples/kernels/foo.k
@@ -601,6 +604,92 @@ let fuzz_cmd =
     Term.(const run $ cases $ seed $ config $ inject_arg $ json
           $ verbose_arg)
 
+(* ---- domains ------------------------------------------------------ *)
+
+(* The domain-safety proof behind the planned parallel compile service:
+   compile the full catalog once sequentially, then once on each of
+   [--jobs] concurrent domains, and require every domain to reproduce the
+   sequential IR, remarks and telemetry counters exactly.  Instruction
+   ids come from a process-global Atomic so raw ids differ run to run —
+   Fuzz.normalize_ids alpha-renames them by first appearance, which is
+   exactly the invariant we promise: same structure, any numbering. *)
+let domains_cmd =
+  let run config unroll jobs verbose =
+    handle_errors @@ fun () ->
+    setup_logs verbose;
+    let config =
+      Lslp_core.Config.(config |> with_remarks true |> with_validate true)
+    in
+    let snapshot (k : Lslp_kernels.Catalog.kernel) =
+      let f = Lslp_kernels.Catalog.compile k in
+      ignore (Lslp_frontend.Unroll.run ~factor:unroll f);
+      let report, g = Lslp_core.Pipeline.run_cloned ~config f in
+      let ir =
+        Lslp_fuzz.Fuzz.normalize_ids
+          (Fmt.str "%a" Lslp_ir.Printer.pp_func g)
+      in
+      let remarks =
+        Lslp_fuzz.Fuzz.normalize_ids
+          (Fmt.str "%a"
+             Fmt.(list ~sep:(any "@.") Lslp_check.Remark.pp)
+             report.Lslp_core.Pipeline.remarks)
+      in
+      let counters =
+        let c =
+          Lslp_telemetry.Report.total_counters
+            report.Lslp_core.Pipeline.telemetry
+        in
+        String.concat ","
+          (List.map
+             (fun (name, get) -> Fmt.str "%s=%d" name (get c))
+             Lslp_telemetry.Probe.counter_fields)
+      in
+      (k.key, ir, remarks, counters)
+    in
+    let full () = List.map snapshot Lslp_kernels.Catalog.all in
+    let baseline = full () in
+    let pool = List.init jobs (fun _ -> Domain.spawn full) in
+    let results = List.map Domain.join pool in
+    let mismatches = ref [] in
+    List.iteri
+      (fun d rows ->
+        List.iter2
+          (fun (key, ir, rem, ctr) (key', ir', rem', ctr') ->
+            assert (key = key');
+            if ir <> ir' then
+              mismatches := (d, key, "IR") :: !mismatches;
+            if rem <> rem' then
+              mismatches := (d, key, "remarks") :: !mismatches;
+            if ctr <> ctr' then
+              mismatches := (d, key, "counters") :: !mismatches)
+          baseline rows)
+      results;
+    match List.rev !mismatches with
+    | [] ->
+      Fmt.pr "domain smoke: %d domain(s) x %d kernel(s) x %s: OK@." jobs
+        (List.length baseline) config.Lslp_core.Config.name
+    | ms ->
+      List.iter
+        (fun (d, key, what) ->
+          Fmt.epr "domain %d: %s: %s diverged from sequential baseline@." d
+            key what)
+        ms;
+      Fmt.epr "domain smoke: FAILED (%d divergence(s))@." (List.length ms);
+      exit 1
+  in
+  let jobs =
+    Arg.(value & opt int 8
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"How many concurrent domains to compile the catalog on.")
+  in
+  Cmd.v
+    (Cmd.info "domains"
+       ~doc:
+         "Domain-pool determinism smoke: compile the whole catalog on N \
+          concurrent domains and require bit-identical (alpha-renamed) IR, \
+          remarks and counters versus the sequential baseline")
+    Term.(const run $ config_arg $ unroll_arg $ jobs $ verbose_arg)
+
 (* ---- kernels ------------------------------------------------------ *)
 
 let kernels_cmd =
@@ -639,4 +728,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; run_cmd; analyze_cmd; trace_cmd; stats_cmd;
-            fuzz_cmd; kernels_cmd; show_cmd ]))
+            fuzz_cmd; domains_cmd; kernels_cmd; show_cmd ]))

@@ -131,9 +131,17 @@ let builtin_rules =
     columns_rule;
   ]
 
-let registered : rule list ref = ref []
-let register_rule r = registered := !registered @ [ r ]
-let rules () = builtin_rules @ !registered
+(* Custom rules appended at runtime.  Atomic with a CAS retry loop so
+   registration from one domain can never be lost by a concurrent append
+   (lslp-lint R1 would flag the old [ref] version as a data race). *)
+let registered : rule list Atomic.t = Atomic.make []
+
+let rec register_rule r =
+  let old = Atomic.get registered in
+  if not (Atomic.compare_and_set registered old (old @ [ r ])) then
+    register_rule r
+
+let rules () = builtin_rules @ Atomic.get registered
 
 let explain r =
   List.filter_map

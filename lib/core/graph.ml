@@ -36,11 +36,20 @@ type t = {
      lane index (multi-node internals have none) *)
   claimed : (int, Instr.t * node * int option) Hashtbl.t;
   by_bundle : (string, node) Hashtbl.t;  (* exact-bundle reuse (diamonds) *)
+  ids : Lslp_util.Id_gen.t;
+  (* node-id source.  The pipeline threads one generator through every
+     graph of a run so nids stay unique run-wide (the DOT exporter names
+     nodes [n<nid>] across subgraph clusters); standalone builds get a
+     fresh one.  Per-run rather than process-global so concurrent domains
+     number their graphs deterministically. *)
 }
 
-let create () =
+let create ?ids () =
+  let ids =
+    match ids with Some g -> g | None -> Lslp_util.Id_gen.create ~first:1 ()
+  in
   { root = None; nodes = []; claimed = Hashtbl.create 32;
-    by_bundle = Hashtbl.create 16 }
+    by_bundle = Hashtbl.create 16; ids }
 
 (* Key identifying a bundle by the exact per-lane values, used to reuse a
    node when the same column reappears (shared sub-expressions form diamonds
@@ -63,11 +72,8 @@ let find_existing g (values : Instr.value array) =
 let register_bundle g (values : Instr.value array) node =
   Hashtbl.replace g.by_bundle (bundle_key values) node
 
-let node_counter = ref 0
-
 let add_node g shape =
-  incr node_counter;
-  let n = { nid = !node_counter; shape; children = [] } in
+  let n = { nid = Lslp_util.Id_gen.next g.ids; shape; children = [] } in
   g.nodes <- n :: g.nodes;
   if g.root = None then g.root <- Some n;
   (match shape with

@@ -24,7 +24,12 @@ and multi = {
 
 type t
 
-val create : unit -> t
+val create : ?ids:Lslp_util.Id_gen.t -> unit -> t
+(** [ids] is the node-id source.  The pipeline threads one generator
+    through every graph of a run, keeping nids unique run-wide (the DOT
+    exporter names nodes [n<nid>] across subgraph clusters) and
+    deterministic per run regardless of how many runs share the process.
+    Without it a fresh generator starts at 1. *)
 
 val add_node : t -> shape -> node
 (** Create a node, record it, claim its instructions; the first node added

@@ -30,14 +30,14 @@ type ctx = {
   trace : Lslp_trace.Trace.t option;
 }
 
-let make_ctx ?(note = fun _ -> ()) ?meter ?probe ?trace config
+let make_ctx ?(note = fun _ -> ()) ?meter ?probe ?trace ?ids config
     (block : Block.t) =
   {
     config;
     block;
     deps = Depgraph.build block;
     uses = Use_info.compute block;
-    graph = Graph.create ();
+    graph = Graph.create ?ids ();
     note;
     meter;
     probe;
@@ -296,18 +296,18 @@ let record_graph ctx ~desc =
         nodes)
     ctx.trace
 
-let build ?note ?meter ?probe ?trace config (block : Block.t)
+let build ?note ?meter ?probe ?trace ?ids config (block : Block.t)
     (seed : Instr.t array) =
-  let ctx = make_ctx ?note ?meter ?probe ?trace config block in
+  let ctx = make_ctx ?note ?meter ?probe ?trace ?ids config block in
   let root = build_bundle ctx (Bundle.of_insts seed) in
   record_graph ctx ~desc:(Seeds.describe seed);
   (ctx.graph, root)
 
 (* Entry point for reduction vectorization: build one node per leaf chunk
    within a single shared graph (so diamonds across chunks still reuse). *)
-let build_columns ?note ?meter ?probe ?trace ?(desc = "reduction") config
-    (block : Block.t) (columns : Bundle.t list) =
-  let ctx = make_ctx ?note ?meter ?probe ?trace config block in
+let build_columns ?note ?meter ?probe ?trace ?ids ?(desc = "reduction")
+    config (block : Block.t) (columns : Bundle.t list) =
+  let ctx = make_ctx ?note ?meter ?probe ?trace ?ids config block in
   let nodes = List.map (build_bundle ctx) columns in
   record_graph ctx ~desc;
   (ctx.graph, nodes)

@@ -8,6 +8,7 @@ val build :
   ?meter:Lslp_robust.Budget.meter ->
   ?probe:Lslp_telemetry.Probe.t ->
   ?trace:Lslp_trace.Trace.t ->
+  ?ids:Lslp_util.Id_gen.t ->
   Config.t ->
   Block.t ->
   Instr.t array ->
@@ -23,6 +24,8 @@ val build :
     May also raise [Lslp_robust.Inject.Fault] when the config arms fault
     injection at the reorder boundary.
     [probe] counts fresh graph nodes and score evaluations.
+    [ids] is the node-id source threaded by the pipeline so nids stay
+    unique and deterministic per run (fresh per build otherwise).
     [trace] records the finished graph ([Graph_start]/[Graph_node]/
     [Graph_edge]/[Dep_edge]) plus the reorder decisions made along the
     way. *)
@@ -32,6 +35,7 @@ val build_columns :
   ?meter:Lslp_robust.Budget.meter ->
   ?probe:Lslp_telemetry.Probe.t ->
   ?trace:Lslp_trace.Trace.t ->
+  ?ids:Lslp_util.Id_gen.t ->
   ?desc:string ->
   Config.t ->
   Block.t ->

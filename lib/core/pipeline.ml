@@ -123,6 +123,10 @@ let degraded_desc (failure : Transact.failure) =
 let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
   let open Lslp_check in
   let inject = config.Config.inject in
+  (* run-wide SLP-graph node-id source: nids stay unique across every graph
+     of this run (the DOT exporter relies on it) and start from 1 on every
+     run, so concurrent runs on other domains number independently *)
+  let graph_ids = Lslp_util.Id_gen.create ~first:1 () in
   let diagnostics = ref [] in
   let snap =
     if config.Config.validate then
@@ -317,8 +321,8 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
               in
               let graph, root =
                 traced_span ?trace probe "graph-build" (fun () ->
-                    Graph_builder.build ?note ~meter ~probe ?trace config
-                      block seed)
+                    Graph_builder.build ?note ~meter ~probe ?trace
+                      ~ids:graph_ids config block seed)
               in
               cur_pass := "cost";
               let cost =
@@ -488,7 +492,7 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
         Transact.protect ~snapshot ~pass:(fun () -> "reduction") (fun () ->
             let rs =
               traced_span ?trace probe "reduction" (fun () ->
-                  Reduction.run ~config ~meter ~probe ?trace
+                  Reduction.run ~config ~meter ~probe ?trace ~ids:graph_ids
                     ?record:record_opt ~on_skipped block)
             in
             if

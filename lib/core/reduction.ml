@@ -99,7 +99,7 @@ type plan = {
    graph nodes (chunk trees and their gathers/extracts) + (chunks-1)
    element-wise vector ops + the horizontal reduce + tail scalar ops,
    minus the removed scalar chain ops. *)
-let plan_candidate ?meter ?probe ?trace ~desc (config : Config.t)
+let plan_candidate ?meter ?probe ?trace ?ids ~desc (config : Config.t)
     (block : Block.t) (c : candidate) : plan option =
   let model = config.Config.model in
   let elt =
@@ -112,7 +112,8 @@ let plan_candidate ?meter ?probe ?trace ~desc (config : Config.t)
   else begin
     let chunks, tail = chunk_leaves ~lanes c.cand_leaves in
     let graph, chunk_nodes =
-      Graph_builder.build_columns ?meter ?probe ?trace ~desc config block
+      Graph_builder.build_columns ?meter ?probe ?trace ?ids ~desc config
+        block
         chunks
     in
     let in_chain (u : Instr.t) =
@@ -158,7 +159,7 @@ type region = {
 
 (* Vectorize every profitable reduction in one block, in program order.
    Returns one region record per candidate considered. *)
-let run ?(config = Config.lslp) ?meter ?probe ?trace ?record
+let run ?(config = Config.lslp) ?meter ?probe ?trace ?ids ?record
     ?(on_skipped = fun _ -> ()) (block : Block.t) : region list =
   let regions = ref [] in
   let continue_ = ref true in
@@ -181,7 +182,8 @@ let run ?(config = Config.lslp) ?meter ?probe ?trace ?record
           (Opcode.binop_name c.cand_op)
           (List.length c.cand_leaves)
       in
-      match plan_candidate ?meter ?probe ?trace ~desc config block c with
+      match plan_candidate ?meter ?probe ?trace ?ids ~desc config block c
+      with
       | None -> on_skipped c
       | Some plan ->
         let accepted = plan.cost < config.Config.threshold in

@@ -31,6 +31,7 @@ val run :
   ?meter:Lslp_robust.Budget.meter ->
   ?probe:Lslp_telemetry.Probe.t ->
   ?trace:Lslp_trace.Trace.t ->
+  ?ids:Lslp_util.Id_gen.t ->
   ?record:(lanes:Instr.t array -> vector:Instr.t -> unit) ->
   ?on_skipped:(candidate -> unit) ->
   Block.t ->

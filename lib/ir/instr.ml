@@ -44,11 +44,13 @@ and arg = { arg_name : string; arg_ty : arg_ty }
 
 and arg_ty = Int_arg | Float_arg | Array_arg of Types.scalar
 
-let counter = ref 0
+(* Identity must be unique across every function alive in the process —
+   clones, unrolled bodies and concurrently compiling domains included —
+   so the source is a process-global Atomic counter, not a [ref].
+   Waived under lslp-lint R1: Id_gen is domain-safe by construction. *)
+let ids = Lslp_util.Id_gen.create ~first:1 ()
 
-let fresh_id () =
-  incr counter;
-  !counter
+let fresh_id () = Lslp_util.Id_gen.next ids
 
 let create ?(name = "") kind ty = { id = fresh_id (); kind; ty; name }
 

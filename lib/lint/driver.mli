@@ -1,0 +1,48 @@
+(** Runs the rule registry over a file set and folds in the waiver file.
+
+    The driver is what [bin/lint.ml] and the tests share: collect the
+    [.ml] files under the given roots (skipping [_build] and hidden
+    directories), parse each with the compiler's parser, apply
+    {!Rules.check}, then partition the findings against the waiver
+    entries.  Everything is deterministic: files are scanned in sorted
+    order and findings are sorted by location. *)
+
+type report = {
+  files : string list;       (** files scanned, sorted *)
+  parse_errors : (string * string) list;  (** file, message *)
+  waived : (Finding.t * Waiver.entry) list;
+  unwaived : Finding.t list;
+  stale : Waiver.entry list;
+}
+
+val ml_files : string list -> string list
+(** Every [.ml] file under the given roots (a root may itself be a
+    file), sorted, duplicates removed.  Skips [_build] and dot
+    directories. *)
+
+val lint_source : file:string -> string -> (Finding.t list, string) result
+(** Parse one implementation from a string and apply the rules.  The
+    error case is a parse failure rendered as [file:line: message]. *)
+
+val run :
+  ?rules:string list -> ?waivers:Waiver.entry list -> string list -> report
+(** Lint the [.ml] files under the given roots.  [rules] restricts to
+    the given ids/slugs (default: all); [waivers] defaults to none. *)
+
+val ok : ?check_waivers:bool -> report -> bool
+(** No parse errors, no unwaived findings — and, with
+    [~check_waivers:true], no stale waiver entries either. *)
+
+val findings_by_rule : report -> (string * int) list
+(** Count of findings (waived + unwaived) per rule id, for every rule in
+    the registry, in registry order. *)
+
+val pp_text : ?check_waivers:bool -> report Fmt.t
+(** Human rendering: one {!Finding.pp} line per unwaived finding, stale
+    waiver lines when [check_waivers], then a one-line summary. *)
+
+val to_json : ?check_waivers:bool -> report -> Lslp_util.Json.t
+
+val bench_json : wall_s:float -> report -> Lslp_util.Json.t
+(** The [BENCH_lint.json] payload: files scanned, findings by rule,
+    waiver counts, lint wall-time. *)

@@ -1,0 +1,123 @@
+(* Waiver-file parsing and matching. *)
+
+module Json = Lslp_util.Json
+
+type entry = {
+  w_rule : string;
+  w_file : string;
+  w_ident : string;
+  w_reason : string;
+  w_lineno : int;
+}
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+(* Find the first " -- " separator; everything after is the reason. *)
+let split_reason line =
+  let n = String.length line in
+  let rec look i =
+    if i + 4 > n then None
+    else if String.sub line i 4 = " -- " then
+      Some
+        ( String.trim (String.sub line 0 i),
+          String.trim (String.sub line (i + 4) (n - i - 4)) )
+    else look (i + 1)
+  in
+  look 0
+
+let parse ~file contents =
+  let entries = ref [] in
+  let error = ref None in
+  let fail lineno fmt =
+    Fmt.kstr
+      (fun msg ->
+        if !error = None then
+          error := Some (Fmt.str "%s:%d: %s" file lineno msg))
+      fmt
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then ()
+      else
+        match split_reason trimmed with
+        | None -> fail lineno "missing ` -- justification`"
+        | Some (_, "") -> fail lineno "empty justification after `--`"
+        | Some (head, reason) -> (
+          match split_ws head with
+          | [ rule; path; ident ] ->
+            if Rules.find rule = None then
+              fail lineno "unknown rule id %s" rule
+            else
+              entries :=
+                {
+                  w_rule = rule;
+                  w_file = path;
+                  w_ident = ident;
+                  w_reason = reason;
+                  w_lineno = lineno;
+                }
+                :: !entries
+          | _ ->
+            fail lineno
+              "expected `<rule> <file> <ident> -- justification`"))
+    (String.split_on_char '\n' contents);
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (List.rev !entries)
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    parse ~file:path contents
+
+let matches e (f : Finding.t) =
+  e.w_rule = f.Finding.rule
+  && e.w_file = f.Finding.file
+  && (e.w_ident = "*" || e.w_ident = f.Finding.ident)
+
+type applied = {
+  waived : (Finding.t * entry) list;
+  unwaived : Finding.t list;
+  stale : entry list;
+}
+
+let apply entries findings =
+  let used = Hashtbl.create 8 in
+  let waived, unwaived =
+    List.fold_left
+      (fun (w, u) f ->
+        match List.find_opt (fun e -> matches e f) entries with
+        | Some e ->
+          Hashtbl.replace used e.w_lineno ();
+          ((f, e) :: w, u)
+        | None -> (w, f :: u))
+      ([], []) findings
+  in
+  {
+    waived = List.rev waived;
+    unwaived = List.rev unwaived;
+    stale =
+      List.filter (fun e -> not (Hashtbl.mem used e.w_lineno)) entries;
+  }
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%s %s %s -- %s" e.w_rule e.w_file e.w_ident e.w_reason
+
+let entry_json e =
+  Json.Obj
+    [
+      ("rule", Json.Str e.w_rule);
+      ("file", Json.Str e.w_file);
+      ("ident", Json.Str e.w_ident);
+      ("reason", Json.Str e.w_reason);
+      ("line", Json.Int e.w_lineno);
+    ]

@@ -68,19 +68,22 @@ type t = {
   mutable rev_events : event list;
   mutable clock : int;
   mutable region : string;
-  mutable next_gid : int;
+  gids : Lslp_util.Id_gen.t;
   wall : bool;
 }
 
 let create ?(wall = false) () =
-  { rev_events = []; clock = 0; region = ""; next_gid = 0; wall }
+  {
+    rev_events = [];
+    clock = 0;
+    region = "";
+    gids = Lslp_util.Id_gen.create ();
+    wall;
+  }
 
 let set_region t region = t.region <- region
 
-let fresh_gid t =
-  let gid = t.next_gid in
-  t.next_gid <- gid + 1;
-  gid
+let fresh_gid t = Lslp_util.Id_gen.next t.gids
 
 let record t payload =
   let ts = t.clock in

@@ -1,0 +1,14 @@
+(* Atomic-backed id source.  [fetch_and_add] makes [next] a single
+   hardware RMW, so ids stay unique across domains without a lock, and a
+   single-domain caller sees exactly the sequence the old [incr counter]
+   pattern produced. *)
+
+type t = { cell : int Atomic.t; first : int }
+
+let create ?(first = 0) () = { cell = Atomic.make first; first }
+
+let next t = Atomic.fetch_and_add t.cell 1
+
+let peek t = Atomic.get t.cell
+
+let issued t = Atomic.get t.cell - t.first

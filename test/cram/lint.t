@@ -1,0 +1,80 @@
+lslp-lint parses OCaml sources with the compiler's own parser and
+applies the R1-R4 domain-safety rules.  The fixture files are created
+inline so text and JSON renderings are byte-pinned end to end.
+
+R1: a module-level let creating mutable state is shared by every domain:
+
+  $ cat > global_state.ml <<'EOF'
+  > let hits = ref 0
+  > let bump () = incr hits
+  > EOF
+  $ lslp-lint global_state.ml
+  global_state.ml:1:11: error[R1:global-mutable-state]: module-level value `hits` creates a ref cell shared by every domain; make it per-run state, or use Atomic/Id_gen and waive it
+  lint: 1 file(s), 1 finding(s): 1 unwaived, 0 waived
+  [1]
+
+R2/R3/R4 are expression patterns, reported in location order:
+
+  $ cat > racy.ml <<'EOF'
+  > let roll () = Random.int 6
+  > let f () = failwith "nope"
+  > let h () = raise Not_found
+  > let now () = Unix.gettimeofday ()
+  > EOF
+  $ lslp-lint racy.ml
+  racy.ml:1:14: error[R2:ambient-random]: Random.int uses the ambient generator; thread an explicit Random.State.t instead
+  racy.ml:2:11: error[R3:raise-primitives]: failwith raises untyped Failure; raise a typed error instead
+  racy.ml:3:17: error[R3:raise-primitives]: bare raise of predefined Not_found; raise a typed error instead
+  racy.ml:4:13: error[R4:wall-clock]: Unix.gettimeofday reads the wall clock; only waived telemetry/trace modules may be nondeterministic
+  lint: 1 file(s), 4 finding(s): 4 unwaived, 0 waived
+  [1]
+
+The JSON rendering carries the same findings for tooling:
+
+  $ lslp-lint --json global_state.ml
+  {"files":1,"parse_errors":[],"findings":[{"rule":"R1","slug":"global-mutable-state","file":"global_state.ml","line":1,"col":11,"ident":"hits","message":"module-level value `hits` creates a ref cell shared by every domain; make it per-run state, or use Atomic/Id_gen and waive it","waived":false}],"stale_waivers":[],"ok":false}
+  [1]
+
+A waiver entry keyed by (rule, file, ident) silences the finding with a
+committed justification:
+
+  $ cat > lint.waivers <<'EOF'
+  > R1 global_state.ml hits -- counter is test-only
+  > EOF
+  $ lslp-lint --check-waivers global_state.ml
+  lint: 1 file(s), 1 finding(s): 0 unwaived, 1 waived
+
+--check-waivers fails on entries that no longer match anything, so a
+fixed site must drop its waiver in the same commit:
+
+  $ cat >> lint.waivers <<'EOF'
+  > R2 global_state.ml Random.int -- no such call
+  > EOF
+  $ lslp-lint --check-waivers global_state.ml
+  stale waiver (matched no finding): R2 global_state.ml Random.int -- no such call
+  lint: 1 file(s), 1 finding(s): 0 unwaived, 1 waived, 1 stale waiver(s)
+  [1]
+
+--rule restricts the registry (stale entries for other rules are then
+out of scope):
+
+  $ lslp-lint --rule R2 global_state.ml
+  lint: 1 file(s), 0 finding(s): 0 unwaived, 0 waived
+
+A file the compiler cannot parse is a lint failure, not a crash:
+
+  $ cat > bad.ml <<'EOF'
+  > let = 3
+  > EOF
+  $ lslp-lint bad.ml
+  bad.ml: parse error: File "bad.ml", line 1, characters 4-5: Error: Syntax error
+  lint: 1 file(s), 0 finding(s): 0 unwaived, 0 waived
+  [1]
+
+The registry is self-describing:
+
+  $ lslp-lint --rules
+  R1 global-mutable-state   module-level let creating mutable state (ref, Hashtbl.create, ...) shared across domains
+  R2 ambient-random         ambient Random.* call (incl. self_init) instead of an explicit Random.State.t
+  R3 raise-primitives       failwith / invalid_arg / bare raise of a predefined exception instead of a typed error
+  R4 wall-clock             wall-clock read (Unix.gettimeofday, Unix.time, Sys.time) outside the waived telemetry/trace modules

@@ -1,0 +1,15 @@
+(* R1 fixture: module-level mutable state, shared by every domain. *)
+
+let hits = ref 0
+let table = Hashtbl.create 16
+
+(* per-call state is fine: the allocation happens under a [fun] *)
+let fresh_buffer () = Buffer.create 64
+
+(* Atomic is the sanctioned global and is not flagged *)
+let generation = Atomic.make 0
+
+let bump () =
+  incr hits;
+  Atomic.incr generation;
+  Hashtbl.replace table !hits (Buffer.contents (fresh_buffer ()))

@@ -1,0 +1,8 @@
+(* R2 fixture: ambient Random calls vs an explicit Random.State.t. *)
+
+let roll () = Random.int 6
+
+let seed_everything () = Random.self_init ()
+
+(* explicit state threaded by the caller is fine *)
+let ok st = Random.State.int st 6

@@ -1,0 +1,15 @@
+(* R3 fixture: raising primitives vs typed errors. *)
+
+exception Bad_lane of int
+
+let f () = failwith "nope"
+
+let g x = if x < 0 then invalid_arg "g"
+
+let h () = raise Not_found
+
+(* a typed exception is fine *)
+let k () = raise (Bad_lane 3)
+
+(* a re-raise of a caught exception is fine *)
+let guarded thunk = try thunk () with e -> raise e

@@ -1,0 +1,5 @@
+(* R4 fixture: wall-clock reads outside the telemetry/trace modules. *)
+
+let now () = Unix.gettimeofday ()
+
+let cpu_seconds () = Sys.time ()

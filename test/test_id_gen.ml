@@ -1,0 +1,65 @@
+(* Id_gen: the Atomic-backed id source behind instruction ids, graph
+   node ids and trace gids.  The property that matters for the parallel
+   compile service is uniqueness under concurrent draws: d domains
+   hammering one shared generator must receive d*k distinct, dense
+   ids. *)
+
+module Id_gen = Lslp_util.Id_gen
+
+let tc = Helpers.tc
+let check_int = Helpers.check_int
+
+let sequence () =
+  let g = Id_gen.create () in
+  check_int "defaults to 0" 0 (Id_gen.next g);
+  check_int "then 1" 1 (Id_gen.next g);
+  check_int "peek does not consume" 2 (Id_gen.peek g);
+  check_int "peek is stable" 2 (Id_gen.peek g);
+  check_int "issued" 2 (Id_gen.issued g)
+
+let first () =
+  let g = Id_gen.create ~first:1 () in
+  check_int "starts at first" 1 (Id_gen.next g);
+  check_int "issued counts from first" 1 (Id_gen.issued g)
+
+let independent () =
+  let a = Id_gen.create () and b = Id_gen.create () in
+  ignore (Id_gen.next a);
+  ignore (Id_gen.next a);
+  check_int "generators are independent" 0 (Id_gen.next b)
+
+(* d domains × k draws from one shared generator. *)
+let draw_concurrently ~domains ~draws =
+  let g = Id_gen.create ~first:1 () in
+  let worker () = Array.init draws (fun _ -> Id_gen.next g) in
+  let pool = List.init domains (fun _ -> Domain.spawn worker) in
+  List.concat_map (fun d -> Array.to_list (Domain.join d)) pool
+
+let unique_under_domains () =
+  let all = draw_concurrently ~domains:4 ~draws:5000 in
+  let sorted = List.sort_uniq Int.compare all in
+  check_int "no duplicates" (List.length all) (List.length sorted);
+  check_int "dense from first" 1 (List.hd sorted);
+  check_int "dense to last" (List.length all)
+    (List.nth sorted (List.length sorted - 1))
+
+let qcheck_unique =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:25 ~name:"ids unique and dense under domains"
+       QCheck2.Gen.(pair (int_range 2 6) (int_range 1 400))
+       (fun (domains, draws) ->
+         let all = draw_concurrently ~domains ~draws in
+         let sorted = List.sort_uniq Int.compare all in
+         List.length all = domains * draws
+         && List.length sorted = List.length all
+         && List.hd sorted = 1
+         && List.nth sorted (List.length sorted - 1) = List.length all))
+
+let suite =
+  [
+    tc "sequence" sequence;
+    tc "first offset" first;
+    tc "independent generators" independent;
+    tc "unique under 4 domains" unique_under_domains;
+    qcheck_unique;
+  ]

@@ -23,4 +23,7 @@ let () =
       ("robust", Test_robust.suite);
       ("telemetry", Test_telemetry.suite);
       ("trace", Test_trace.suite);
+      ("id-gen", Test_id_gen.suite);
+      ("lint", Test_lint.suite);
+      ("domains", Test_domains.suite);
     ]

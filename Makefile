@@ -2,7 +2,7 @@
 
 .PHONY: all test check bench ci clean fuzz lint lint-exceptions \
   domain-smoke bench-lint stats-golden bench-check bench-baseline \
-  trace-golden
+  bench-speed bench-speed-report trace-golden
 
 all:
 	dune build
@@ -82,6 +82,17 @@ bench-check:
 
 bench-baseline:
 	dune exec bench/baseline.exe -- --write
+
+# Compile-throughput harness: the whole catalog compiled 1000x per config
+# (one-shot wall clock + a bechamel estimate), appended as a dated run to
+# bench_results/BENCH_speed.json so the trajectory across PRs is kept.
+# Report-only in CI: timings are machine-dependent, so the gate for perf
+# work is the counter baseline (bench-check), not this file.
+bench-speed:
+	dune exec bench/speed.exe -- --reps 1000
+
+bench-speed-report:
+	dune exec bench/speed.exe -- --reps 300 --no-write
 
 bench:
 	dune exec bench/main.exe

@@ -621,9 +621,28 @@ let domains_cmd =
       Lslp_core.Config.(config |> with_remarks true |> with_validate true)
     in
     let snapshot (k : Lslp_kernels.Catalog.kernel) =
+      (* every id in this kernel's output must postdate this watermark:
+         arena compact indices restart at 0 per block, so a leaked index
+         would show up as an id below ids already spent on earlier
+         kernels (or other domains) *)
+      let low = Lslp_ir.Instr.id_watermark () in
       let f = Lslp_kernels.Catalog.compile k in
       ignore (Lslp_frontend.Unroll.run ~factor:unroll f);
       let report, g = Lslp_core.Pipeline.run_cloned ~config f in
+      let high = Lslp_ir.Instr.id_watermark () in
+      List.iter
+        (fun b ->
+          Lslp_ir.Block.iter
+            (fun (i : Lslp_ir.Instr.t) ->
+              if i.Lslp_ir.Instr.id < low || i.Lslp_ir.Instr.id >= high then begin
+                Fmt.epr
+                  "domain smoke: %s: instruction id %d outside [%d, %d): \
+                   arena compact index leaked into the IR@."
+                  k.key i.Lslp_ir.Instr.id low high;
+                exit 1
+              end)
+            b)
+        (Lslp_ir.Func.blocks g);
       let ir =
         Lslp_fuzz.Fuzz.normalize_ids
           (Fmt.str "%a" Lslp_ir.Printer.pp_func g)

@@ -53,7 +53,7 @@ let () =
 
   (* Stage 2: graph construction (multi-nodes + look-ahead reordering). *)
   let graph, root = Graph_builder.build config (Func.entry f) seed in
-  Fmt.pr "@.=== LSLP graph ===@.%a@.@." Graph.pp_node root;
+  Fmt.pr "@.=== LSLP graph ===@.%a@.@." (Graph.pp_node graph) root;
 
   (* Stage 3: cost evaluation against the TTI-style model. *)
   let cost = Cost.evaluate config graph (Func.entry f) in

@@ -9,76 +9,76 @@
 
    Straight-line semantics is preserved by any topological order of this
    graph, which is what makes both bundle-schedulability checking and
-   post-vectorization rescheduling sound. *)
+   post-vectorization rescheduling sound.
+
+   Built over a per-block [Arena]: positions and may-alias queries are
+   array reads and int compares off the arena's precomputed address table,
+   and reachability is one flat byte matrix instead of an array of
+   arrays. *)
 
 open Lslp_ir
 
 type t = {
-  insts : Instr.t array;                 (* program order *)
-  pos_of : (int, int) Hashtbl.t;         (* instr id -> position *)
-  preds : int list array;                (* direct dependencies (positions) *)
-  reach : bool array array;              (* reach.(i).(j): i trans. dep on j *)
+  arena : Arena.t;
+  preds : int list array;   (* direct dependencies (positions) *)
+  n : int;
+  reach : Bytes.t;          (* reach[i*n+j]: i transitively depends on j *)
 }
 
-let direct_preds insts pos_of =
-  let n = Array.length insts in
+let direct_preds (arena : Arena.t) =
+  let n = Arena.size arena in
   let preds = Array.make n [] in
   (* data dependencies — position-independent, so that rescheduling can
      repair blocks that temporarily contain a def after its use *)
-  Array.iteri
-    (fun i inst ->
-      List.iter
-        (fun v ->
-          match Instr.value_id v with
-          | Some id ->
-            (match Hashtbl.find_opt pos_of id with
-             | Some j when j <> i -> preds.(i) <- j :: preds.(i)
-             | Some _ | None -> ())
-          | None -> ())
-        (Instr.operands inst))
-    insts;
-  (* memory dependencies *)
-  let mem_accesses =
-    Array.to_list insts
-    |> List.mapi (fun i inst -> (i, inst))
-    |> List.filter (fun (_, inst) -> Instr.is_memory_access inst)
-  in
-  let dep_between a b =
-    (Instr.is_store a || Instr.is_store b)
-    &&
-    match (Instr.address a, Instr.address b) with
-    | Some aa, Some ab -> Addr.may_alias aa ab
-    | (None | Some _), _ -> false
-  in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun v ->
+        match Instr.value_id v with
+        | Some id ->
+          let j = Arena.idx_of_id arena id in
+          if j >= 0 && j <> i then preds.(i) <- j :: preds.(i)
+        | None -> ())
+      (Instr.operands (Arena.instr arena i))
+  done;
+  (* memory dependencies: store/store and store/load pairs that may alias,
+     earlier access before later *)
+  let mems = ref [] in
+  for i = n - 1 downto 0 do
+    if Arena.is_memory arena i then mems := i :: !mems
+  done;
+  let mems = !mems in
   List.iter
-    (fun (i, inst_i) ->
-      List.iter
-        (fun (j, inst_j) ->
-          if j < i && dep_between inst_i inst_j then
-            preds.(i) <- j :: preds.(i))
-        mem_accesses)
-    mem_accesses;
-  preds
-
-let build block =
-  let insts = Array.of_list (Block.to_list block) in
-  let n = Array.length insts in
-  let pos_of = Hashtbl.create (2 * n) in
-  Array.iteri (fun i (inst : Instr.t) -> Hashtbl.replace pos_of inst.id i) insts;
-  let preds = direct_preds insts pos_of in
-  (* transitive closure by memoized DFS (data edges may point forward in
-     position, so a positional sweep is not enough) *)
-  let reach = Array.init n (fun _ -> Array.make n false) in
-  let visited = Array.make n false in
-  let rec close i =
-    if not visited.(i) then begin
-      visited.(i) <- true;
+    (fun i ->
+      let store_i = Instr.is_store (Arena.instr arena i) in
       List.iter
         (fun j ->
-          reach.(i).(j) <- true;
+          if
+            j < i
+            && (store_i || Instr.is_store (Arena.instr arena j))
+            && Arena.may_alias arena i j
+          then preds.(i) <- j :: preds.(i))
+        mems)
+    mems;
+  preds
+
+let build_arena (arena : Arena.t) =
+  let n = Arena.size arena in
+  let preds = direct_preds arena in
+  (* transitive closure by memoized DFS (data edges may point forward in
+     position, so a positional sweep is not enough) *)
+  let reach = Bytes.make (n * n) '\000' in
+  let visited = Bytes.make (max n 1) '\000' in
+  let rec close i =
+    if Bytes.unsafe_get visited i = '\000' then begin
+      Bytes.unsafe_set visited i '\001';
+      List.iter
+        (fun j ->
+          Bytes.unsafe_set reach ((i * n) + j) '\001';
           close j;
+          let ri = i * n and rj = j * n in
           for k = 0 to n - 1 do
-            if reach.(j).(k) then reach.(i).(k) <- true
+            if Bytes.unsafe_get reach (rj + k) <> '\000' then
+              Bytes.unsafe_set reach (ri + k) '\001'
           done)
         preds.(i)
     end
@@ -86,77 +86,78 @@ let build block =
   for i = 0 to n - 1 do
     close i
   done;
-  { insts; pos_of; preds; reach }
+  { arena; preds; n; reach }
 
-let mem t (i : Instr.t) = Hashtbl.mem t.pos_of i.id
+let build block = build_arena (Arena.of_block block)
+
+let arena t = t.arena
+
+let mem t (i : Instr.t) = Arena.mem t.arena i
 
 let position t (i : Instr.t) =
-  match Hashtbl.find_opt t.pos_of i.id with
-  | Some p -> p
-  | None -> invalid_arg "Depgraph: instruction not in block"
+  match Arena.idx t.arena i with
+  | -1 -> invalid_arg "Depgraph: instruction not in block"
+  | p -> p
 
-let depends t a ~on = t.reach.(position t a).(position t on)
+let reaches t i j = Bytes.unsafe_get t.reach ((i * t.n) + j) <> '\000'
+
+let depends t a ~on = reaches t (position t a) (position t on)
 
 let independent t insts =
   let ps = List.map (position t) insts in
   List.for_all
-    (fun p -> List.for_all (fun q -> p = q || not t.reach.(p).(q)) ps)
+    (fun p -> List.for_all (fun q -> p = q || not (reaches t p q)) ps)
     ps
 
 (* Acyclicity after contracting each group to a single node: the real
    schedulability criterion for a whole SLP graph.  Groups must be disjoint
-   lists of block instructions. *)
+   lists of block instructions.  Group ids live in [0, 2n): the first are
+   the caller's groups, instructions left alone keep singleton ids, so
+   plain int arrays index everything — no hashed adjacency. *)
 let schedulable_groups t groups =
-  let n = Array.length t.insts in
+  let n = t.n in
   let group_of = Array.init n (fun i -> i + n) (* singleton ids *) in
   List.iteri
     (fun gid members ->
       List.iter (fun m -> group_of.(position t m) <- gid) members)
     groups;
-  (* condensed adjacency: group -> set of predecessor groups *)
-  let adj = Hashtbl.create 64 in
+  let id_count = 2 * n in
+  let adj = Array.make (max id_count 1) [] in
   let add_edge src dst =
-    if src <> dst then begin
-      let cur = Option.value ~default:[] (Hashtbl.find_opt adj dst) in
-      if not (List.mem src cur) then Hashtbl.replace adj dst (src :: cur)
-    end
+    if src <> dst && not (List.mem src adj.(dst)) then
+      adj.(dst) <- src :: adj.(dst)
   in
   for i = 0 to n - 1 do
     List.iter (fun j -> add_edge group_of.(j) group_of.(i)) t.preds.(i)
   done;
-  (* cycle detection over the condensed graph *)
-  let state = Hashtbl.create 64 in
-  (* 0 = visiting, 1 = done *)
+  (* cycle detection over the condensed graph: 0 unseen, 1 visiting, 2 done *)
+  let state = Array.make (max id_count 1) 0 in
   let rec acyclic_from node =
-    match Hashtbl.find_opt state node with
-    | Some 0 -> false
-    | Some _ -> true
-    | None ->
-      Hashtbl.replace state node 0;
-      let preds = Option.value ~default:[] (Hashtbl.find_opt adj node) in
-      let ok = List.for_all acyclic_from preds in
-      Hashtbl.replace state node 1;
+    match state.(node) with
+    | 1 -> false
+    | 2 -> true
+    | _ ->
+      state.(node) <- 1;
+      let ok = List.for_all acyclic_from adj.(node) in
+      state.(node) <- 2;
       ok
   in
-  let nodes =
-    Array.to_list group_of
-    |> List.sort_uniq Int.compare
-  in
-  List.for_all acyclic_from nodes
+  let rec all_ok i = i >= n || (acyclic_from group_of.(i) && all_ok (i + 1)) in
+  all_ok 0
 
 (* Stable topological order: keep original relative order wherever the
    dependence graph allows it.  Used to restore def-before-use after code
    generation appends vector instructions at arbitrary points. *)
 let topo_order block =
   let t = build block in
-  let n = Array.length t.insts in
-  let emitted = Array.make n false in
+  let n = t.n in
+  let emitted = Array.make (max n 1) false in
   let order = ref [] in
   let rec emit i =
     if not emitted.(i) then begin
       emitted.(i) <- true;
       List.iter emit (List.sort Int.compare t.preds.(i));
-      order := t.insts.(i) :: !order
+      order := Arena.instr t.arena i :: !order
     end
   in
   for i = 0 to n - 1 do

@@ -9,6 +9,13 @@ open Lslp_ir
 type t
 
 val build : Block.t -> t
+(** Snapshot the block into a fresh {!Arena} and build over it. *)
+
+val build_arena : Arena.t -> t
+(** Build over an arena the caller already holds; positions and aliasing
+    come off its precomputed tables. *)
+
+val arena : t -> Arena.t
 
 val mem : t -> Instr.t -> bool
 (** Was this instruction part of the block the graph was built from?
@@ -17,6 +24,11 @@ val mem : t -> Instr.t -> bool
 val depends : t -> Instr.t -> on:Instr.t -> bool
 (** Transitive (strict) dependence.
     @raise Invalid_argument if either instruction is not a member. *)
+
+val reaches : t -> int -> int -> bool
+(** [depends] by compact index (position in the underlying arena): one
+    byte read, no id lookup.  Unchecked — callers index with positions
+    obtained from {!arena}. *)
 
 val independent : t -> Instr.t list -> bool
 (** No member transitively depends on another — the paper's per-bundle

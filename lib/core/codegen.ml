@@ -59,8 +59,14 @@ let element_scalar (i : Instr.t) =
         (Instr.opclass_name (Instr.opclass i)))
 
 let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
-    (graph : Graph.t) (block : Block.t) : outcome =
-  let deps = Depgraph.build block in
+    ?deps (graph : Graph.t) (block : Block.t) : outcome =
+  (* [deps] shares the dependence graph (and arena snapshot) the caller
+     already built for this un-mutated block; built fresh otherwise *)
+  let deps =
+    match deps with Some d -> d | None -> Depgraph.build block
+  in
+  let arena = Depgraph.arena deps in
+  let n = Arena.size arena in
   (* ---- units ---------------------------------------------------- *)
   let vector_nodes =
     List.filter
@@ -70,12 +76,13 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
         | Graph.Gather _ -> false)
       (Graph.nodes graph)
   in
-  let unit_of_inst = Hashtbl.create 64 in
+  (* compact index -> unit; every block instruction gets exactly one *)
+  let unit_of = Array.make (max n 1) (-1) in
   List.iteri
-    (fun u n ->
+    (fun u node ->
       List.iter
-        (fun (i : Instr.t) -> Hashtbl.replace unit_of_inst i.id u)
-        (node_members n))
+        (fun (i : Instr.t) -> unit_of.(Arena.idx arena i) <- u)
+        (node_members node))
     vector_nodes;
   let num_node_units = List.length vector_nodes in
   (* the reduction chain, if any, forms one additional unit *)
@@ -83,50 +90,43 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
     match reduction with
     | Some r ->
       List.iter
-        (fun (i : Instr.t) -> Hashtbl.replace unit_of_inst i.id num_node_units)
+        (fun (i : Instr.t) -> unit_of.(Arena.idx arena i) <- num_node_units)
         r.red_chain;
       1
     | None -> 0
   in
-  let scalars =
-    Block.find_all (fun i -> not (Hashtbl.mem unit_of_inst i.Instr.id)) block
-  in
-  List.iteri
-    (fun k (i : Instr.t) ->
-      Hashtbl.replace unit_of_inst i.id (num_node_units + chain_unit + k))
-    scalars;
-  let num_units = num_node_units + chain_unit + List.length scalars in
-  let members = Array.make num_units [] in
-  Block.iter
-    (fun i -> members.(Hashtbl.find unit_of_inst i.Instr.id) <-
-        i :: members.(Hashtbl.find unit_of_inst i.Instr.id))
-    block;
-  let key = Array.make num_units max_int in
-  Array.iteri
-    (fun u ms ->
-      List.iter
-        (fun m -> key.(u) <- min key.(u) (Block.position_exn block m))
-        ms)
-    members;
+  (* surviving scalars become singleton units, in program order *)
+  let num_units = ref (num_node_units + chain_unit) in
+  for k = 0 to n - 1 do
+    if unit_of.(k) < 0 then begin
+      unit_of.(k) <- !num_units;
+      incr num_units
+    end
+  done;
+  let num_units = !num_units in
+  let members = Array.make (max num_units 1) [] in
+  let key = Array.make (max num_units 1) max_int in
+  for k = 0 to n - 1 do
+    let u = unit_of.(k) in
+    members.(u) <- Arena.instr arena k :: members.(u);
+    if key.(u) = max_int then key.(u) <- k
+  done;
   (* ---- unit dependence edges ------------------------------------ *)
-  let preds = Array.make num_units [] in
-  let add_edge src dst =
-    if src <> dst && not (List.mem src preds.(dst)) then
-      preds.(dst) <- src :: preds.(dst)
-  in
-  Array.iteri
-    (fun u ms ->
-      List.iter
-        (fun m ->
-          Array.iteri
-            (fun v ns ->
-              if v <> u then
-                List.iter
-                  (fun n -> if Depgraph.depends deps m ~on:n then add_edge v u)
-                  ns)
-            members)
-        ms)
-    members;
+  let preds = Array.make (max num_units 1) [] in
+  let seen = Bytes.make (max (num_units * num_units) 1) '\000' in
+  for i = 0 to n - 1 do
+    let u = unit_of.(i) in
+    for j = 0 to n - 1 do
+      if unit_of.(j) <> u && Depgraph.reaches deps i j then begin
+        let v = unit_of.(j) in
+        let c = (u * num_units) + v in
+        if Bytes.unsafe_get seen c = '\000' then begin
+          Bytes.unsafe_set seen c '\001';
+          preds.(u) <- v :: preds.(u)
+        end
+      end
+    done
+  done;
   (* ---- stable topological order (Kahn, min-key first) ------------ *)
   let emitted = Array.make num_units false in
   let order = ref [] in
@@ -177,22 +177,28 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
     (* surviving scalars are re-pushed, not materialized; everything else in
        [out] is fresh — the probe's instrs_emitted, charged only on commit *)
     let scalar_repushes = ref 0 in
-    let vec_vals : (int, Instr.value) Hashtbl.t = Hashtbl.create 32 in
-    let extracts : (int, Instr.value) Hashtbl.t = Hashtbl.create 16 in
-    (* scalar replacements (e.g. a reduction root's final value) *)
-    let replacements : (int, Instr.value) Hashtbl.t = Hashtbl.create 4 in
+    (* node slot -> emitted vector value *)
+    let vec_vals : Instr.value option array =
+      Array.make (max (Graph.node_count graph) 1) None
+    in
+    (* compact index -> materialized extract / scalar replacement; keys are
+       always pre-codegen block instructions, so the arena covers them *)
+    let extracts : Instr.value option array = Array.make (max n 1) None in
+    let replacements : Instr.value option array = Array.make (max n 1) None in
+    let slot_of (i : Instr.t) = Arena.idx arena i in
     let rec subst (v : Instr.value) : Instr.value =
       match v with
-      | Instr.Ins i when Hashtbl.mem replacements i.id ->
-        Hashtbl.find replacements i.id
+      | Instr.Ins i when slot_of i >= 0 && replacements.(slot_of i) <> None
+        ->
+        Option.get replacements.(slot_of i)
       | Instr.Ins i when Graph.claimed graph i -> (
-        match Hashtbl.find_opt extracts i.id with
+        match extracts.(slot_of i) with
         | Some e -> e
         | None -> (
           match Graph.lane_of graph i with
           | Some (node, lane) ->
             let vec =
-              match Hashtbl.find_opt vec_vals node.Graph.nid with
+              match vec_vals.(node.Graph.slot) with
               | Some v -> v
               | None ->
                 error
@@ -206,14 +212,14 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
             in
             push e;
             let ev = Instr.Ins e in
-            Hashtbl.replace extracts i.id ev;
+            extracts.(slot_of i) <- Some ev;
             ev
           | None ->
             error "claimed value %%%d escapes its multi-node (no lane)"
               i.Instr.id))
       | Instr.Ins _ | Instr.Const _ | Instr.Arg _ -> v
     and emit_node (n : Graph.node) : Instr.value =
-      match Hashtbl.find_opt vec_vals n.Graph.nid with
+      match vec_vals.(n.Graph.slot) with
       | Some v -> v
       | None ->
         let v =
@@ -223,7 +229,7 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
             | Some (src, idx) ->
               (* pure permutation of one vector value: a single shuffle *)
               let src_vec =
-                match Hashtbl.find_opt vec_vals src.Graph.nid with
+                match vec_vals.(src.Graph.slot) with
                 | Some v -> v
                 | None ->
                   error "shuffle before its source node #%d was emitted"
@@ -278,7 +284,7 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
               Instr.Ins i
             | Instr.Store (a, _) ->
               let child =
-                match n.Graph.children with
+                match Graph.children graph n with
                 | [ c ] -> emit_node c
                 | cs ->
                   error "%d-lane store group has %d operand node(s), want 1"
@@ -293,7 +299,7 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
               record ~lanes:insts ~vector:i;
               Instr.Ins i
             | Instr.Binop (op, _, _) ->
-              let children = List.map emit_node n.Graph.children in
+              let children = List.map emit_node (Graph.children graph n) in
               (match children with
                | [ a; b ] ->
                  let ty = Types.vec (element_scalar i0) lanes in
@@ -307,7 +313,7 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
                  error "%d-lane binop group has %d operand node(s), want 2"
                    lanes (List.length cs))
             | Instr.Unop (op, _) ->
-              let children = List.map emit_node n.Graph.children in
+              let children = List.map emit_node (Graph.children graph n) in
               (match children with
                | [ a ] ->
                  let ty = Types.vec (element_scalar i0) lanes in
@@ -331,7 +337,7 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
               | [] -> error "multi-node #%d has no internal groups" n.Graph.nid
             in
             let ty = Types.vec elt lanes in
-            let children = List.map emit_node n.Graph.children in
+            let children = List.map emit_node (Graph.children graph n) in
             (match children with
              | [] -> error "multi-node #%d has no operand nodes" n.Graph.nid
              | first :: rest ->
@@ -357,7 +363,7 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
                 | Instr.Const _ | Instr.Arg _ -> ());
                v)
         in
-        Hashtbl.replace vec_vals n.Graph.nid v;
+        vec_vals.(n.Graph.slot) <- Some v;
         v
     in
     let node_arr = Array.of_list vector_nodes in
@@ -404,7 +410,7 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
             Instr.Ins i)
           (Instr.Ins red) r.red_remainder
       in
-      Hashtbl.replace replacements r.red_root.Instr.id final
+      replacements.(slot_of r.red_root) <- Some final
     in
     List.iter
       (fun u ->

@@ -37,6 +37,7 @@ val run :
   ?record:(lanes:Instr.t array -> vector:Instr.t -> unit) ->
   ?probe:Lslp_telemetry.Probe.t ->
   ?trace:Lslp_trace.Trace.t ->
+  ?deps:Lslp_analysis.Depgraph.t ->
   Graph.t ->
   Block.t ->
   outcome
@@ -47,4 +48,7 @@ val run :
     gathers, shuffles, extracts, reduction combines), charged only when the
     outcome is [Vectorized].
     [trace] records one [Emit] event per freshly materialized instruction
-    (in emission order, including ones a later rollback discards). *)
+    (in emission order, including ones a later rollback discards).
+    [deps] shares a dependence graph (and arena snapshot) already built
+    for the block in its current, pre-codegen form; built fresh
+    otherwise. *)

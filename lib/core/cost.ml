@@ -31,11 +31,14 @@ let bundle_cost model (insts : Instr.t array) =
   in
   vector - scalars
 
+(* plain concatenation: this runs once per node per evaluation, and
+   [Fmt.str] is an order of magnitude slower than [^] here *)
 let describe_bundle (insts : Instr.t array) =
-  Fmt.str "%s x%d" (Instr.opclass_name (Instr.opclass insts.(0)))
-    (Array.length insts)
+  Instr.opclass_name (Instr.opclass insts.(0))
+  ^ " x"
+  ^ string_of_int (Array.length insts)
 
-let evaluate ?(ignore_users = fun (_ : Instr.t) -> false)
+let evaluate ?(ignore_users = fun (_ : Instr.t) -> false) ?uses
     (config : Config.t) (graph : Graph.t) (block : Block.t) : summary =
   let model = config.Config.model in
   let per_node = ref [] in
@@ -51,7 +54,7 @@ let evaluate ?(ignore_users = fun (_ : Instr.t) -> false)
         List.iter
           (fun insts ->
             note n.Graph.nid
-              (Fmt.str "multi:%s" (describe_bundle insts))
+              ("multi:" ^ describe_bundle insts)
               (bundle_cost model insts))
           m.Graph.m_groups
       | Graph.Gather vs -> (
@@ -59,25 +62,28 @@ let evaluate ?(ignore_users = fun (_ : Instr.t) -> false)
         | Some _ ->
           (* a pure permutation of one vector value: a single shuffle *)
           note n.Graph.nid
-            (Fmt.str "shuffle x%d" (Array.length vs))
+            ("shuffle x" ^ string_of_int (Array.length vs))
             model.Lslp_costmodel.Model.shuffle
         | None ->
           note n.Graph.nid
-            (Fmt.str "gather x%d" (Array.length vs))
+            ("gather x" ^ string_of_int (Array.length vs))
             (Lslp_costmodel.Model.gather_cost model (Array.to_list vs))))
     (Graph.nodes graph);
   (* extract cost: vectorized values that still need a scalar copy — either
      they have scalar users outside the graph, or they appear inside a
      gather column (code generation materializes those lanes with extracts) *)
-  let uses = Use_info.compute block in
-  let needs_extract : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let uses =
+    match uses with Some u -> u | None -> Use_info.compute block
+  in
+  let needs_extract = Lslp_util.Int_table.create 16 in
   List.iter
     (fun (i : Instr.t) ->
       let external_users =
         Use_info.users_outside uses i
           ~inside:(fun u -> Graph.claimed graph u || ignore_users u)
       in
-      if external_users <> [] then Hashtbl.replace needs_extract i.id ())
+      if external_users <> [] then
+        Lslp_util.Int_table.set needs_extract i.id 1)
     (Graph.claimed_insts graph);
   List.iter
     (fun (n : Graph.node) ->
@@ -87,13 +93,14 @@ let evaluate ?(ignore_users = fun (_ : Instr.t) -> false)
           (fun v ->
             match v with
             | Instr.Ins i when Graph.claimed graph i ->
-              Hashtbl.replace needs_extract i.Instr.id ()
+              Lslp_util.Int_table.set needs_extract i.Instr.id 1
             | Instr.Ins _ | Instr.Const _ | Instr.Arg _ -> ())
           vs
       | Graph.Gather _ | Graph.Group _ | Graph.Multi _ -> ())
     (Graph.nodes graph);
   let extract_cost =
-    Hashtbl.length needs_extract * model.Lslp_costmodel.Model.extract_element
+    Lslp_util.Int_table.length needs_extract
+    * model.Lslp_costmodel.Model.extract_element
   in
   let total =
     List.fold_left (fun acc nc -> acc + nc.cost) extract_cost !per_node

@@ -19,9 +19,16 @@ val bundle_cost : Lslp_costmodel.Model.t -> Instr.t array -> int
 (** [vector_cost - Σ scalar_cost] for one bundle (negative = saving). *)
 
 val evaluate :
-  ?ignore_users:(Instr.t -> bool) -> Config.t -> Graph.t -> Block.t -> summary
+  ?ignore_users:(Instr.t -> bool) ->
+  ?uses:Use_info.t ->
+  Config.t ->
+  Graph.t ->
+  Block.t ->
+  summary
 (** [ignore_users] marks instructions about to be deleted by the caller
-    (e.g. a reduction chain), whose uses must not be charged extracts. *)
+    (e.g. a reduction chain), whose uses must not be charged extracts.
+    [uses] shares def-use info (an arena snapshot) already computed for
+    the same un-mutated block; a fresh snapshot is taken otherwise. *)
 
 val profitable : Config.t -> summary -> bool
 (** [summary.total < config.threshold]. *)

@@ -4,14 +4,26 @@
    multi-nodes (a chain of same-opcode commutative groups, LSLP's §4.2
    extension), or gathers (operand columns that could not be vectorized and
    must be assembled lane by lane).  Children are operand columns, in
-   operand order after any reordering. *)
+   operand order after any reordering.
+
+   Representation: nodes live in a growable slot-indexed array and edges
+   are int arrays of child slots; instruction claims sit in an
+   open-addressing int table keyed by instruction id with the (slot, lane)
+   pair packed into one word; bundle identity (diamond reuse) is an
+   int-array key — tag and payload words per lane — in a [Key_table]
+   instead of a `Fmt.str`-built string.  The [nid] shown in traces and DOT
+   output still comes from the per-run [Id_gen]; slots are graph-local and
+   never printed. *)
 
 open Lslp_ir
+module Int_table = Lslp_util.Int_table
+module Key_table = Lslp_util.Key_table
+module Intern = Lslp_util.Intern
 
 type node = {
-  nid : int;
+  nid : int;   (* run-unique display id *)
+  slot : int;  (* graph-local dense index *)
   shape : shape;
-  mutable children : node list;
 }
 
 and shape =
@@ -30,12 +42,13 @@ and multi = {
 
 type t = {
   mutable root : node option;
-  mutable nodes : node list;             (* creation order, root first *)
-  (* insts vectorized by this graph, with their defining node and, when the
-     instruction corresponds to a lane of that node's vector value, the
-     lane index (multi-node internals have none) *)
-  claimed : (int, Instr.t * node * int option) Hashtbl.t;
-  by_bundle : (string, node) Hashtbl.t;  (* exact-bundle reuse (diamonds) *)
+  mutable node_arr : node array;       (* slot -> node, creation order *)
+  mutable n_nodes : int;
+  mutable child_arr : int array array; (* slot -> child slots *)
+  claimed : Int_table.t;               (* instr id -> (slot lsl 8) lor (lane+1) *)
+  mutable claim_list : Instr.t list;   (* first-claim order, newest first *)
+  by_bundle : Key_table.t;             (* bundle key -> slot *)
+  names : Intern.t;                    (* arg names appearing in bundle keys *)
   ids : Lslp_util.Id_gen.t;
   (* node-id source.  The pipeline threads one generator through every
      graph of a run so nids stay unique run-wide (the DOT exporter names
@@ -44,67 +57,123 @@ type t = {
      number their graphs deterministically. *)
 }
 
+let dummy_node = { nid = -1; slot = -1; shape = Gather [||] }
+
 let create ?ids () =
   let ids =
     match ids with Some g -> g | None -> Lslp_util.Id_gen.create ~first:1 ()
   in
-  { root = None; nodes = []; claimed = Hashtbl.create 32;
-    by_bundle = Hashtbl.create 16; ids }
+  {
+    root = None;
+    node_arr = Array.make 16 dummy_node;
+    n_nodes = 0;
+    child_arr = Array.make 16 [||];
+    claimed = Int_table.create 64;
+    claim_list = [];
+    by_bundle = Key_table.create 32;
+    names = Intern.create 8;
+    ids;
+  }
 
 (* Key identifying a bundle by the exact per-lane values, used to reuse a
    node when the same column reappears (shared sub-expressions form diamonds
-   in the use-def DAG; LLVM's SLP reuses the tree entry the same way). *)
-let bundle_key (values : Instr.value array) =
-  let value_key (v : Instr.value) =
-    match v with
-    | Instr.Ins i -> Fmt.str "i%d" i.id
-    | Instr.Arg a -> Fmt.str "a%s" a.arg_name
-    | Instr.Const (Instr.Cint n) -> Fmt.str "c%Ld" n
-    | Instr.Const (Instr.Cfloat x) -> Fmt.str "f%Ld" (Int64.bits_of_float x)
-    | Instr.Const (Instr.Cint32 n) -> Fmt.str "d%ld" n
-    | Instr.Const (Instr.Cfloat32 x) -> Fmt.str "g%ld" (Int32.bits_of_float x)
-  in
-  String.concat "," (Array.to_list (Array.map value_key values))
+   in the use-def DAG; LLVM's SLP reuses the tree entry the same way).
+   Three words per lane, injective across value kinds — the same
+   distinctions the old string keys drew. *)
+let bundle_key g (values : Instr.value array) =
+  let n = Array.length values in
+  let k = Array.make (3 * n) 0 in
+  for j = 0 to n - 1 do
+    let a, b, c =
+      match values.(j) with
+      | Instr.Ins i -> (0, i.Instr.id, 0)
+      | Instr.Arg a -> (1, Intern.intern g.names a.Instr.arg_name, 0)
+      | Instr.Const (Instr.Cint x) ->
+        (2, Int64.to_int (Int64.shift_right_logical x 32),
+         Int64.to_int (Int64.logand x 0xFFFFFFFFL))
+      | Instr.Const (Instr.Cfloat x) ->
+        let bits = Int64.bits_of_float x in
+        (3, Int64.to_int (Int64.shift_right_logical bits 32),
+         Int64.to_int (Int64.logand bits 0xFFFFFFFFL))
+      | Instr.Const (Instr.Cint32 x) -> (4, Int32.to_int x, 0)
+      | Instr.Const (Instr.Cfloat32 x) ->
+        (5, Int32.to_int (Int32.bits_of_float x), 0)
+    in
+    k.(3 * j) <- a;
+    k.((3 * j) + 1) <- b;
+    k.((3 * j) + 2) <- c
+  done;
+  k
 
 let find_existing g (values : Instr.value array) =
-  Hashtbl.find_opt g.by_bundle (bundle_key values)
+  match Key_table.get g.by_bundle (bundle_key g values) ~absent:(-1) with
+  | -1 -> None
+  | slot -> Some g.node_arr.(slot)
 
 let register_bundle g (values : Instr.value array) node =
-  Hashtbl.replace g.by_bundle (bundle_key values) node
+  Key_table.set g.by_bundle (bundle_key g values) node.slot
+
+let grow g =
+  let cap = Array.length g.node_arr in
+  if g.n_nodes >= cap then begin
+    let nodes' = Array.make (2 * cap) dummy_node in
+    Array.blit g.node_arr 0 nodes' 0 cap;
+    g.node_arr <- nodes';
+    let children' = Array.make (2 * cap) [||] in
+    Array.blit g.child_arr 0 children' 0 cap;
+    g.child_arr <- children'
+  end
+
+let claim g (i : Instr.t) slot lane =
+  let packed = (slot lsl 8) lor (match lane with Some l -> l + 1 | None -> 0) in
+  if not (Int_table.mem g.claimed i.Instr.id) then
+    g.claim_list <- i :: g.claim_list;
+  Int_table.set g.claimed i.Instr.id packed
 
 let add_node g shape =
-  let n = { nid = Lslp_util.Id_gen.next g.ids; shape; children = [] } in
-  g.nodes <- n :: g.nodes;
+  grow g;
+  let slot = g.n_nodes in
+  let n = { nid = Lslp_util.Id_gen.next g.ids; slot; shape } in
+  g.node_arr.(slot) <- n;
+  g.n_nodes <- slot + 1;
   if g.root = None then g.root <- Some n;
   (match shape with
    | Group insts ->
-     Array.iteri
-       (fun lane (i : Instr.t) ->
-         Hashtbl.replace g.claimed i.id (i, n, Some lane))
-       insts
+     Array.iteri (fun lane i -> claim g i slot (Some lane)) insts
    | Multi m ->
      List.iteri
        (fun j insts ->
          Array.iteri
-           (fun lane (i : Instr.t) ->
+           (fun lane i ->
              (* only the root bundle's members are lanes of the folded
                 vector value; internals are reassociated away *)
              let lane = if j = 0 then Some lane else None in
-             Hashtbl.replace g.claimed i.id (i, n, lane))
+             claim g i slot lane)
            insts)
        m.m_groups
    | Gather _ -> ());
   n
 
-let claimed g (i : Instr.t) = Hashtbl.mem g.claimed i.id
+let claimed g (i : Instr.t) = Int_table.mem g.claimed i.Instr.id
 
-let claimed_insts g =
-  Hashtbl.fold (fun _ (i, _, _) acc -> i :: acc) g.claimed []
+let claimed_insts g = g.claim_list
+
+let set_children g (n : node) kids =
+  g.child_arr.(n.slot) <- Array.of_list (List.map (fun c -> c.slot) kids)
+
+let children g (n : node) =
+  Array.to_list (Array.map (fun s -> g.node_arr.(s)) g.child_arr.(n.slot))
+
+let child_slots g (n : node) = g.child_arr.(n.slot)
+let node_of_slot g slot = g.node_arr.(slot)
 
 let lane_of g (i : Instr.t) =
-  match Hashtbl.find_opt g.claimed i.id with
-  | Some (_, n, Some lane) -> Some (n, lane)
-  | Some (_, _, None) | None -> None
+  match Int_table.get g.claimed i.Instr.id ~absent:(-1) with
+  | -1 -> None
+  | packed ->
+    let lane = packed land 0xff in
+    if lane = 0 then None
+    else Some (g.node_arr.(packed lsr 8), lane - 1)
 
 (* A gather column that is a pure permutation of one vectorized node's
    lanes can be emitted as a single shuffle instead of extracts+inserts. *)
@@ -128,7 +197,11 @@ let shuffle_pattern g (values : Instr.value array) :
     | _ -> None
   else None
 
-let nodes g = List.rev g.nodes
+let node_count g = g.n_nodes
+
+let nodes g =
+  let rec go k acc = if k < 0 then acc else go (k - 1) (g.node_arr.(k) :: acc) in
+  go (g.n_nodes - 1) []
 
 let root_exn g =
   match g.root with
@@ -155,7 +228,7 @@ let vector_bundles g =
       | Gather _ -> [])
     (nodes g)
 
-let rec pp_node ppf n =
+let rec pp_node g ppf n =
   let pp_insts ppf insts =
     Fmt.pf ppf "[%a]"
       Fmt.(array ~sep:comma (fun ppf i -> Printer.pp_value ppf (Instr.Ins i)))
@@ -165,23 +238,22 @@ let rec pp_node ppf n =
   | Group insts ->
     Fmt.pf ppf "@[<v 2>group#%d %s %a%a@]" n.nid
       (Instr.opclass_name (Instr.opclass insts.(0)))
-      pp_insts insts pp_children n.children
+      pp_insts insts (pp_children g) (children g n)
   | Multi m ->
     Fmt.pf ppf "@[<v 2>multi#%d %s {%a}%a@]" n.nid
       (Opcode.binop_name m.m_op)
       Fmt.(list ~sep:semi pp_insts)
-      m.m_groups pp_children n.children
+      m.m_groups (pp_children g) (children g n)
   | Gather vs ->
     Fmt.pf ppf "gather#%d [%a]" n.nid
       Fmt.(array ~sep:comma Printer.pp_value)
       vs
 
-and pp_children ppf = function
+and pp_children g ppf = function
   | [] -> ()
-  | children ->
-    List.iter (fun c -> Fmt.pf ppf "@,%a" pp_node c) children
+  | children -> List.iter (fun c -> Fmt.pf ppf "@,%a" (pp_node g) c) children
 
 let pp ppf g =
   match g.root with
   | None -> Fmt.string ppf "<empty graph>"
-  | Some r -> pp_node ppf r
+  | Some r -> pp_node g ppf r

@@ -2,14 +2,18 @@
 
     Nodes are vectorizable groups, LSLP multi-nodes (chains of same-opcode
     commutative groups), or gathers.  Children are operand columns in operand
-    order (post-reordering). *)
+    order (post-reordering), stored as int arrays of node slots; claims and
+    bundle identity live in int-keyed open-addressing tables.  A node's
+    [nid] is its run-unique display id; its [slot] is the graph-local dense
+    index that the edge arrays are indexed by — slots never appear in
+    output. *)
 
 open Lslp_ir
 
-type node = {
-  nid : int;
+type node = private {
+  nid : int;   (** run-unique display id (traces, DOT) *)
+  slot : int;  (** graph-local dense index *)
   shape : shape;
-  mutable children : node list;
 }
 
 and shape =
@@ -35,8 +39,15 @@ val add_node : t -> shape -> node
 (** Create a node, record it, claim its instructions; the first node added
     becomes the root. *)
 
+val set_children : t -> node -> node list -> unit
+(** Set a node's operand columns (stored as an int array of slots). *)
+
+val children : t -> node -> node list
+val child_slots : t -> node -> int array
+val node_of_slot : t -> int -> node
+
 val claimed : t -> Instr.t -> bool
-(** Has this instruction been absorbed into a vectorizable group? *)
+(** Has this instruction been absorbed into a vectorizable group? O(1). *)
 
 val lane_of : t -> Instr.t -> (node * int) option
 (** The node and lane whose vector value carries this claimed instruction's
@@ -53,7 +64,14 @@ val find_existing : t -> Instr.value array -> node option
 val register_bundle : t -> Instr.value array -> node -> unit
 
 val claimed_insts : t -> Instr.t list
+(** The claimed instructions, each once, in no particular order. *)
+
 val nodes : t -> node list
+(** Creation order, root first. *)
+
+val node_count : t -> int
+(** Number of nodes; slots are exactly [0 .. node_count - 1]. *)
+
 val root_exn : t -> node
 val lanes_of_node : node -> int
 
@@ -61,5 +79,5 @@ val vector_bundles : t -> Instr.t array list
 (** Every bundle that will become one vector instruction (groups and
     multi-node internals). *)
 
-val pp_node : node Fmt.t
+val pp_node : t -> node Fmt.t
 val pp : t Fmt.t

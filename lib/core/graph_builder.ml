@@ -30,13 +30,18 @@ type ctx = {
   trace : Lslp_trace.Trace.t option;
 }
 
-let make_ctx ?(note = fun _ -> ()) ?meter ?probe ?trace ?ids config
+let make_ctx ?(note = fun _ -> ()) ?meter ?probe ?trace ?ids ?deps config
     (block : Block.t) =
+  (* one arena snapshot serves both analyses; [deps] lets the pipeline
+     share the graph it already built for the same un-mutated block *)
+  let deps =
+    match deps with Some d -> d | None -> Depgraph.build block
+  in
   {
     config;
     block;
-    deps = Depgraph.build block;
-    uses = Use_info.compute block;
+    deps;
+    uses = Use_info.of_arena (Depgraph.arena deps);
     graph = Graph.create ?ids ();
     note;
     meter;
@@ -96,12 +101,12 @@ and build_bundle_fresh ctx (b : Bundle.t) : Graph.node =
     | Instr.Store _ ->
       let node = register (Graph.add_node ctx.graph (Graph.Group insts)) in
       let col = Bundle.operand_column insts ~index:0 in
-      node.Graph.children <- [ build_bundle ctx col ];
+      Graph.set_children ctx.graph node [ build_bundle ctx col ];
       node
     | Instr.Unop _ ->
       let node = register (Graph.add_node ctx.graph (Graph.Group insts)) in
       let col = Bundle.operand_column insts ~index:0 in
-      node.Graph.children <- [ build_bundle ctx col ];
+      Graph.set_children ctx.graph node [ build_bundle ctx col ];
       node
     | Instr.Binop (op, _, _)
       when Opcode.is_commutative op
@@ -116,11 +121,12 @@ and build_bundle_fresh ctx (b : Bundle.t) : Graph.node =
         | Config.Vanilla -> Reorder.vanilla_pair insts
         | Config.No_reorder | Config.Lookahead -> Reorder.no_reorder_pair insts
       in
-      node.Graph.children <- [ build_bundle ctx left; build_bundle ctx right ];
+      Graph.set_children ctx.graph node
+        [ build_bundle ctx left; build_bundle ctx right ];
       node
     | Instr.Binop (_, _, _) ->
       let node = register (Graph.add_node ctx.graph (Graph.Group insts)) in
-      node.Graph.children <-
+      Graph.set_children ctx.graph node
         [ build_bundle ctx (Bundle.operand_column insts ~index:0);
           build_bundle ctx (Bundle.operand_column insts ~index:1) ];
       node
@@ -218,8 +224,8 @@ and build_multinode ctx (root_insts : Instr.t array) (op : Opcode.binop) =
   let node =
     Graph.add_node ctx.graph (Graph.Multi { Graph.m_op = op; m_groups })
   in
-  node.Graph.children <-
-    List.map (build_bundle ctx) (Array.to_list reordered);
+  Graph.set_children ctx.graph node
+    (List.map (build_bundle ctx) (Array.to_list reordered));
   node
 
 (* Replay the finished graph into the trace as Graph_* events: node shapes
@@ -232,7 +238,7 @@ let record_graph ctx ~desc =
     (fun tr ->
       let gid = Lslp_trace.Trace.fresh_gid tr in
       Lslp_trace.Trace.record tr
-        (Lslp_trace.Trace.Graph_start { gid; seed = desc });
+        (Lslp_trace.Trace.Graph_start { gid; seed = desc () });
       let nodes = Graph.nodes ctx.graph in
       let lane_text v = Fmt.str "%a" Printer.pp_value v in
       let inst_text (i : Instr.t) = lane_text (Instr.Ins i) in
@@ -257,16 +263,18 @@ let record_graph ctx ~desc =
             (Lslp_trace.Trace.Graph_node
                { gid; nid = n.Graph.nid; kind; bundles }))
         nodes;
-      let child_pairs = Hashtbl.create 16 in
+      let child_pairs = Lslp_util.Key_table.create 16 in
+      let pair_key a b = [| a; b |] in
       List.iter
         (fun (n : Graph.node) ->
           List.iteri
             (fun slot (c : Graph.node) ->
-              Hashtbl.replace child_pairs (n.Graph.nid, c.Graph.nid) ();
+              Lslp_util.Key_table.set child_pairs
+                (pair_key n.Graph.nid c.Graph.nid) 1;
               Lslp_trace.Trace.record tr
                 (Lslp_trace.Trace.Graph_edge
                    { gid; parent = n.Graph.nid; child = c.Graph.nid; slot }))
-            n.Graph.children)
+            (Graph.children ctx.graph n))
         nodes;
       let insts_of (n : Graph.node) =
         match n.Graph.shape with
@@ -281,7 +289,9 @@ let record_graph ctx ~desc =
             (fun (b : Graph.node) ->
               if
                 a.Graph.nid <> b.Graph.nid
-                && (not (Hashtbl.mem child_pairs (a.Graph.nid, b.Graph.nid)))
+                && (not
+                      (Lslp_util.Key_table.mem child_pairs
+                         (pair_key a.Graph.nid b.Graph.nid)))
                 && List.exists
                      (fun ia ->
                        List.exists
@@ -296,18 +306,21 @@ let record_graph ctx ~desc =
         nodes)
     ctx.trace
 
-let build ?note ?meter ?probe ?trace ?ids config (block : Block.t)
+let build ?note ?meter ?probe ?trace ?ids ?deps config (block : Block.t)
     (seed : Instr.t array) =
-  let ctx = make_ctx ?note ?meter ?probe ?trace ?ids config block in
+  let ctx = make_ctx ?note ?meter ?probe ?trace ?ids ?deps config block in
   let root = build_bundle ctx (Bundle.of_insts seed) in
-  record_graph ctx ~desc:(Seeds.describe seed);
+  (* [desc] is a thunk so the Fmt/Affine pretty-print only runs when a
+     trace is attached *)
+  record_graph ctx ~desc:(fun () -> Seeds.describe seed);
   (ctx.graph, root)
 
 (* Entry point for reduction vectorization: build one node per leaf chunk
    within a single shared graph (so diamonds across chunks still reuse). *)
-let build_columns ?note ?meter ?probe ?trace ?ids ?(desc = "reduction")
-    config (block : Block.t) (columns : Bundle.t list) =
-  let ctx = make_ctx ?note ?meter ?probe ?trace ?ids config block in
+let build_columns ?note ?meter ?probe ?trace ?ids ?deps
+    ?(desc = "reduction") config (block : Block.t)
+    (columns : Bundle.t list) =
+  let ctx = make_ctx ?note ?meter ?probe ?trace ?ids ?deps config block in
   let nodes = List.map (build_bundle ctx) columns in
-  record_graph ctx ~desc;
+  record_graph ctx ~desc:(fun () -> desc);
   (ctx.graph, nodes)

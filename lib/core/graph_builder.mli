@@ -9,6 +9,7 @@ val build :
   ?probe:Lslp_telemetry.Probe.t ->
   ?trace:Lslp_trace.Trace.t ->
   ?ids:Lslp_util.Id_gen.t ->
+  ?deps:Lslp_analysis.Depgraph.t ->
   Config.t ->
   Block.t ->
   Instr.t array ->
@@ -26,6 +27,8 @@ val build :
     [probe] counts fresh graph nodes and score evaluations.
     [ids] is the node-id source threaded by the pipeline so nids stay
     unique and deterministic per run (fresh per build otherwise).
+    [deps] shares a dependence graph (and its arena snapshot) already
+    built for the same un-mutated block; a fresh one is built otherwise.
     [trace] records the finished graph ([Graph_start]/[Graph_node]/
     [Graph_edge]/[Dep_edge]) plus the reorder decisions made along the
     way. *)
@@ -36,6 +39,7 @@ val build_columns :
   ?probe:Lslp_telemetry.Probe.t ->
   ?trace:Lslp_trace.Trace.t ->
   ?ids:Lslp_util.Id_gen.t ->
+  ?deps:Lslp_analysis.Depgraph.t ->
   ?desc:string ->
   Config.t ->
   Block.t ->

@@ -267,7 +267,13 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
     let pc = Probe.counters probe in
     let exhausted = ref false in
     let continue_ = ref true in
-    let consumed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let consumed = Lslp_util.Int_table.create 32 in
+    (* the most recent arena snapshot that still describes the block's
+       current state.  Every attempt builds its snapshot before mutating
+       anything, and a rollback restores exactly the snapshotted state, so
+       the arena only dies when a vectorized region *commits* — at loop
+       exit it can be handed to the reduction pass as-is *)
+    let live_arena = ref None in
     while !continue_ && not !exhausted do
       continue_ := false;
       let snapshot = Transact.snapshot_block block in
@@ -277,16 +283,21 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
       let result =
         Transact.protect ~snapshot ~pass:(fun () -> !cur_pass) (fun () ->
             Budget.spend_step meter;
+            (* one arena snapshot per attempt: seeds, graph build, cost and
+               codegen all read the block in this same frozen state *)
+            let arena = Arena.of_block block in
+            live_arena := Some arena;
             let seeds =
               traced_span ?trace probe "seed-collect" (fun () ->
-                  Seeds.collect ~probe ?trace config block)
+                  Seeds.collect ~arena ~probe ?trace config block)
             in
             let fresh =
               List.filter
                 (fun (s : Seeds.seed) ->
                   Array.for_all
                     (fun (i : Instr.t) ->
-                      (not (Hashtbl.mem consumed i.id)) && Block.mem block i)
+                      (not (Lslp_util.Int_table.mem consumed i.id))
+                      && Block.mem block i)
                     s)
                 seeds
             in
@@ -296,7 +307,8 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
               (* consume the seed and arm the retry *before* any fallible
                  work: a failure must not make this seed come back forever *)
               Array.iter
-                (fun (i : Instr.t) -> Hashtbl.replace consumed i.id ())
+                (fun (i : Instr.t) ->
+                  Lslp_util.Int_table.set consumed i.id 1)
                 seed;
               continue_ := true;
               cur_seed := Some seed;
@@ -319,15 +331,20 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
                   Some (fun n -> notes := n :: !notes)
                 else None
               in
-              let graph, root =
+              let graph, root, deps =
                 traced_span ?trace probe "graph-build" (fun () ->
-                    Graph_builder.build ?note ~meter ~probe ?trace
-                      ~ids:graph_ids config block seed)
+                    let deps = Lslp_analysis.Depgraph.build_arena arena in
+                    let g, r =
+                      Graph_builder.build ?note ~meter ~probe ?trace
+                        ~ids:graph_ids ~deps config block seed
+                    in
+                    (g, r, deps))
               in
               cur_pass := "cost";
               let cost =
                 traced_span ?trace probe "cost" (fun () ->
-                    Cost.evaluate config graph block)
+                    Cost.evaluate ~uses:(Use_info.of_arena arena) config
+                      graph block)
               in
               Option.iter
                 (fun tr ->
@@ -352,10 +369,11 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
                   Inject.maybe_fail inject Inject.Codegen;
                   match
                     traced_span ?trace probe "codegen" (fun () ->
-                        Codegen.run ?record:record_opt ~probe ?trace graph
-                          block)
+                        Codegen.run ?record:record_opt ~probe ?trace ~deps
+                          graph block)
                   with
                   | Codegen.Vectorized ->
+                    live_arena := None;
                     if Inject.corrupts inject then
                       ignore (Inject.corrupt_block block);
                     cur_pass := "verify";
@@ -493,13 +511,19 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
             let rs =
               traced_span ?trace probe "reduction" (fun () ->
                   Reduction.run ~config ~meter ~probe ?trace ~ids:graph_ids
-                    ?record:record_opt ~on_skipped block)
+                    ?record:record_opt ~on_skipped ?arena:!live_arena block)
             in
             if
               List.exists (fun r -> r.Reduction.vectorized) rs
               && Inject.corrupts inject
             then ignore (Inject.corrupt_block block);
-            verify_or_abort "reduction-verify";
+            (* the block is only mutated when a reduction vectorized
+               (rejected/unschedulable candidates emit nothing, and a
+               half-rewrite raises out of this transaction), so an
+               unvectorized outcome leaves the already-verified block
+               byte-identical — skip the re-check *)
+            if List.exists (fun r -> r.Reduction.vectorized) rs then
+              verify_or_abort "reduction-verify";
             rs)
       in
       match result with
@@ -564,13 +588,19 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
     let result =
       Transact.protect ~snapshot ~pass:(fun () -> !cur_pass) (fun () ->
           Inject.maybe_fail inject Inject.Cse;
-          traced_span ?trace probe "cse" (fun () ->
-              ignore (Cse.run_block block));
+          let cse_removed =
+            traced_span ?trace probe "cse" (fun () -> Cse.run_block block)
+          in
           cur_pass := "dce";
           Inject.maybe_fail inject Inject.Dce;
-          traced_span ?trace probe "dce" (fun () ->
-              ignore (Dce.run_block block));
-          verify_or_abort "cleanup-verify")
+          let dce_removed =
+            traced_span ?trace probe "dce" (fun () -> Dce.run_block block)
+          in
+          (* both passes report how many instructions they removed; when
+             neither touched the block it is still in its last verified
+             state, so the re-check would be a no-op *)
+          if cse_removed + dce_removed > 0 then
+            verify_or_abort "cleanup-verify")
     in
     match result with
     | Ok () -> ()

@@ -24,8 +24,10 @@ type candidate = {
 (* Chain roots: commutative+associative ops that are not themselves
    absorbed into a parent chain of the same opcode (multi-use values are
    roots of their own chains; their parents treat them as leaves). *)
-let collect_candidates (block : Block.t) : candidate list =
-  let uses = Use_info.compute block in
+let collect_candidates ?uses (block : Block.t) : candidate list =
+  let uses =
+    match uses with Some u -> u | None -> Use_info.compute block
+  in
   let absorbable ~op (v : Instr.value) =
     match v with
     | Instr.Ins i ->
@@ -99,8 +101,8 @@ type plan = {
    graph nodes (chunk trees and their gathers/extracts) + (chunks-1)
    element-wise vector ops + the horizontal reduce + tail scalar ops,
    minus the removed scalar chain ops. *)
-let plan_candidate ?meter ?probe ?trace ?ids ~desc (config : Config.t)
-    (block : Block.t) (c : candidate) : plan option =
+let plan_candidate ?meter ?probe ?trace ?ids ?deps ~desc
+    (config : Config.t) (block : Block.t) (c : candidate) : plan option =
   let model = config.Config.model in
   let elt =
     match Types.scalar_of c.cand_root.Instr.ty with
@@ -112,15 +114,19 @@ let plan_candidate ?meter ?probe ?trace ?ids ~desc (config : Config.t)
   else begin
     let chunks, tail = chunk_leaves ~lanes c.cand_leaves in
     let graph, chunk_nodes =
-      Graph_builder.build_columns ?meter ?probe ?trace ?ids ~desc config
-        block
-        chunks
+      Graph_builder.build_columns ?meter ?probe ?trace ?ids ?deps ~desc
+        config block chunks
     in
     let in_chain (u : Instr.t) =
       List.exists (fun (ci : Instr.t) -> Instr.equal ci u) c.cand_chain
     in
+    let uses =
+      Option.map
+        (fun d -> Use_info.of_arena (Lslp_analysis.Depgraph.arena d))
+        deps
+    in
     let summary =
-      Cost.evaluate ~ignore_users:in_chain config graph block
+      Cost.evaluate ~ignore_users:in_chain ?uses config graph block
     in
     let op_costs = model.Lslp_costmodel.Model.binop_cost c.cand_op in
     let combine_cost = (List.length chunks - 1) * op_costs.vector lanes in
@@ -160,21 +166,37 @@ type region = {
 (* Vectorize every profitable reduction in one block, in program order.
    Returns one region record per candidate considered. *)
 let run ?(config = Config.lslp) ?meter ?probe ?trace ?ids ?record
-    ?(on_skipped = fun _ -> ()) (block : Block.t) : region list =
+    ?(on_skipped = fun _ -> ()) ?arena (block : Block.t) : region list =
   let regions = ref [] in
   let continue_ = ref true in
-  let consumed : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let consumed = Lslp_util.Int_table.create 16 in
+  (* one arena snapshot per block *state*: candidate collection, chunk-graph
+     build, cost and codegen all read the same frozen block, and the
+     snapshot survives across iterations until a reduction actually rewrites
+     the block (rejected or unschedulable candidates leave it untouched).
+     The caller may hand over a snapshot it already built for this state. *)
+  let cur_arena = ref arena in
   while !continue_ do
     continue_ := false;
+    let arena =
+      match !cur_arena with
+      | Some a -> a
+      | None ->
+        let a = Arena.of_block block in
+        cur_arena := Some a;
+        a
+    in
+    let uses = Use_info.of_arena arena in
     let fresh =
       List.filter
-        (fun c -> not (Hashtbl.mem consumed c.cand_root.Instr.id))
-        (collect_candidates block)
+        (fun c ->
+          not (Lslp_util.Int_table.mem consumed c.cand_root.Instr.id))
+        (collect_candidates ~uses block)
     in
     match fresh with
     | [] -> ()
     | c :: _ -> (
-      Hashtbl.replace consumed c.cand_root.Instr.id ();
+      Lslp_util.Int_table.set consumed c.cand_root.Instr.id 1;
       continue_ := true;
       Option.iter Lslp_robust.Budget.spend_step meter;
       let desc =
@@ -182,7 +204,9 @@ let run ?(config = Config.lslp) ?meter ?probe ?trace ?ids ?record
           (Opcode.binop_name c.cand_op)
           (List.length c.cand_leaves)
       in
-      match plan_candidate ?meter ?probe ?trace ?ids ~desc config block c
+      let deps = Lslp_analysis.Depgraph.build_arena arena in
+      match
+        plan_candidate ?meter ?probe ?trace ?ids ~deps ~desc config block c
       with
       | None -> on_skipped c
       | Some plan ->
@@ -213,10 +237,11 @@ let run ?(config = Config.lslp) ?meter ?probe ?trace ?ids ?record
             Lslp_robust.Inject.Reduction;
           match
             Codegen.run ~reduction:plan.reduction ?record ?probe ?trace
-              plan.graph block
+              ~deps plan.graph block
           with
           | Codegen.Vectorized ->
             ignore (Dce.run_block block);
+            cur_arena := None;
             outcome_event "vectorized";
             regions :=
               { root_desc = desc; lanes = plan.lanes; cost = plan.cost;

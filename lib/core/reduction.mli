@@ -14,9 +14,10 @@ type candidate = {
   cand_leaves : Instr.value list;
 }
 
-val collect_candidates : Block.t -> candidate list
+val collect_candidates : ?uses:Use_info.t -> Block.t -> candidate list
 (** Reduction-chain roots of one block in program order, with their
-    leaves. *)
+    leaves.  [uses] shares def-use info already computed for the block;
+    a fresh arena snapshot is taken otherwise. *)
 
 type region = {
   root_desc : string;
@@ -34,9 +35,14 @@ val run :
   ?ids:Lslp_util.Id_gen.t ->
   ?record:(lanes:Instr.t array -> vector:Instr.t -> unit) ->
   ?on_skipped:(candidate -> unit) ->
+  ?arena:Arena.t ->
   Block.t ->
   region list
-(** Vectorize every profitable reduction, mutating the block.  One region record
+(** Vectorize every profitable reduction, mutating the block.  [arena] hands
+    over a snapshot of the block in its *current* state (the caller
+    guarantees no mutation since [Arena.of_block]); it seeds the first
+    candidate sweep and is dropped as soon as a reduction rewrites the
+    block.  One region record
     per candidate with at least a full chunk of leaves; [on_skipped] fires
     for candidates with too few leaves for even one chunk; [record] is
     forwarded to {!Codegen.run} for provenance; [trace] records the chunk

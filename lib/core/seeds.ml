@@ -5,7 +5,6 @@
    first (up to the target's native lane count for the element type). *)
 
 open Lslp_ir
-open Lslp_analysis
 
 type seed = Instr.t array
 
@@ -40,62 +39,88 @@ let rec windows max_lanes (run : Instr.t list) : seed list =
     Array.of_list first :: windows max_lanes rest
   end
 
-let collect ?probe ?trace (config : Config.t) (block : Block.t) : seed list =
-  let stores = Block.find_all Instr.is_store block in
-  (* group by (array, element type) *)
-  let by_array = Hashtbl.create 8 in
-  List.iter
-    (fun (s : Instr.t) ->
-      match Instr.address s with
-      | Some a when a.Instr.access_lanes = 1 ->
-        let key = a.Instr.base in
-        let cur = Option.value ~default:[] (Hashtbl.find_opt by_array key) in
-        Hashtbl.replace by_array key ((a, s) :: cur)
-      | Some _ | None -> ())
-    stores;
+let collect ?arena ?probe ?trace (config : Config.t) (block : Block.t) :
+    seed list =
+  let arena =
+    match arena with Some a -> a | None -> Arena.of_block block
+  in
+  let n = Arena.size arena in
+  (* single-element stores, grouped by interned base symbol: bucket ids are
+     dense and issued in program order of first appearance, so iterating
+     buckets in id order is deterministic *)
+  let max_base = ref (-1) in
+  for k = 0 to n - 1 do
+    if
+      Instr.is_store (Arena.instr arena k)
+      && Arena.addr_lanes arena k = 1
+    then max_base := max !max_base (Arena.addr_base arena k)
+  done;
+  let buckets = Array.make (!max_base + 1) [] in
+  for k = n - 1 downto 0 do
+    if
+      Instr.is_store (Arena.instr arena k)
+      && Arena.addr_lanes arena k = 1
+    then begin
+      let b = Arena.addr_base arena k in
+      buckets.(b) <- k :: buckets.(b)
+    end
+  done;
   let seeds = ref [] in
-  Hashtbl.iter
-    (fun _ accesses ->
-      match Addr.sort_by_offset (List.rev accesses) with
-      | None -> () (* symbolically incomparable: no seed *)
-      | Some sorted ->
-        (* split into maximal consecutive runs with unique offsets *)
+  Array.iter
+    (fun accesses ->
+      match accesses with
+      | [] -> ()
+      | k0 :: _ when not (List.for_all (Arena.same_shape arena k0) accesses)
+        ->
+        () (* symbolically incomparable: no seed *)
+      | accesses ->
+        (* stable sort by constant offset, then split into maximal
+           consecutive runs with unique offsets *)
+        let sorted =
+          List.stable_sort
+            (fun j k ->
+              Int.compare (Arena.addr_const arena j)
+                (Arena.addr_const arena k))
+            accesses
+        in
         let runs = ref [] and current = ref [] in
         let flush () =
           if !current <> [] then runs := List.rev !current :: !runs;
           current := []
         in
         List.iter
-          (fun ((a : Instr.address), s) ->
+          (fun k ->
             match !current with
-            | [] -> current := [ (a, s) ]
-            | (prev, _) :: _ ->
-              if Addr.consecutive prev a then current := (a, s) :: !current
+            | [] -> current := [ k ]
+            | prev :: _ ->
+              if Arena.consecutive arena prev k then
+                current := k :: !current
               else begin
                 flush ();
-                current := [ (a, s) ]
+                current := [ k ]
               end)
           sorted;
         flush ();
         List.iter
           (fun run ->
-            let insts = List.map snd run in
+            let insts = List.map (Arena.instr arena) run in
             let elt =
-              match run with
-              | ((a : Instr.address), _) :: _ -> a.Instr.elt
+              match insts with
+              | s :: _ -> (
+                match Instr.address s with
+                | Some a -> a.Instr.elt
+                | None -> Types.I64)
               | [] -> Types.I64
             in
             let max_lanes = Config.effective_max_lanes config elt in
             seeds := !seeds @ windows max_lanes insts)
           (List.rev !runs))
-    by_array;
+    buckets;
   (* deterministic order: by position of the first store *)
   let sorted =
     List.sort
       (fun (a : seed) (b : seed) ->
-        Int.compare
-          (Block.position_exn block a.(0))
-          (Block.position_exn block b.(0)))
+        Int.compare (Arena.pos arena a.(0)) (Arena.pos arena b.(0)))
       !seeds
   in
   Option.iter

@@ -17,18 +17,30 @@ type state = {
 
 let make src = { src; off = 0; line = 1; col = 1 }
 
-let peek st = if st.off < String.length st.src then Some st.src.[st.off] else None
+(* The hot path works on raw chars with ['\000'] as the end-of-input
+   sentinel: [peek]'s [Some c] would allocate once per character, and the
+   lexer looks at every character several times.  A NUL byte in the source
+   is reported as an unexpected character either way (see [next_token]). *)
+let sentinel = '\000'
 
-let peek2 st =
-  if st.off + 1 < String.length st.src then Some st.src.[st.off + 1] else None
+let peekc st =
+  if st.off < String.length st.src then String.unsafe_get st.src st.off
+  else sentinel
+
+let peek2c st =
+  if st.off + 1 < String.length st.src then
+    String.unsafe_get st.src (st.off + 1)
+  else sentinel
+
+let at_eof st = st.off >= String.length st.src
 
 let advance st =
-  (match peek st with
-   | Some '\n' ->
-     st.line <- st.line + 1;
-     st.col <- 1
-   | Some _ -> st.col <- st.col + 1
-   | None -> ());
+  (if not (at_eof st) then
+     if String.unsafe_get st.src st.off = '\n' then begin
+       st.line <- st.line + 1;
+       st.col <- 1
+     end
+     else st.col <- st.col + 1);
   st.off <- st.off + 1
 
 let pos st : Token.pos = { line = st.line; col = st.col }
@@ -38,57 +50,58 @@ let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '
 let is_ident_char c = is_ident_start c || is_digit c
 
 let rec skip_trivia st =
-  match peek st with
-  | Some (' ' | '\t' | '\r' | '\n') ->
+  match peekc st with
+  | ' ' | '\t' | '\r' | '\n' ->
     advance st;
     skip_trivia st
-  | Some '/' when peek2 st = Some '/' ->
-    while peek st <> None && peek st <> Some '\n' do advance st done;
+  | '/' when peek2c st = '/' ->
+    while (not (at_eof st)) && peekc st <> '\n' do advance st done;
     skip_trivia st
-  | Some '/' when peek2 st = Some '*' ->
+  | '/' when peek2c st = '*' ->
     let start = pos st in
     advance st;
     advance st;
     let rec loop () =
-      match (peek st, peek2 st) with
-      | Some '*', Some '/' ->
+      if at_eof st then error start "unterminated block comment"
+      else if peekc st = '*' && peek2c st = '/' then begin
         advance st;
         advance st
-      | Some _, _ ->
+      end
+      else begin
         advance st;
         loop ()
-      | None, _ -> error start "unterminated block comment"
+      end
     in
     loop ();
     skip_trivia st
-  | Some _ | None -> ()
+  | _ -> ()
 
 let lex_number st =
   let start = pos st in
   let begin_off = st.off in
-  while (match peek st with Some c -> is_digit c | None -> false) do
+  while is_digit (peekc st) do
     advance st
   done;
   let is_float = ref false in
-  (match peek st with
-   | Some '.' ->
+  (match peekc st with
+   | '.' ->
      is_float := true;
      advance st;
-     while (match peek st with Some c -> is_digit c | None -> false) do
+     while is_digit (peekc st) do
        advance st
      done
-   | Some _ | None -> ());
-  (match peek st with
-   | Some ('e' | 'E') ->
+   | _ -> ());
+  (match peekc st with
+   | 'e' | 'E' ->
      is_float := true;
      advance st;
-     (match peek st with
-      | Some ('+' | '-') -> advance st
-      | Some _ | None -> ());
-     while (match peek st with Some c -> is_digit c | None -> false) do
+     (match peekc st with
+      | '+' | '-' -> advance st
+      | _ -> ());
+     while is_digit (peekc st) do
        advance st
      done
-   | Some _ | None -> ());
+   | _ -> ());
   let text = String.sub st.src begin_off (st.off - begin_off) in
   if !is_float then
     match float_of_string_opt text with
@@ -101,7 +114,7 @@ let lex_number st =
 
 let lex_ident st =
   let begin_off = st.off in
-  while (match peek st with Some c -> is_ident_char c | None -> false) do
+  while is_ident_char (peekc st) do
     advance st
   done;
   match String.sub st.src begin_off (st.off - begin_off) with
@@ -116,35 +129,36 @@ let next_token st : Token.spanned =
   let p = pos st in
   let simple tok = advance st; tok in
   let tok =
-    match peek st with
-    | None -> Token.EOF
-    | Some c when is_digit c -> lex_number st
-    | Some c when is_ident_start c -> lex_ident st
-    | Some '(' -> simple Token.LPAREN
-    | Some ')' -> simple Token.RPAREN
-    | Some '[' -> simple Token.LBRACKET
-    | Some ']' -> simple Token.RBRACKET
-    | Some '{' -> simple Token.LBRACE
-    | Some '}' -> simple Token.RBRACE
-    | Some ',' -> simple Token.COMMA
-    | Some ';' -> simple Token.SEMI
-    | Some '=' -> simple Token.ASSIGN
-    | Some '+' when peek2 st = Some '=' ->
-      advance st; advance st; Token.PLUSEQ
-    | Some '+' -> simple Token.PLUS
-    | Some '-' -> simple Token.MINUS
-    | Some '*' -> simple Token.STAR
-    | Some '/' -> simple Token.SLASH
-    | Some '%' -> simple Token.PERCENT
-    | Some '&' -> simple Token.AMP
-    | Some '|' -> simple Token.PIPE
-    | Some '^' -> simple Token.CARET
-    | Some '<' when peek2 st = Some '<' ->
-      advance st; advance st; Token.SHL
-    | Some '<' -> simple Token.LT
-    | Some '>' when peek2 st = Some '>' ->
-      advance st; advance st; Token.SHR
-    | Some c -> error p "unexpected character %C" c
+    if at_eof st then Token.EOF
+    else
+      match peekc st with
+      | c when is_digit c -> lex_number st
+      | c when is_ident_start c -> lex_ident st
+      | '(' -> simple Token.LPAREN
+      | ')' -> simple Token.RPAREN
+      | '[' -> simple Token.LBRACKET
+      | ']' -> simple Token.RBRACKET
+      | '{' -> simple Token.LBRACE
+      | '}' -> simple Token.RBRACE
+      | ',' -> simple Token.COMMA
+      | ';' -> simple Token.SEMI
+      | '=' -> simple Token.ASSIGN
+      | '+' when peek2c st = '=' ->
+        advance st; advance st; Token.PLUSEQ
+      | '+' -> simple Token.PLUS
+      | '-' -> simple Token.MINUS
+      | '*' -> simple Token.STAR
+      | '/' -> simple Token.SLASH
+      | '%' -> simple Token.PERCENT
+      | '&' -> simple Token.AMP
+      | '|' -> simple Token.PIPE
+      | '^' -> simple Token.CARET
+      | '<' when peek2c st = '<' ->
+        advance st; advance st; Token.SHL
+      | '<' -> simple Token.LT
+      | '>' when peek2c st = '>' ->
+        advance st; advance st; Token.SHR
+      | c -> error p "unexpected character %C" c
   in
   { Token.tok; pos = p }
 

@@ -148,7 +148,7 @@ let run ?(cases = 500) ?(seed = 42) ?config ?inject_spec () : stats =
    Alpha-rename every %label by first appearance before comparing. *)
 let normalize_ids s =
   let b = Buffer.create (String.length s) in
-  let tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let tbl = Lslp_util.Intern.create 64 in
   let n = String.length s in
   let is_tok c =
     (c >= 'a' && c <= 'z')
@@ -163,15 +163,9 @@ let normalize_ids s =
       let j = ref (!i + 1) in
       while !j < n && is_tok s.[!j] do incr j done;
       let tok = String.sub s !i (!j - !i) in
-      let k =
-        match Hashtbl.find_opt tbl tok with
-        | Some k -> k
-        | None ->
-          let k = Hashtbl.length tbl in
-          Hashtbl.replace tbl tok k;
-          k
-      in
-      Buffer.add_string b (Fmt.str "%%r%d" k);
+      let k = Lslp_util.Intern.intern tbl tok in
+      Buffer.add_string b "%r";
+      Buffer.add_string b (string_of_int k);
       i := !j
     end
     else begin

@@ -97,3 +97,6 @@ let pp ppf a =
     else if a.const < 0 then Fmt.pf ppf " - %d" (abs a.const)
 
 let to_string a = Fmt.str "%a" pp a
+
+let terms a = a.terms
+let const_part a = a.const

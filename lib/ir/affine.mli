@@ -49,3 +49,11 @@ val eval : env:(string -> int) -> t -> int
 
 val pp : t Fmt.t
 val to_string : t -> string
+
+val terms : t -> (string * int) list
+(** The symbolic part, sorted by symbol with nonzero coefficients — the
+    normal-form shape an arena interns so that address differencing
+    becomes an int comparison. *)
+
+val const_part : t -> int
+(** The constant part [c0]. *)

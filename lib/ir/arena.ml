@@ -1,0 +1,292 @@
+(* Per-block instruction arena: the int-indexed snapshot behind every hot
+   query.
+
+   A block is pointer-shaped (a list of mutable records) because passes
+   rewrite it in place; the analyses over it — use counts, positions,
+   address adjacency — are not.  An arena freezes one block into dense
+   arrays:
+
+   - [instrs]: the instructions in program order; the array index is the
+     *compact index* of an instruction, 0..n-1.  Compact indices are a
+     per-arena coordinate system and must never appear in output — printed
+     IR carries only the global ids from [Lslp_util.Id_gen].
+   - id -> index: an offset-based int array when the block's id span is
+     dense (the normal case), an [Int_table] otherwise (ids issued across
+     domains can interleave).
+   - CSR use lists: [use_off]/[use_dat], so [num_uses] is one subtraction
+     and [users] walks a contiguous slice.  An instruction using a value
+     twice appears twice, in program order — the same contract the old
+     Hashtbl-of-lists kept.
+   - an address side table (built lazily): base symbol and affine shape
+     interned to small ints, constant offset and lane count unpacked, so
+     "consecutive?" and "may-alias?" are int compares instead of affine
+     differencing per query.
+
+   Invalidation contract: an arena is a snapshot.  Passes that mutate the
+   block (codegen, CSE, DCE, reorderings via [Block.set_order]) must drop
+   the arena and rebuild; read-only passes (seeds, graph build, scoring,
+   cost) share one arena freely.  [Verifier.check_func] rebuilds an arena
+   per block and runs {!check} on it, so a stale-arena bug cannot survive a
+   verified commit. *)
+
+module Int_table = Lslp_util.Int_table
+module Intern = Lslp_util.Intern
+
+type idx_map =
+  | Offset of { min_id : int; tbl : int array } (* id - min_id -> idx | -1 *)
+  | Sparse of Int_table.t
+
+type addr_tables = {
+  a_base : int array;   (* interned base symbol | -1 for non-memory *)
+  a_shape : int array;  (* interned affine-terms shape | -1 *)
+  a_const : int array;  (* constant part of the index *)
+  a_lanes : int array;  (* access lanes | 0 *)
+  bases : Intern.t;
+}
+
+type t = {
+  block : Block.t;
+  instrs : Instr.t array;
+  idx_map : idx_map;
+  use_off : int array; (* length n+1, monotone *)
+  use_dat : int array; (* user indices grouped by def, program order *)
+  mutable addr : addr_tables option; (* built on first address query *)
+}
+
+let size t = Array.length t.instrs
+let block t = t.block
+let instr t k = t.instrs.(k)
+
+let idx_of_id t id =
+  match t.idx_map with
+  | Offset { min_id; tbl } ->
+    let o = id - min_id in
+    if o < 0 || o >= Array.length tbl then -1 else Array.unsafe_get tbl o
+  | Sparse tbl -> Int_table.get tbl id ~absent:(-1)
+
+let idx t (i : Instr.t) = idx_of_id t i.Instr.id
+let mem t i = idx t i >= 0
+
+(* Program order is the array order, so position = compact index. *)
+let pos t i = idx t i
+
+let of_block (b : Block.t) =
+  let instrs = Array.of_list (Block.to_list b) in
+  let n = Array.length instrs in
+  let min_id = ref max_int and max_id = ref min_int in
+  for k = 0 to n - 1 do
+    let id = instrs.(k).Instr.id in
+    if id < !min_id then min_id := id;
+    if id > !max_id then max_id := id
+  done;
+  let idx_map =
+    if n = 0 then Offset { min_id = 0; tbl = [||] }
+    else begin
+      let span = !max_id - !min_id + 1 in
+      if span <= (4 * n) + 1024 then begin
+        let tbl = Array.make span (-1) in
+        for k = 0 to n - 1 do
+          tbl.(instrs.(k).Instr.id - !min_id) <- k
+        done;
+        Offset { min_id = !min_id; tbl }
+      end
+      else begin
+        let tbl = Int_table.create (2 * n) in
+        for k = 0 to n - 1 do
+          Int_table.set tbl instrs.(k).Instr.id k
+        done;
+        Sparse tbl
+      end
+    end
+  in
+  let lookup id =
+    match idx_map with
+    | Offset { min_id; tbl } ->
+      let o = id - min_id in
+      if o < 0 || o >= Array.length tbl then -1 else tbl.(o)
+    | Sparse tbl -> Int_table.get tbl id ~absent:(-1)
+  in
+  (* CSR uses: count, prefix-sum, fill in program order *)
+  let counts = Array.make (n + 1) 0 in
+  for k = 0 to n - 1 do
+    List.iter
+      (fun (v : Instr.value) ->
+        match v with
+        | Instr.Ins def ->
+          let d = lookup def.Instr.id in
+          if d >= 0 then counts.(d) <- counts.(d) + 1
+        | Instr.Const _ | Instr.Arg _ -> ())
+      (Instr.operands instrs.(k))
+  done;
+  let use_off = Array.make (n + 1) 0 in
+  for k = 0 to n - 1 do
+    use_off.(k + 1) <- use_off.(k) + counts.(k)
+  done;
+  let use_dat = Array.make use_off.(n) 0 in
+  let cursor = Array.copy use_off in
+  for k = 0 to n - 1 do
+    List.iter
+      (fun (v : Instr.value) ->
+        match v with
+        | Instr.Ins def ->
+          let d = lookup def.Instr.id in
+          if d >= 0 then begin
+            use_dat.(cursor.(d)) <- k;
+            cursor.(d) <- cursor.(d) + 1
+          end
+        | Instr.Const _ | Instr.Arg _ -> ())
+      (Instr.operands instrs.(k))
+  done;
+  { block = b; instrs; idx_map; use_off; use_dat; addr = None }
+
+(* ---- uses ---- *)
+
+let num_uses t k = t.use_off.(k + 1) - t.use_off.(k)
+
+let users t k =
+  let lo = t.use_off.(k) and hi = t.use_off.(k + 1) in
+  let rec go j acc = if j < lo then acc else go (j - 1) (t.instrs.(t.use_dat.(j)) :: acc) in
+  go (hi - 1) []
+
+let iter_users t k f =
+  for j = t.use_off.(k) to t.use_off.(k + 1) - 1 do
+    f t.use_dat.(j)
+  done
+
+let fold_users t k f acc =
+  let r = ref acc in
+  for j = t.use_off.(k) to t.use_off.(k + 1) - 1 do
+    r := f !r t.use_dat.(j)
+  done;
+  !r
+
+(* ---- address side table ---- *)
+
+let shape_key (a : Affine.t) =
+  (* canonical rendering of the symbolic part; interned once per arena *)
+  let b = Buffer.create 16 in
+  List.iter
+    (fun (s, c) ->
+      Buffer.add_string b s;
+      Buffer.add_char b '*';
+      Buffer.add_string b (string_of_int c);
+      Buffer.add_char b '|')
+    (Affine.terms a);
+  Buffer.contents b
+
+let build_addr t =
+  let n = size t in
+  let a_base = Array.make n (-1) in
+  let a_shape = Array.make n (-1) in
+  let a_const = Array.make n 0 in
+  let a_lanes = Array.make n 0 in
+  let bases = Intern.create 8 in
+  let shapes = Intern.create 8 in
+  for k = 0 to n - 1 do
+    match Instr.address t.instrs.(k) with
+    | Some a ->
+      a_base.(k) <- Intern.intern bases a.Instr.base;
+      a_shape.(k) <- Intern.intern shapes (shape_key a.Instr.index);
+      a_const.(k) <- Affine.const_part a.Instr.index;
+      a_lanes.(k) <- a.Instr.access_lanes
+    | None -> ()
+  done;
+  let tbls = { a_base; a_shape; a_const; a_lanes; bases } in
+  t.addr <- Some tbls;
+  tbls
+
+let addr t = match t.addr with Some a -> a | None -> build_addr t
+
+let is_memory t k = (addr t).a_base.(k) >= 0
+
+let same_array t j k =
+  let a = addr t in
+  a.a_base.(j) >= 0 && a.a_base.(j) = a.a_base.(k)
+
+(* Element distance [k - j] when both accesses index the same array with
+   the same symbolic shape; mirrors [Addr.element_distance]. *)
+let element_distance t j k =
+  let a = addr t in
+  if a.a_base.(j) < 0 || a.a_base.(j) <> a.a_base.(k) then None
+  else if a.a_shape.(j) <> a.a_shape.(k) then None
+  else Some (a.a_const.(k) - a.a_const.(j))
+
+let consecutive t j k =
+  let a = addr t in
+  a.a_base.(j) >= 0
+  && a.a_base.(j) = a.a_base.(k)
+  && a.a_shape.(j) = a.a_shape.(k)
+  && a.a_const.(k) - a.a_const.(j) = a.a_lanes.(j)
+
+let ranges_overlap a_lo a_len b_lo b_len =
+  a_lo < b_lo + b_len && b_lo < a_lo + a_len
+
+let may_alias t j k =
+  let a = addr t in
+  if a.a_base.(j) < 0 || a.a_base.(j) <> a.a_base.(k) then false
+  else if a.a_shape.(j) <> a.a_shape.(k) then true (* symbolic: assume the worst *)
+  else
+    ranges_overlap 0 a.a_lanes.(j) (a.a_const.(k) - a.a_const.(j)) a.a_lanes.(k)
+
+let addr_base t k = (addr t).a_base.(k)
+let addr_const t k = (addr t).a_const.(k)
+let addr_lanes t k = (addr t).a_lanes.(k)
+
+let same_shape t j k =
+  let a = addr t in
+  a.a_shape.(j) >= 0 && a.a_shape.(j) = a.a_shape.(k)
+
+(* ---- invariants ---- *)
+
+(* The structural facts every consumer relies on: compact indices are dense
+   and bijective with the block's ids, CSR offsets are monotone and sized
+   to the data, and uses are acyclic (a straight-line block defines before
+   it uses, so every user index exceeds its def's index). *)
+let check t =
+  let n = size t in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let rec instrs_ok k =
+    if k >= n then Ok ()
+    else
+      let id = t.instrs.(k).Instr.id in
+      let k' = idx_of_id t id in
+      if k' <> k then err "arena: id %d maps to index %d, expected %d" id k' k
+      else instrs_ok (k + 1)
+  in
+  let rec offs_ok k =
+    if k >= n then Ok ()
+    else if t.use_off.(k + 1) < t.use_off.(k) then
+      err "arena: CSR offsets not monotone at %d" k
+    else offs_ok (k + 1)
+  in
+  let rec uses_ok j =
+    if j >= Array.length t.use_dat then Ok ()
+    else
+      let u = t.use_dat.(j) in
+      if u < 0 || u >= n then err "arena: use entry %d out of range" u
+      else uses_ok (j + 1)
+  in
+  let rec acyclic_ok k =
+    if k >= n then Ok ()
+    else
+      let rec go j =
+        if j >= t.use_off.(k + 1) then Ok ()
+        else if t.use_dat.(j) <= k then
+          err "arena: use of %%%d at or before its definition"
+            t.instrs.(k).Instr.id
+        else go (j + 1)
+      in
+      (match go (t.use_off.(k)) with Ok () -> acyclic_ok (k + 1) | e -> e)
+  in
+  match instrs_ok 0 with
+  | Error _ as e -> e
+  | Ok () -> (
+    if t.use_off.(0) <> 0 then err "arena: CSR base offset not 0"
+    else if t.use_off.(n) <> Array.length t.use_dat then
+      err "arena: CSR total %d does not match data length %d" t.use_off.(n)
+        (Array.length t.use_dat)
+    else
+      match offs_ok 0 with
+      | Error _ as e -> e
+      | Ok () -> (
+        match uses_ok 0 with Error _ as e -> e | Ok () -> acyclic_ok 0))

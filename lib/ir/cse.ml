@@ -6,101 +6,158 @@
    separately; this pass restores the canonical form.
 
    Pure instructions are keyed by (kind, operands) — commutative operands in
-   sorted order, so a*b and b*a unify.  Loads are keyed by address; a store
-   conservatively invalidates all available loads of the same array.  Single
+   canonical (sorted) order, so a*b and b*a unify.  Keys are short int
+   arrays (a tag plus payload words per element) looked up in an
+   open-addressing table, not `Fmt.str`-built strings: this pass runs on
+   every frontend compile and again as pipeline cleanup, so key building is
+   hot.  Loads are keyed by (array, affine shape, offset, lanes, store
+   generation of the array); a store bumps the array's generation, which
+   retires all its available loads without any table surgery.  Single
    forward pass (the block is straight-line). *)
 
-let value_key (v : Instr.value) =
+module Int_table = Lslp_util.Int_table
+module Key_table = Lslp_util.Key_table
+module Intern = Lslp_util.Intern
+
+(* Per-value encoding: three words [tag; p1; p2], injective across value
+   kinds (same distinctions the old string keys drew). *)
+let value_words (names : Intern.t) (v : Instr.value) =
   match v with
-  | Instr.Ins i -> Fmt.str "i%d" i.id
-  | Instr.Arg a -> Fmt.str "a%s" a.arg_name
-  | Instr.Const (Instr.Cint n) -> Fmt.str "c%Ld" n
-  | Instr.Const (Instr.Cfloat x) -> Fmt.str "f%Ld" (Int64.bits_of_float x)
-  | Instr.Const (Instr.Cint32 n) -> Fmt.str "d%ld" n
-  | Instr.Const (Instr.Cfloat32 x) -> Fmt.str "g%ld" (Int32.bits_of_float x)
+  | Instr.Ins i -> (0, i.Instr.id, 0)
+  | Instr.Arg a -> (1, Intern.intern names a.Instr.arg_name, 0)
+  | Instr.Const (Instr.Cint n) ->
+    (2, Int64.to_int (Int64.shift_right_logical n 32),
+     Int64.to_int (Int64.logand n 0xFFFFFFFFL))
+  | Instr.Const (Instr.Cfloat x) ->
+    let b = Int64.bits_of_float x in
+    (3, Int64.to_int (Int64.shift_right_logical b 32),
+     Int64.to_int (Int64.logand b 0xFFFFFFFFL))
+  | Instr.Const (Instr.Cint32 n) -> (4, Int32.to_int n, 0)
+  | Instr.Const (Instr.Cfloat32 x) -> (5, Int32.to_int (Int32.bits_of_float x), 0)
 
-let address_key (a : Instr.address) =
-  Fmt.str "%s[%s]:%d" a.base (Affine.to_string a.index) a.access_lanes
+let compare_triple (a, b, c) (a', b', c') =
+  if a <> a' then Int.compare a a'
+  else if b <> b' then Int.compare b b'
+  else Int.compare c c'
 
-let instr_key (i : Instr.t) =
-  let operand_keys () = List.map value_key (Instr.operands i) in
-  match i.kind with
+let key_of_triples tag sub triples =
+  let n = List.length triples in
+  let k = Array.make (2 + (3 * n)) 0 in
+  k.(0) <- tag;
+  k.(1) <- sub;
+  List.iteri
+    (fun j (a, b, c) ->
+      k.(2 + (3 * j)) <- a;
+      k.(3 + (3 * j)) <- b;
+      k.(4 + (3 * j)) <- c)
+    triples;
+  k
+
+type ctx = {
+  names : Intern.t;   (* arg names and array bases *)
+  shapes : Intern.t;  (* affine term shapes *)
+  mutable gens : int array; (* store generation per base id *)
+}
+
+let gen_of ctx base =
+  if base >= Array.length ctx.gens then begin
+    let bigger = Array.make (max 16 (2 * (base + 1))) 0 in
+    Array.blit ctx.gens 0 bigger 0 (Array.length ctx.gens);
+    ctx.gens <- bigger
+  end;
+  ctx.gens.(base)
+
+let bump_gen ctx base =
+  ignore (gen_of ctx base);
+  ctx.gens.(base) <- ctx.gens.(base) + 1
+
+let address_words ctx (a : Instr.address) =
+  let base = Intern.intern ctx.names a.Instr.base in
+  let shape = Intern.intern ctx.shapes (Arena.shape_key a.Instr.index) in
+  (base, shape, Affine.const_part a.Instr.index, a.Instr.access_lanes)
+
+let instr_key ctx (i : Instr.t) =
+  let triples () = List.map (value_words ctx.names) (Instr.operands i) in
+  match i.Instr.kind with
   | Instr.Binop (op, _, _) ->
-    let ops = operand_keys () in
+    let ops = triples () in
     let ops =
-      if Opcode.is_commutative op then List.sort String.compare ops else ops
+      if Opcode.is_commutative op then List.sort compare_triple ops else ops
     in
-    Some (Fmt.str "b:%s:%s" (Opcode.binop_name op) (String.concat "," ops))
-  | Instr.Unop (op, _) ->
-    Some
-      (Fmt.str "u:%s:%s" (Opcode.unop_name op)
-         (String.concat "," (operand_keys ())))
-  | Instr.Load a -> Some (Fmt.str "l:%s" (address_key a))
-  | Instr.Splat _ ->
-    Some (Fmt.str "s:%s" (String.concat "," (operand_keys ())))
-  | Instr.Buildvec _ ->
-    Some (Fmt.str "v:%s" (String.concat "," (operand_keys ())))
-  | Instr.Extract (_, lane) ->
-    Some (Fmt.str "e:%d:%s" lane (String.concat "," (operand_keys ())))
+    Some (key_of_triples 10 (Opcode.binop_code op) ops)
+  | Instr.Unop (op, _) -> Some (key_of_triples 11 (Opcode.unop_code op) (triples ()))
+  | Instr.Load a ->
+    let base, shape, const, lanes = address_words ctx a in
+    Some [| 12; base; shape; const; lanes; gen_of ctx base |]
+  | Instr.Splat _ -> Some (key_of_triples 13 0 (triples ()))
+  | Instr.Buildvec _ -> Some (key_of_triples 14 0 (triples ()))
+  | Instr.Extract (_, lane) -> Some (key_of_triples 15 lane (triples ()))
   | Instr.Reduce (op, _) ->
-    Some
-      (Fmt.str "r:%s:%s" (Opcode.binop_name op)
-         (String.concat "," (operand_keys ())))
+    Some (key_of_triples 16 (Opcode.binop_code op) (triples ()))
   | Instr.Shuffle (_, idx) ->
-    Some
-      (Fmt.str "h:%s:%s"
-         (String.concat "." (List.map string_of_int idx))
-         (String.concat "," (operand_keys ())))
+    let ops = triples () in
+    let n = List.length idx in
+    let k = Array.make (2 + n + (3 * List.length ops)) 0 in
+    k.(0) <- 17;
+    k.(1) <- n;
+    List.iteri (fun j x -> k.(2 + j) <- x) idx;
+    List.iteri
+      (fun j (a, b, c) ->
+        k.(2 + n + (3 * j)) <- a;
+        k.(3 + n + (3 * j)) <- b;
+        k.(4 + n + (3 * j)) <- c)
+      ops;
+    Some k
   | Instr.Store _ -> None
 
 let run_block block =
-  let available : (string, Instr.t) Hashtbl.t = Hashtbl.create 64 in
-  let replacement : (int, Instr.t) Hashtbl.t = Hashtbl.create 16 in
-  (* load keys currently available, grouped by array for invalidation *)
-  let live_loads : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+  let ctx = { names = Intern.create 16; shapes = Intern.create 16; gens = [||] } in
+  let available = Key_table.create 64 in
+  (* handles: available maps key -> index into [firsts] *)
+  let firsts : Instr.t option array ref = ref (Array.make 64 None) in
+  let n_firsts = ref 0 in
+  let register i =
+    if !n_firsts >= Array.length !firsts then begin
+      let bigger = Array.make (2 * Array.length !firsts) None in
+      Array.blit !firsts 0 bigger 0 !n_firsts;
+      firsts := bigger
+    end;
+    !firsts.(!n_firsts) <- Some i;
+    incr n_firsts;
+    !n_firsts - 1
+  in
+  let replacement = Int_table.create 16 in (* dead id -> handle *)
+  let replaced : Instr.t list ref = ref [] in
   let subst (v : Instr.value) =
     match v with
     | Instr.Ins i -> (
-      match Hashtbl.find_opt replacement i.id with
-      | Some j -> Instr.Ins j
-      | None -> v)
+      match Int_table.get replacement i.Instr.id ~absent:(-1) with
+      | -1 -> v
+      | h -> Instr.Ins (Option.get !firsts.(h)))
     | Instr.Const _ | Instr.Arg _ -> v
   in
   Block.iter
     (fun i ->
       Instr.map_operands subst i;
-      match instr_key i with
+      match instr_key ctx i with
       | None -> (
-        match i.kind with
+        match i.Instr.kind with
         | Instr.Store (addr, _) ->
-          let keys =
-            Option.value ~default:[]
-              (Hashtbl.find_opt live_loads addr.Instr.base)
-          in
-          List.iter (Hashtbl.remove available) keys;
-          Hashtbl.remove live_loads addr.Instr.base
+          bump_gen ctx (Intern.intern ctx.names addr.Instr.base)
         | Instr.Binop _ | Instr.Unop _ | Instr.Load _ | Instr.Splat _
         | Instr.Buildvec _ | Instr.Extract _ | Instr.Reduce _
         | Instr.Shuffle _ -> ())
       | Some key -> (
-        match Hashtbl.find_opt available key with
-        | Some earlier -> Hashtbl.replace replacement i.id earlier
-        | None ->
-          Hashtbl.replace available key i;
-          (match i.kind with
-           | Instr.Load a ->
-             let cur =
-               Option.value ~default:[]
-                 (Hashtbl.find_opt live_loads a.Instr.base)
-             in
-             Hashtbl.replace live_loads a.Instr.base (key :: cur)
-           | Instr.Binop _ | Instr.Unop _ | Instr.Store _ | Instr.Splat _
-           | Instr.Buildvec _ | Instr.Extract _ | Instr.Reduce _
-           | Instr.Shuffle _ -> ())))
+        match Key_table.get available key ~absent:(-1) with
+        | -1 -> Key_table.set available key (register i)
+        | h ->
+          Int_table.set replacement i.Instr.id h;
+          replaced := i :: !replaced))
     block;
-  let removed = Hashtbl.length replacement in
-  Block.remove_ids block
-    (Hashtbl.fold (fun id _ acc -> id :: acc) replacement []);
+  let removed = List.length !replaced in
+  if removed > 0 then
+    Block.remove_ids block
+      (List.map (fun (i : Instr.t) -> i.Instr.id) !replaced);
   removed
 
 (* Blocks are self-contained regions, so per-block CSE is complete; a loop

@@ -51,6 +51,7 @@ and arg_ty = Int_arg | Float_arg | Array_arg of Types.scalar
 let ids = Lslp_util.Id_gen.create ~first:1 ()
 
 let fresh_id () = Lslp_util.Id_gen.next ids
+let id_watermark () = Lslp_util.Id_gen.peek ids
 
 let create ?(name = "") kind ty = { id = fresh_id (); kind; ty; name }
 

@@ -50,6 +50,14 @@ val create : ?name:string -> kind -> Types.t -> t
 (** Fresh instruction with a new unique id.  Prefer {!Builder} in client
     code; this is the low-level constructor. *)
 
+val id_watermark : unit -> int
+(** The id the next created instruction will receive (racy under
+    concurrency — intended for tests and smoke checks).  Ids live in the
+    process-global {!Lslp_util.Id_gen} space; arena compact indices are a
+    different, per-snapshot coordinate system that restarts at 0, so an
+    output instruction with an id below the watermark taken before its
+    function was built is a leaked index, not a real id. *)
+
 val copy : t -> t
 (** Duplicate under a fresh id, carrying over every other field (kind, type,
     name, and any field added later).  The single cloning primitive behind

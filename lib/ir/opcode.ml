@@ -78,3 +78,13 @@ let unop_name = function
 
 let pp_binop ppf op = Fmt.string ppf (binop_name op)
 let pp_unop ppf op = Fmt.string ppf (unop_name op)
+
+let binop_code = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Sdiv -> 3 | Srem -> 4
+  | And -> 5 | Or -> 6 | Xor -> 7
+  | Shl -> 8 | Lshr -> 9 | Ashr -> 10
+  | Smin -> 11 | Smax -> 12
+  | Fadd -> 13 | Fsub -> 14 | Fmul -> 15 | Fdiv -> 16
+  | Fmin -> 17 | Fmax -> 18
+
+let unop_code = function Neg -> 0 | Fneg -> 1 | Fsqrt -> 2 | Fabs -> 3

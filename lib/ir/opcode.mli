@@ -42,3 +42,8 @@ val binop_name : binop -> string
 val unop_name : unop -> string
 val pp_binop : binop Fmt.t
 val pp_unop : unop Fmt.t
+
+val binop_code : binop -> int
+(** Dense stable code for packing opcodes into int-array keys. *)
+
+val unop_code : unop -> int

@@ -1,30 +1,24 @@
-(* Def-use information, recomputed per pass.
+(* Def-use information, as a view over a per-block arena.
 
-   Use lists are derived data: recomputing them from the block is cheap at
-   kernel scale and avoids the invalidation bugs that come with maintaining
-   mutable use lists across rewrites. *)
+   Use lists are derived data: the arena snapshots them as CSR int arrays,
+   so [num_uses]/[has_single_use] are O(1) subtractions and [users] walks a
+   contiguous slice.  Passes that already hold an arena share it with
+   {!of_arena}; [compute] builds a fresh one for callers that only have the
+   block. *)
 
-type t = {
-  users : (int, Instr.t list) Hashtbl.t;  (* def id -> users, program order *)
-}
+type t = { arena : Arena.t }
 
-let compute block =
-  let users = Hashtbl.create 64 in
-  let note_use (user : Instr.t) (v : Instr.value) =
-    match v with
-    | Instr.Ins def ->
-      let cur = Option.value ~default:[] (Hashtbl.find_opt users def.id) in
-      Hashtbl.replace users def.id (user :: cur)
-    | Instr.Const _ | Instr.Arg _ -> ()
-  in
-  Block.iter (fun i -> List.iter (note_use i) (Instr.operands i)) block;
-  Hashtbl.iter (fun k v -> Hashtbl.replace users k (List.rev v)) users;
-  { users }
+let compute block = { arena = Arena.of_block block }
+let of_arena arena = { arena }
+let arena t = t.arena
 
 let users t (i : Instr.t) =
-  Option.value ~default:[] (Hashtbl.find_opt t.users i.Instr.id)
+  let k = Arena.idx t.arena i in
+  if k < 0 then [] else Arena.users t.arena k
 
-let num_uses t i = List.length (users t i)
+let num_uses t (i : Instr.t) =
+  let k = Arena.idx t.arena i in
+  if k < 0 then 0 else Arena.num_uses t.arena k
 
 let has_single_use t i = num_uses t i = 1
 

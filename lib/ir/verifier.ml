@@ -15,12 +15,14 @@ let error_to_string e = Fmt.str "%a" pp_error e
 
 exception Invalid of error list
 
+module Int_table = Lslp_util.Int_table
+
 let check_func (f : Func.t) =
   let errors = ref [] in
   let err ?instr fmt =
     Fmt.kstr (fun message -> errors := { instr; message } :: !errors) fmt
   in
-  let defined = Hashtbl.create 64 in
+  let defined = Int_table.create 64 in
   let arg_names = Hashtbl.create 8 in
   List.iter
     (fun (a : Instr.arg) ->
@@ -28,14 +30,14 @@ let check_func (f : Func.t) =
         err "duplicate argument name %s" a.arg_name;
       Hashtbl.replace arg_names a.arg_name a.arg_ty)
     f.args;
-  let seen_ids = Hashtbl.create 64 in
+  let seen_ids = Int_table.create 64 in
   (* Regions are self-contained: values may only be referenced from the
      block that defines them, so [defined] is reset per block and a
      cross-block use reports as use-before-def. *)
   let check_value instr (v : Instr.value) =
     match v with
     | Instr.Ins def ->
-      if not (Hashtbl.mem defined def.Instr.id) then
+      if not (Int_table.mem defined def.Instr.id) then
         err ~instr "use of %s before its definition (or of a value defined \
                     in another block — regions are self-contained)"
           (Printer.value_to_string v)
@@ -86,9 +88,9 @@ let check_func (f : Func.t) =
     else Types.Vec (a.elt, a.access_lanes)
   in
   let check_instr ~counter (i : Instr.t) =
-    if Hashtbl.mem seen_ids i.Instr.id then
+    if Int_table.mem seen_ids i.Instr.id then
       err ~instr:i "instruction appears twice in the function";
-    Hashtbl.replace seen_ids i.Instr.id ();
+    Int_table.set seen_ids i.Instr.id 0;
     List.iter (check_value i) (Instr.operands i);
     (match i.kind with
      | Instr.Binop (op, x, y) ->
@@ -169,7 +171,7 @@ let check_func (f : Func.t) =
         | Some _, _ ->
           err ~instr:i "shuffle requires vector operand and vector result"
         | None, _ -> err ~instr:i "shuffle of non-value"));
-    Hashtbl.replace defined i.Instr.id ()
+    Int_table.set defined i.Instr.id 0
   in
   let seen_labels = Hashtbl.create 8 in
   List.iter
@@ -197,9 +199,24 @@ let check_func (f : Func.t) =
            | Block.Bound_const _ -> ());
           Some li.Block.counter
       in
-      Hashtbl.reset defined;
+      Int_table.clear defined;
       Block.iter (check_instr ~counter) b)
     (Func.blocks f);
+  (* Arena invariants (dense bijective ids, monotone CSR offsets, acyclic
+     uses) are part of well-formedness: every accepted function must
+     snapshot cleanly.  Checked only on otherwise-valid IR so error lists
+     for malformed inputs are unchanged. *)
+  if !errors = [] then
+    List.iter
+      (fun b ->
+        match Arena.check (Arena.of_block b) with
+        | Ok () -> ()
+        | Error message ->
+          errors :=
+            { instr = None;
+              message = Fmt.str "block %s: %s" (Block.label b) message }
+            :: !errors)
+      (Func.blocks f);
   List.rev !errors
 
 let verify_exn f =

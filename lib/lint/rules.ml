@@ -45,7 +45,16 @@ let r4 =
        the waived telemetry/trace modules";
   }
 
-let all = [ r1; r2; r3; r4 ]
+let r5 =
+  {
+    id = "R5";
+    slug = "boxed-table-hot-path";
+    doc =
+      "Hashtbl.create / List.assoc* in a hot-path module (lib/core, \
+       lib/ir); index through Arena, Int_table or Key_table instead";
+  }
+
+let all = [ r1; r2; r3; r4; r5 ]
 
 let find key =
   List.find_opt (fun r -> r.id = key || r.slug = key) all
@@ -168,6 +177,24 @@ and r1_module_expr ~file me acc =
 let wall_clock =
   [ "Unix.gettimeofday"; "Unix.time"; "Unix.times"; "Sys.time" ]
 
+(* R5 applies only inside the modules on the per-instruction hot path,
+   where the arena refactor replaced boxed id-keyed tables with int
+   arrays; elsewhere a Hashtbl is fine.  Matching is on the normalized
+   path the driver records. *)
+let hot_path_dirs = [ "lib/core/"; "lib/ir/" ]
+
+let in_hot_path file =
+  List.exists (fun d -> starts_with ~prefix:d file) hot_path_dirs
+
+let boxed_tables =
+  [
+    ("Hashtbl.create", "allocates a polymorphic hash table");
+    ("List.assoc", "scans an assoc list per lookup");
+    ("List.assoc_opt", "scans an assoc list per lookup");
+    ("List.mem_assoc", "scans an assoc list per lookup");
+    ("List.remove_assoc", "rebuilds an assoc list per removal");
+  ]
+
 (* Predefined exceptions a bare [raise] must not throw: they carry no
    typed payload the fail-soft pipeline can dispatch on. *)
 let untyped_exceptions =
@@ -196,14 +223,22 @@ let expr_findings ~file e acc =
            "%s uses the ambient generator; thread an explicit \
             Random.State.t instead"
            p)
+    else if List.exists (String.equal p) wall_clock then
+      add r4 ~loc:e.pexp_loc ~ident:p
+        (Fmt.str
+           "%s reads the wall clock; only waived telemetry/trace \
+            modules may be nondeterministic"
+           p)
     else
-      match List.find_opt (String.equal p) wall_clock with
-      | Some _ ->
-        add r4 ~loc:e.pexp_loc ~ident:p
+      match
+        if in_hot_path file then List.assoc_opt p boxed_tables else None
+      with
+      | Some what ->
+        add r5 ~loc:e.pexp_loc ~ident:p
           (Fmt.str
-             "%s reads the wall clock; only waived telemetry/trace \
-              modules may be nondeterministic"
-             p)
+             "%s %s on the hot path; index through Arena, Int_table or \
+              Key_table, or waive a cold site"
+             p what)
       | None -> acc)
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, (_, arg) :: _)
     when path_of_lid txt = "raise" || path_of_lid txt = "raise_notrace"

@@ -24,7 +24,13 @@
       [make lint-exceptions].
     - R4 [wall-clock]: [Unix.gettimeofday]/[Unix.time]/[Sys.time] — only
       the telemetry/trace modules are allowed to read the clock, and
-      those sites are waived with justifications. *)
+      those sites are waived with justifications.
+    - R5 [boxed-table-hot-path]: [Hashtbl.create] or [List.assoc]-family
+      lookups inside the per-instruction hot-path modules ([lib/core],
+      [lib/ir]) — the arena refactor serves those queries from int
+      arrays ({!Lslp_ir.Arena}, [Int_table], [Key_table]); cold sites
+      (reporting, per-run string-keyed registries, the tiny affine term
+      lists) are waived with justifications. *)
 
 type rule = {
   id : string;    (** ["R1"] *)

@@ -7,20 +7,61 @@
    cache per reorder invocation — no pass mutates instructions while a
    single operand matrix is being reordered — and drops it on return, so
    entries can never leak across codegen rewrites, transactional rollbacks
-   or later regions.  See DESIGN.md §11. *)
+   or later regions.  See DESIGN.md §11.
 
-type key = { ka : int; kb : int; klevel : int; kmode : int }
+   Representation: one packed int per entry in an open-addressing int
+   table.  Global instruction ids are interned to dense per-cache locals
+   (the same id always gets the same local within one cache's lifetime, so
+   hit/miss behaviour is identical to keying on raw ids), then
+   [local_a:20 | local_b:20 | level:8 | mode:4] packs into a single word —
+   no boxed key record, no polymorphic hashing.  Lookups outside those
+   field widths bypass the cache rather than alias. *)
 
-type t = (key, int) Hashtbl.t
+module Int_table = Lslp_util.Int_table
 
-let create () : t = Hashtbl.create 64
+type t = {
+  entries : Int_table.t;          (* packed key -> score *)
+  locals : Int_table.t;           (* global instr id -> dense local *)
+  mutable next_local : int;
+}
 
-let find (t : t) ~a ~b ~level ~mode =
-  Hashtbl.find_opt t { ka = a; kb = b; klevel = level; kmode = mode }
+let absent = min_int
 
-let store (t : t) ~a ~b ~level ~mode score =
-  Hashtbl.replace t { ka = a; kb = b; klevel = level; kmode = mode } score
+let create () =
+  { entries = Int_table.create 64; locals = Int_table.create 64; next_local = 0 }
 
-let size = Hashtbl.length
+let local t id =
+  Int_table.get_or_add t.locals id ~default:(fun () ->
+      let l = t.next_local in
+      t.next_local <- l + 1;
+      l)
 
-let clear = Hashtbl.reset
+let max_local = 1 lsl 20
+
+let pack t ~a ~b ~level ~mode =
+  if level < 0 || level > 0xff || mode < 0 || mode > 0xf then -1
+  else
+    let la = local t a and lb = local t b in
+    if la >= max_local || lb >= max_local then -1
+    else (((((la lsl 20) lor lb) lsl 8) lor level) lsl 4) lor mode
+
+let find t ~a ~b ~level ~mode =
+  match pack t ~a ~b ~level ~mode with
+  | -1 -> None
+  | key -> (
+    match Int_table.get t.entries key ~absent with
+    | s when s == absent -> None
+    | s -> Some s)
+
+let store t ~a ~b ~level ~mode score =
+  if score <> absent then
+    match pack t ~a ~b ~level ~mode with
+    | -1 -> ()
+    | key -> Int_table.set t.entries key score
+
+let size t = Int_table.length t.entries
+
+let clear t =
+  Int_table.clear t.entries;
+  Int_table.clear t.locals;
+  t.next_local <- 0

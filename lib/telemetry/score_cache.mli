@@ -1,11 +1,13 @@
 (** Memo table for the recursive look-ahead score.
 
     Keyed by (instruction id, instruction id, remaining depth, combine
-    mode).  Only sound while the operand DAG under both instructions is
-    frozen, so callers scope one cache to one reorder invocation and
-    discard it afterwards — entries never survive a mutation, a rollback
-    or a budget abort.  Constants and arguments have no ids and are never
-    cached (their comparisons are O(1) anyway). *)
+    mode), stored as one packed int — ids are interned to dense per-cache
+    locals, then [a:20|b:20|level:8|mode:4] fits a single word in an
+    open-addressing int table.  Only sound while the operand DAG under
+    both instructions is frozen, so callers scope one cache to one reorder
+    invocation and discard it afterwards — entries never survive a
+    mutation, a rollback or a budget abort.  Constants and arguments have
+    no ids and are never cached (their comparisons are O(1) anyway). *)
 
 type t
 

@@ -1,0 +1,86 @@
+(* Open-addressing hash table keyed by int arrays.
+
+   Bundle identities, CSE value keys and other composite facts on the hot
+   path are encoded as short [int array]s (a tag plus payload words per
+   element) instead of `Fmt.str`-built strings; this table maps such a key
+   to an int handle.  FNV-1a over the words, linear probing, power-of-two
+   capacity.  Keys are compared by content; the caller must not mutate a
+   key after insertion. *)
+
+type t = {
+  mutable keys : int array array; (* [||] = empty slot *)
+  mutable vals : int array;
+  mutable mask : int;
+  mutable count : int;
+}
+
+let hash_key (k : int array) =
+  let h = ref 0x0bf29ce484222325 in
+  for i = 0 to Array.length k - 1 do
+    let w = Array.unsafe_get k i in
+    h := (!h lxor (w land 0xffffffff)) * 0x100000001b3;
+    h := (!h lxor (w lsr 32)) * 0x100000001b3
+  done;
+  !h
+
+let equal_key (a : int array) (b : int array) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
+  go 0
+
+let create n =
+  let cap =
+    let c = ref 16 in
+    while !c < max 16 n do
+      c := !c * 2
+    done;
+    !c
+  in
+  { keys = Array.make cap [||]; vals = Array.make cap 0; mask = cap - 1; count = 0 }
+
+let length t = t.count
+
+let rec probe keys mask k s =
+  let key = Array.unsafe_get keys s in
+  if Array.length key = 0 || equal_key key k then s
+  else probe keys mask k ((s + 1) land mask)
+
+let index t k = probe t.keys t.mask k (hash_key k land t.mask)
+
+let grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap [||];
+  t.vals <- Array.make cap 0;
+  t.mask <- cap - 1;
+  Array.iteri
+    (fun i k ->
+      if Array.length k <> 0 then begin
+        let s = probe t.keys t.mask k (hash_key k land t.mask) in
+        t.keys.(s) <- k;
+        t.vals.(s) <- old_vals.(i)
+      end)
+    old_keys
+
+let set t k v =
+  if Array.length k = 0 then invalid_arg "Key_table.set: empty key";
+  let s = index t k in
+  if Array.length t.keys.(s) = 0 then begin
+    t.keys.(s) <- k;
+    t.vals.(s) <- v;
+    t.count <- t.count + 1;
+    if t.count * 4 > (t.mask + 1) * 3 then grow t
+  end
+  else t.vals.(s) <- v
+
+let get t k ~absent =
+  let s = index t k in
+  if Array.length t.keys.(s) = 0 then absent else t.vals.(s)
+
+let find_opt t k =
+  let s = index t k in
+  if Array.length t.keys.(s) = 0 then None else Some t.vals.(s)
+
+let mem t k = Array.length t.keys.(index t k) <> 0

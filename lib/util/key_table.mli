@@ -1,0 +1,18 @@
+(** Open-addressing hash table keyed by [int array]s.
+
+    Composite identities (vector-bundle shapes, CSE value keys) encode as
+    short int arrays; this maps such a key to an [int] handle without
+    string building or polymorphic hashing.  An empty array is not a valid
+    key.  Keys must not be mutated after insertion. *)
+
+type t
+
+val create : int -> t
+val length : t -> int
+
+val set : t -> int array -> int -> unit
+(** Insert or overwrite. @raise Invalid_argument on the empty key. *)
+
+val get : t -> int array -> absent:int -> int
+val find_opt : t -> int array -> int option
+val mem : t -> int array -> bool

@@ -78,3 +78,4 @@ The registry is self-describing:
   R2 ambient-random         ambient Random.* call (incl. self_init) instead of an explicit Random.State.t
   R3 raise-primitives       failwith / invalid_arg / bare raise of a predefined exception instead of a typed error
   R4 wall-clock             wall-clock read (Unix.gettimeofday, Unix.time, Sys.time) outside the waived telemetry/trace modules
+  R5 boxed-table-hot-path   Hashtbl.create / List.assoc* in a hot-path module (lib/core, lib/ir); index through Arena, Int_table or Key_table instead

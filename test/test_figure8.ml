@@ -57,7 +57,7 @@ let suite =
     tc "the multi-node has four operand slots" (fun () ->
         let _, graph, _ = build () in
         let node, _ = multi_of graph in
-        check_int "slots" 4 (List.length node.Graph.children));
+        check_int "slots" 4 (List.length (Graph.children graph node)));
     tc "slots sort into B-shifts, D loads, C-shifts, and a failed mix"
       (fun () ->
         let _, graph, _ = build () in
@@ -88,7 +88,7 @@ let suite =
                   vs
               in
               if has_const && has_load then incr mixed_gathers)
-          node.Graph.children;
+          (Graph.children graph node);
         check_int "two shift groups (blue + green)" 2 !shift_groups;
         check_int "one wide D load" 1 !wide_d_loads;
         check_int "one failed const slot (mixed gather)" 1 !mixed_gathers);

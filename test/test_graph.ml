@@ -187,7 +187,7 @@ let multinode_tests =
               | _ -> false)
             (Graph.nodes graph)
         in
-        check_int "slots" 3 (List.length multi.Graph.children));
+        check_int "slots" 3 (List.length (Graph.children graph multi)));
     tc "multi-node size limit truncates the chain" (fun () ->
         let graph, _ =
           build_graph "motivation-multi" (Config.lslp_multi 1)

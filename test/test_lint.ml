@@ -75,10 +75,11 @@ let whole_dir () =
   check_int "stale" 0 (List.length r.Driver.stale);
   Alcotest.(check bool) "seeded violations fail the run" false
     (Driver.ok ~check_waivers:true r);
-  (* every registry rule fires somewhere in the fixture set *)
+  (* every path-independent rule fires somewhere in the fixture set; R5
+     is gated on lib/core//lib/ir paths, exercised in [r5_hot_path] *)
   Alcotest.(check (list (pair string int)))
     "findings by rule"
-    [ ("R1", 3); ("R2", 2); ("R3", 3); ("R4", 2) ]
+    [ ("R1", 3); ("R2", 2); ("R3", 3); ("R4", 2); ("R5", 0) ]
     (Driver.findings_by_rule r)
 
 let rule_filter () =
@@ -141,8 +142,24 @@ let not_flagged () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "syntax error should not lint clean"
 
+(* R5 is path-gated: the same source is a finding inside a hot-path
+   module and silent everywhere else. *)
+let r5_hot_path () =
+  let count file src =
+    match Driver.lint_source ~file src with
+    | Ok fs ->
+      List.length (List.filter (fun f -> f.Finding.rule = "R5") fs)
+    | Error e -> Alcotest.fail e
+  in
+  let src = "let f tbl k = Hashtbl.create 4, List.assoc_opt k tbl" in
+  check_int "flagged in lib/core" 2 (count "lib/core/hot.ml" src);
+  check_int "flagged in lib/ir" 2 (count "lib/ir/hot.ml" src);
+  check_int "silent outside the hot path" 0 (count "lib/check/cold.ml" src);
+  check_int "Int_table is the sanctioned structure" 0
+    (count "lib/core/hot.ml" "let t = fun () -> Lslp_util.Int_table.create 8")
+
 let registry () =
-  check_int "four rules" 4 (List.length Rules.all);
+  check_int "five rules" 5 (List.length Rules.all);
   Alcotest.(check bool) "find by id" true (Rules.find "R1" <> None);
   Alcotest.(check bool) "find by slug" true
     (Rules.find "wall-clock" <> None);
@@ -160,5 +177,6 @@ let suite =
     tc "stale waiver detected" stale;
     tc "waiver parsing" waiver_parse;
     tc "sanctioned patterns not flagged" not_flagged;
+    tc "r5 boxed tables path-gated" r5_hot_path;
     tc "registry lookup" registry;
   ]

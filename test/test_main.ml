@@ -19,6 +19,7 @@ let () =
       ("width", Test_width.suite);
       ("reduction", Test_reduction.suite);
       ("properties", Test_qcheck.suite);
+      ("arena", Test_arena.suite);
       ("check", Test_check.suite);
       ("robust", Test_robust.suite);
       ("telemetry", Test_telemetry.suite);

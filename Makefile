@@ -1,8 +1,9 @@
 # Convenience wrappers around dune.
 
 .PHONY: all test check bench ci clean fuzz lint lint-exceptions \
-  domain-smoke bench-lint stats-golden bench-check bench-baseline \
-  bench-speed bench-speed-report trace-golden
+  domain-smoke serve-smoke bench-lint stats-golden bench-check \
+  bench-baseline bench-speed bench-speed-report bench-serve \
+  bench-serve-report trace-golden
 
 all:
 	dune build
@@ -23,6 +24,7 @@ ci:
 	dune build @check
 	$(MAKE) lint
 	$(MAKE) domain-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) fuzz
 	$(MAKE) stats-golden
 	$(MAKE) trace-golden
@@ -59,6 +61,25 @@ lint-exceptions:
 domain-smoke:
 	dune exec bin/lslpc.exe -- domains --jobs 8
 
+# Fault-survival gate for the batch compile service: the catalog twice
+# through a 4-domain pool with one injected worker crash (job 3, round 1)
+# and one cache poisoning (job 30 = kernel 6, round 2).  The batch must
+# complete, every undamaged job must match, and the run must record
+# EXACTLY two degradations — the crashed job's typed failure and the
+# poisoned entry's verified eviction (exit 1 on any other count).  The
+# sharded fuzz then proves 4-domain fuzzing is case-by-case identical to
+# sequential, and the waiver audit covers the new lib/service code.
+serve-smoke:
+	dune exec bin/lslpc.exe -- batch --jobs 4 --repeat 2 \
+	  --inject worker-raise@3 --inject cache-poison@30 \
+	  --expect-degradations 2 --stats
+	dune exec bin/lslpc.exe -- batch --jobs 4 --deadline-steps 50000 \
+	  --inject worker-hang@5 --expect-degradations 1
+	dune exec bin/lslpc.exe -- batch --jobs 8 \
+	  --inject queue-full@7 --expect-degradations 1
+	dune exec bin/lslpc.exe -- fuzz --cases 120 --seed 42 --jobs 4
+	dune exec bin/lint.exe -- --check-waivers lib bin
+
 # Refresh the committed lint bench entry (files scanned, findings by
 # rule, wall time).
 bench-lint:
@@ -93,6 +114,17 @@ bench-speed:
 
 bench-speed-report:
 	dune exec bench/speed.exe -- --reps 300 --no-write
+
+# Batch-service throughput: catalog x 1000 as one batch through the pool
+# (sequential floor, N domains, cache cold vs warm with every hit
+# legality-re-verified), appended to bench_results/BENCH_serve.json.
+# The warm-vs-cold speedup is gated at 5x — that ratio measures work
+# skipped safely, which unlike wall-clock survives noisy runners.
+bench-serve:
+	dune exec bench/serve.exe -- --reps 1000 --min-warm-speedup 5
+
+bench-serve-report:
+	dune exec bench/serve.exe -- --reps 100 --no-write --min-warm-speedup 5
 
 bench:
 	dune exec bench/main.exe

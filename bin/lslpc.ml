@@ -16,8 +16,11 @@
      show     print a catalog kernel's source and IR
      fuzz     differential fuzzing: random kernels vs the scalar oracle
               (--config cache-diff checks the memoized scorer instead)
+     batch    compile the catalog on the fault-isolated Domain-pool
+              service: per-job deadlines, retries with backoff,
+              backpressure and a verified result cache
      domains  domain-pool determinism smoke: the whole catalog on N
-              concurrent domains must reproduce the sequential IR,
+              concurrent pool domains must reproduce the sequential IR,
               remarks and counters (modulo id alpha-renaming)
 
    Example:
@@ -549,27 +552,80 @@ let stats_cmd =
 (* ---- fuzz --------------------------------------------------------- *)
 
 let fuzz_cmd =
-  let run cases seed config inject json verbose =
+  let run cases seed config inject jobs json verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
-    let stats =
-      match config with
-      | Some "cache-diff" ->
-        (* differential check of the memoized scorer: cache on vs off *)
-        Lslp_fuzz.Fuzz.run_cache_diff ~cases ~seed ()
-      | Some s -> (
-        match config_of_string s with
-        | Ok c -> Lslp_fuzz.Fuzz.run ~cases ~seed ~config:c
-                    ?inject_spec:inject ()
-        | Error e -> failwith e)
-      | None -> Lslp_fuzz.Fuzz.run ~cases ~seed ?inject_spec:inject ()
-    in
-    (* summary on stdout is stable per seed; the RNG-dependent counters go
-       to stderr so cram tests can pin the former *)
-    if json then Fmt.pr "%s@." (Lslp_fuzz.Fuzz.to_json stats)
-    else Fmt.pr "%a@." Lslp_fuzz.Fuzz.pp_summary stats;
-    Fmt.epr "%a@." Lslp_fuzz.Fuzz.pp_detail stats;
-    if not (Lslp_fuzz.Fuzz.ok stats) then exit 1
+    if jobs > 1 && config <> Some "cache-diff" then begin
+      (* sharded on the service pool: every case derives from (seed, case)
+         alone, then the whole run is replayed sequentially and compared
+         case by case — sharding must be observationally invisible *)
+      let forced =
+        match config with
+        | None -> None
+        | Some s -> (
+          match config_of_string s with
+          | Ok c -> Some c
+          | Error e -> failwith e)
+      in
+      let pool =
+        { Lslp_service.Pool.default_config with domains = jobs;
+          queue_cap = max 1 (jobs * 4) }
+      in
+      let outcomes =
+        Lslp_service.Shard.run ?config:forced ?inject_spec:inject ~pool
+          ~cases ~seed ()
+      in
+      let totals = Lslp_service.Shard.summarize outcomes in
+      let mismatches =
+        Lslp_service.Shard.check_against_sequential ?config:forced
+          ?inject_spec:inject ~seed outcomes
+      in
+      Fmt.pr "fuzz: %d case(s): %d failure(s)@." totals.Lslp_service.Shard.cases
+        (List.length totals.Lslp_service.Shard.failures);
+      List.iter
+        (fun (case, summary) -> Fmt.pr "case %d: %s@." case summary)
+        totals.Lslp_service.Shard.failures;
+      (match mismatches with
+       | [] -> Fmt.pr "sharded determinism (%d domain(s)): OK@." jobs
+       | ms ->
+         List.iter
+           (fun (m : Lslp_service.Shard.mismatch) ->
+             Fmt.epr
+               "case %d: sharded and sequential runs disagree@.  sharded:    \
+                %s@.  sequential: %s@."
+               m.case m.sharded m.sequential)
+           ms;
+         Fmt.epr "sharded determinism: FAILED (%d mismatch(es))@."
+           (List.length ms));
+      Fmt.epr
+        "%d region(s) vectorized, %d degraded, %d/%d case(s) with faults, \
+         %d pool failure(s)@."
+        totals.Lslp_service.Shard.vectorized totals.Lslp_service.Shard.degraded
+        totals.Lslp_service.Shard.injected_runs totals.Lslp_service.Shard.cases
+        totals.Lslp_service.Shard.pool_failures;
+      if totals.Lslp_service.Shard.failures <> [] || mismatches <> [] then
+        exit 1
+    end
+    else begin
+      let stats =
+        match config with
+        | Some "cache-diff" ->
+          (* differential check of the memoized scorer: cache on vs off *)
+          Lslp_fuzz.Fuzz.run_cache_diff ~cases ~seed ()
+        | Some s -> (
+          match config_of_string s with
+          | Ok c -> Lslp_fuzz.Fuzz.run ~cases ~seed ~config:c
+                      ?inject_spec:inject ()
+          | Error e -> failwith e)
+        | None -> Lslp_fuzz.Fuzz.run ~cases ~seed ?inject_spec:inject ()
+      in
+      (* summary on stdout is stable per seed; the RNG-dependent counters go
+         to stderr so cram tests can pin the former *)
+      if json then Fmt.pr "%s@." (Lslp_fuzz.Fuzz.to_json stats)
+      else Fmt.pr "%a@." Lslp_fuzz.Fuzz.pp_summary stats;
+      Fmt.epr "%a@." Lslp_fuzz.Fuzz.pp_detail stats;
+      if not (Lslp_fuzz.Fuzz.ok stats) then exit 1
+    end
   in
   let json =
     Arg.(value & flag
@@ -595,24 +651,234 @@ let fuzz_cmd =
     Arg.(value & opt (some string) None
          & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
   in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Shard the cases across N pool domains; the run is then \
+                   replayed sequentially and compared case by case \
+                   (sharding must be observationally invisible).  1 keeps \
+                   the classic single-stream derivation.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
          "Differential fuzzing: random well-typed kernels through the \
           pipeline under random configurations (and injected faults), \
           checked against the scalar oracle")
-    Term.(const run $ cases $ seed $ config $ inject_arg $ json
+    Term.(const run $ cases $ seed $ config $ inject_arg $ jobs $ json
           $ verbose_arg)
+
+(* ---- batch -------------------------------------------------------- *)
+
+(* "SPEC[@JOB]": an injection spec optionally targeted at one global job
+   index.  Targeted specs arm only their job; an untargeted spec arms
+   every job.  The first matching spec wins. *)
+let parse_targeted_inject s =
+  let split_target s =
+    match String.rindex_opt s '@' with
+    | Some k -> (
+      let target = String.sub s (k + 1) (String.length s - k - 1) in
+      match int_of_string_opt target with
+      | Some job -> (String.sub s 0 k, Some job)
+      | None -> (s, None))
+    | None -> (s, None)
+  in
+  let spec, target = split_target s in
+  match Lslp_robust.Inject.parse spec with
+  | Ok i -> Ok (i, target)
+  | Error e -> Error (`Msg e)
+
+let targeted_inject_conv =
+  let print ppf (i, target) =
+    Fmt.pf ppf "%a%a" Lslp_robust.Inject.pp i
+      Fmt.(option (fun ppf j -> Fmt.pf ppf "@@%d" j))
+      target
+  in
+  Arg.conv (parse_targeted_inject, print)
+
+let service_inject_args =
+  let doc =
+    "Arm deterministic fault injection, repeatable.  \
+     PASS[:RATE[:SEED]][@JOB], where PASS additionally accepts the \
+     service boundaries worker-raise, worker-hang, cache-poison, \
+     queue-full and the set name $(b,service); @JOB targets one global \
+     job index (round * kernels + position), otherwise every job is \
+     armed."
+  in
+  Arg.(value & opt_all targeted_inject_conv []
+       & info [ "inject" ] ~docv:"SPEC" ~doc)
+
+let inject_for_of specs gidx =
+  let rec pick = function
+    | [] -> None
+    | (i, Some j) :: _ when j = gidx -> Some i
+    | (i, None) :: _ -> Some i
+    | _ :: rest -> pick rest
+  in
+  (* targeted specs take precedence over a catch-all *)
+  let targeted = List.filter (fun (_, t) -> t <> None) specs in
+  match pick targeted with Some i -> Some i | None -> pick specs
+
+let pool_config_of ~jobs ~queue_cap ~retries ~backoff ~deadline_steps =
+  {
+    Lslp_service.Pool.default_config with
+    domains = jobs;
+    queue_cap;
+    retries;
+    backoff;
+    deadline_steps;
+  }
+
+let print_pool_stats s =
+  Fmt.pr "%a@." Lslp_telemetry.Pool_stats.pp s
+
+let batch_cmd =
+  let run config unroll jobs queue_cap deadline_steps retries backoff cache
+      repeat injects expect stats_flag stats_json trace_out trace_format
+      verbose =
+    handle_errors @@ fun () ->
+    setup_logs verbose;
+    let inject_for = inject_for_of injects in
+    let pool =
+      pool_config_of ~jobs ~queue_cap ~retries ~backoff ~deadline_steps
+    in
+    let svc =
+      Lslp_service.Service.create ~cache ~trace:(trace_out <> None)
+        ~inject_for ~pool config
+    in
+    let kernels = Lslp_kernels.Catalog.all in
+    let job_array =
+      Array.of_list
+        (List.map
+           (fun (k : Lslp_kernels.Catalog.kernel) ->
+             { Lslp_service.Service.label = k.key; source = k.source; unroll })
+           kernels)
+    in
+    let n = Array.length job_array in
+    let rounds =
+      List.init (max 1 repeat) (fun round ->
+          Lslp_service.Service.batch ~index_base:(round * n) svc job_array)
+    in
+    let outcomes = Array.concat rounds in
+    let ok = ref 0 and cached = ref 0 and failed = ref 0 in
+    Array.iteri
+      (fun gidx outcome ->
+        let key = (List.nth kernels (gidx mod n)).Lslp_kernels.Catalog.key in
+        match outcome with
+        | Lslp_service.Pool.Done (s : Lslp_service.Service.success) ->
+          incr ok;
+          if s.from_cache then incr cached;
+          if verbose then
+            Fmt.epr "job %d %s: ok%s, %d region(s) vectorized@." gidx key
+              (if s.from_cache then " (cached)" else "")
+              s.vectorized
+        | Lslp_service.Pool.Degraded_to_failure { attempts; failure } ->
+          incr failed;
+          Fmt.pr "job %d %s: degraded after %d attempt(s): %a@." gidx key
+            attempts Lslp_service.Pool.pp_failure failure)
+      outcomes;
+    Fmt.pr "batch: %d round(s) x %d kernel(s) on %d domain(s): %d ok (%d \
+            from cache), %d degraded@."
+      (max 1 repeat) n jobs !ok !cached !failed;
+    if stats_flag then print_pool_stats (Lslp_service.Service.stats svc);
+    if stats_json then
+      Fmt.pr "%s@."
+        (Lslp_util.Json.to_string
+           (Lslp_telemetry.Pool_stats.json (Lslp_service.Service.stats svc)));
+    Option.iter
+      (fun path ->
+        let events = Lslp_service.Service.trace_events svc in
+        write_out path
+          (match trace_format with
+           | Chrome ->
+             Lslp_trace.Trace.chrome_string ~meta:[ ("service", "batch") ]
+               events
+           | Dot -> Lslp_trace.Trace.to_dot events
+           | Log -> Lslp_trace.Trace.to_log events))
+      trace_out;
+    match expect with
+    | None -> if !failed > 0 && injects = [] then exit 1
+    | Some want ->
+      let got = Lslp_service.Service.degradations svc outcomes in
+      if got <> want then begin
+        Fmt.epr
+          "batch: expected %d degradation(s) (failures + cache evictions), \
+           got %d@."
+          want got;
+        exit 1
+      end
+      else Fmt.pr "degradations: %d (as expected)@." got
+  in
+  let jobs =
+    Arg.(value & opt int 4
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains in the pool.")
+  in
+  let queue_cap =
+    Arg.(value & opt int 64
+         & info [ "queue-cap" ] ~docv:"N"
+             ~doc:"Ready-queue bound; admission blocks while full \
+                   (backpressure).")
+  in
+  let deadline_steps =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-steps" ] ~docv:"K"
+             ~doc:"Cooperative per-job deadline: cancel a compile after K \
+                   pass-boundary ticks.  Off by default.")
+  in
+  let retries =
+    Arg.(value & opt int 2
+         & info [ "retries" ] ~docv:"R"
+             ~doc:"Re-queue a crashed or timed-out job up to R times \
+                   (deterministic exponential backoff) before recording a \
+                   typed failure.")
+  in
+  let backoff =
+    Arg.(value & opt int 2
+         & info [ "backoff" ] ~docv:"T"
+             ~doc:"Base retry delay in virtual scheduling ticks; doubles \
+                   per attempt.")
+  in
+  let cache =
+    Arg.(value & opt (enum [ ("on", true); ("off", false) ]) true
+         & info [ "cache" ] ~docv:"on|off"
+             ~doc:"Content-addressed result cache; every hit is re-verified \
+                   by the legality validator before reuse.")
+  in
+  let repeat =
+    Arg.(value & opt int 1
+         & info [ "repeat" ] ~docv:"N"
+             ~doc:"Submit the catalog N times as sequential rounds sharing \
+                   the cache — round 2+ exercises the warm path.")
+  in
+  let expect =
+    Arg.(value & opt (some int) None
+         & info [ "expect-degradations" ] ~docv:"N"
+             ~doc:"Exit non-zero unless failures + cache evictions equal \
+                   exactly N (the fault-survival smoke gate).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Compile the kernel catalog as a batch on the fault-isolated \
+          Domain-pool service: deadlines, retries, backpressure and a \
+          verified result cache")
+    Term.(const run $ config_arg $ unroll_arg $ jobs $ queue_cap
+          $ deadline_steps $ retries $ backoff $ cache $ repeat
+          $ service_inject_args $ expect $ stats_arg $ stats_json_arg
+          $ trace_out_arg $ trace_format_arg $ verbose_arg)
 
 (* ---- domains ------------------------------------------------------ *)
 
-(* The domain-safety proof behind the planned parallel compile service:
-   compile the full catalog once sequentially, then once on each of
-   [--jobs] concurrent domains, and require every domain to reproduce the
-   sequential IR, remarks and telemetry counters exactly.  Instruction
-   ids come from a process-global Atomic so raw ids differ run to run —
-   Fuzz.normalize_ids alpha-renames them by first appearance, which is
-   exactly the invariant we promise: same structure, any numbering. *)
+(* The domain-safety proof behind the compile service, now running ON the
+   service's pool: compile the full catalog once sequentially, then
+   [--jobs] more times as concurrent pool jobs, and require every copy to
+   reproduce the sequential IR, remarks and telemetry counters exactly.
+   Instruction ids come from a process-global Atomic so raw ids differ run
+   to run — Fuzz.normalize_ids alpha-renames them by first appearance,
+   which is exactly the invariant we promise: same structure, any
+   numbering.  The id-watermark leak check runs inside every job: ids are
+   globally monotone across domains, so output ids outside the job's own
+   [low, high) window mean an arena compact index leaked into the IR. *)
 let domains_cmd =
   let run config unroll jobs verbose =
     handle_errors @@ fun () ->
@@ -621,10 +887,6 @@ let domains_cmd =
       Lslp_core.Config.(config |> with_remarks true |> with_validate true)
     in
     let snapshot (k : Lslp_kernels.Catalog.kernel) =
-      (* every id in this kernel's output must postdate this watermark:
-         arena compact indices restart at 0 per block, so a leaked index
-         would show up as an id below ids already spent on earlier
-         kernels (or other domains) *)
       let low = Lslp_ir.Instr.id_watermark () in
       let f = Lslp_kernels.Catalog.compile k in
       ignore (Lslp_frontend.Unroll.run ~factor:unroll f);
@@ -634,13 +896,12 @@ let domains_cmd =
         (fun b ->
           Lslp_ir.Block.iter
             (fun (i : Lslp_ir.Instr.t) ->
-              if i.Lslp_ir.Instr.id < low || i.Lslp_ir.Instr.id >= high then begin
-                Fmt.epr
-                  "domain smoke: %s: instruction id %d outside [%d, %d): \
-                   arena compact index leaked into the IR@."
-                  k.key i.Lslp_ir.Instr.id low high;
-                exit 1
-              end)
+              if i.Lslp_ir.Instr.id < low || i.Lslp_ir.Instr.id >= high then
+                failwith
+                  (Fmt.str
+                     "%s: instruction id %d outside [%d, %d): arena \
+                      compact index leaked into the IR"
+                     k.key i.Lslp_ir.Instr.id low high))
             b)
         (Lslp_ir.Func.blocks g);
       let ir =
@@ -665,48 +926,76 @@ let domains_cmd =
       in
       (k.key, ir, remarks, counters)
     in
-    let full () = List.map snapshot Lslp_kernels.Catalog.all in
-    let baseline = full () in
-    let pool = List.init jobs (fun _ -> Domain.spawn full) in
-    let results = List.map Domain.join pool in
+    let kernels = Array.of_list Lslp_kernels.Catalog.all in
+    let nk = Array.length kernels in
+    let baseline = Array.map snapshot kernels in
+    (* every (copy, kernel) pair is one pool job; a watermark leak raises
+       and surfaces as a typed pool failure instead of a mystery hang *)
+    let pool_jobs =
+      Array.init (jobs * nk) (fun idx ->
+          let k = kernels.(idx mod nk) in
+          ( Fmt.str "%s#%d" k.Lslp_kernels.Catalog.key (idx / nk),
+            fun ~inject:_ ~deadline:_ -> snapshot k ))
+    in
+    let pool =
+      {
+        Lslp_service.Pool.default_config with
+        domains = jobs;
+        queue_cap = max 1 (jobs * 2);
+        retries = 0;
+      }
+    in
+    let outcomes = Lslp_service.Pool.run pool pool_jobs in
     let mismatches = ref [] in
-    List.iteri
-      (fun d rows ->
-        List.iter2
-          (fun (key, ir, rem, ctr) (key', ir', rem', ctr') ->
-            assert (key = key');
-            if ir <> ir' then
-              mismatches := (d, key, "IR") :: !mismatches;
-            if rem <> rem' then
-              mismatches := (d, key, "remarks") :: !mismatches;
-            if ctr <> ctr' then
-              mismatches := (d, key, "counters") :: !mismatches)
-          baseline rows)
-      results;
-    match List.rev !mismatches with
-    | [] ->
-      Fmt.pr "domain smoke: %d domain(s) x %d kernel(s) x %s: OK@." jobs
-        (List.length baseline) config.Lslp_core.Config.name
-    | ms ->
+    let hard_failures = ref [] in
+    Array.iteri
+      (fun idx outcome ->
+        let copy = idx / nk in
+        let key, ir, rem, ctr = baseline.(idx mod nk) in
+        match outcome with
+        | Lslp_service.Pool.Degraded_to_failure { failure; _ } ->
+          hard_failures :=
+            (copy, key, Fmt.str "%a" Lslp_service.Pool.pp_failure failure)
+            :: !hard_failures
+        | Lslp_service.Pool.Done (key', ir', rem', ctr') ->
+          assert (key = key');
+          if ir <> ir' then mismatches := (copy, key, "IR") :: !mismatches;
+          if rem <> rem' then
+            mismatches := (copy, key, "remarks") :: !mismatches;
+          if ctr <> ctr' then
+            mismatches := (copy, key, "counters") :: !mismatches)
+      outcomes;
+    match (List.rev !hard_failures, List.rev !mismatches) with
+    | [], [] ->
+      Fmt.pr "domain smoke: %d domain(s) x %d kernel(s) x %s: OK@." jobs nk
+        config.Lslp_core.Config.name
+    | fails, ms ->
       List.iter
-        (fun (d, key, what) ->
-          Fmt.epr "domain %d: %s: %s diverged from sequential baseline@." d
+        (fun (copy, key, msg) ->
+          Fmt.epr "copy %d: %s: job failed: %s@." copy key msg)
+        fails;
+      List.iter
+        (fun (copy, key, what) ->
+          Fmt.epr "copy %d: %s: %s diverged from sequential baseline@." copy
             key what)
         ms;
-      Fmt.epr "domain smoke: FAILED (%d divergence(s))@." (List.length ms);
+      Fmt.epr "domain smoke: FAILED (%d divergence(s), %d failure(s))@."
+        (List.length ms) (List.length fails);
       exit 1
   in
   let jobs =
     Arg.(value & opt int 8
          & info [ "j"; "jobs" ] ~docv:"N"
-             ~doc:"How many concurrent domains to compile the catalog on.")
+             ~doc:"How many concurrent catalog copies (= pool domains) to \
+                   compile.")
   in
   Cmd.v
     (Cmd.info "domains"
        ~doc:
          "Domain-pool determinism smoke: compile the whole catalog on N \
-          concurrent domains and require bit-identical (alpha-renamed) IR, \
-          remarks and counters versus the sequential baseline")
+          concurrent domains of the service pool and require bit-identical \
+          (alpha-renamed) IR, remarks and counters versus the sequential \
+          baseline")
     Term.(const run $ config_arg $ unroll_arg $ jobs $ verbose_arg)
 
 (* ---- kernels ------------------------------------------------------ *)
@@ -747,4 +1036,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; run_cmd; analyze_cmd; trace_cmd; stats_cmd;
-            fuzz_cmd; domains_cmd; kernels_cmd; show_cmd ]))
+            fuzz_cmd; batch_cmd; domains_cmd; kernels_cmd; show_cmd ]))

@@ -38,6 +38,12 @@ type t = {
      and [lslpc --inject] use to force rollbacks at pass boundaries. *)
   budget : Lslp_robust.Budget.t;
   inject : Lslp_robust.Inject.t option;
+  (* Per-job cooperative deadline (the compile service's watchdog): ticked
+     at the same pass boundaries [inject] instruments; [None] everywhere
+     except inside a service worker.  Expiry cancels the job — see
+     Budget.Deadline_expired and the deadline-vs-fuel contract in
+     DESIGN.md §15. *)
+  deadline : Lslp_robust.Budget.deadline option;
 }
 
 let default_model = Lslp_costmodel.Model.skylake_avx2
@@ -59,6 +65,7 @@ let lslp =
     trace = false;
     budget = Lslp_robust.Budget.default;
     inject = None;
+    deadline = None;
   }
 
 let slp = { lslp with name = "SLP"; strategy = Vanilla }
@@ -86,6 +93,7 @@ let with_remarks remarks t = { t with remarks }
 let with_trace trace t = { t with trace }
 let with_budget budget t = { t with budget }
 let with_inject inject t = { t with inject = Some inject }
+let with_deadline deadline t = { t with deadline = Some deadline }
 
 let effective_max_lanes t elt =
   let native = Lslp_costmodel.Model.max_lanes t.model elt in
@@ -93,5 +101,42 @@ let effective_max_lanes t elt =
 
 let multinode_limit t =
   match t.max_multinode_groups with Some n -> max 1 n | None -> max_int
+
+(* Everything that can change the *output* of a compile, flattened into a
+   stable string: one half of the service's content-addressed cache key
+   (the other half is the normalized input IR).  [inject] and [deadline]
+   are deliberately excluded — the service never caches a run that had an
+   injector armed or that failed its deadline, and a run that beat its
+   deadline is byte-identical to one with no deadline at all.  [trace] and
+   observability flags are excluded for the same reason: they do not touch
+   the IR, and the cache stores IR. *)
+let fingerprint t =
+  let b = Buffer.create 96 in
+  let add s =
+    Buffer.add_string b s;
+    Buffer.add_char b ';'
+  in
+  add t.name;
+  add
+    (match t.strategy with
+     | No_reorder -> "no-reorder"
+     | Vanilla -> "vanilla"
+     | Lookahead -> "lookahead");
+  add (string_of_int t.lookahead_depth);
+  add
+    (match t.max_multinode_groups with
+     | Some n -> string_of_int n
+     | None -> "inf");
+  add
+    (match t.max_lanes with Some n -> string_of_int n | None -> "native");
+  add (string_of_int t.threshold);
+  add (match t.score_combine with Score_sum -> "sum" | Score_max -> "max");
+  add (string_of_bool t.score_cache);
+  add t.model.Lslp_costmodel.Model.target_name;
+  add (string_of_bool t.reductions);
+  add (string_of_bool t.validate);
+  add (string_of_bool t.remarks);
+  add (Fmt.str "%a" Lslp_robust.Budget.pp t.budget);
+  Buffer.contents b
 
 let pp ppf t = Fmt.string ppf t.name

@@ -27,6 +27,7 @@ type t = {
   trace : bool;
   budget : Lslp_robust.Budget.t;
   inject : Lslp_robust.Inject.t option;
+  deadline : Lslp_robust.Budget.deadline option;
 }
 
 val lslp : t
@@ -86,6 +87,20 @@ val with_inject : Lslp_robust.Inject.t -> t -> t
 (** Arm deterministic fault injection at pass boundaries; used by the
     robustness tests and [lslpc --inject] to exercise the rollback path. *)
 
+val with_deadline : Lslp_robust.Budget.deadline -> t -> t
+(** Arm the compile service's per-job cooperative deadline: the pipeline
+    ticks it at the same eight pass boundaries the fault injector
+    instruments, and expiry raises {!Lslp_robust.Budget.Deadline_expired}
+    through {!Pipeline.run} (with all snapshots restored) — the job is
+    cancelled, not degraded.  Default off ([None]). *)
+
 val effective_max_lanes : t -> Lslp_ir.Types.scalar -> int
 val multinode_limit : t -> int
+
+val fingerprint : t -> string
+(** A stable flattening of every output-affecting knob — the config half
+    of the service cache key.  [inject], [deadline] and [trace] are
+    excluded: the service never caches faulted runs, and neither deadlines
+    nor tracing change the IR of a run that completes. *)
+
 val pp : t Fmt.t

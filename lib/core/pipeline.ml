@@ -123,6 +123,9 @@ let degraded_desc (failure : Transact.failure) =
 let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
   let open Lslp_check in
   let inject = config.Config.inject in
+  (* the service's cooperative watchdog: one tick at every boundary the
+     injector instruments; None (the default) costs a single match *)
+  let deadline = config.Config.deadline in
   (* run-wide SLP-graph node-id source: nids stay unique across every graph
      of this run (the DOT exporter relies on it) and start from 1 on every
      run, so concurrent runs on other domains number independently *)
@@ -324,6 +327,7 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
                   m "%s: [%s] building graph for seed %s" config.Config.name
                     region_id (describe_seed seed));
               cur_pass := "graph-build";
+              Budget.deadline_tick deadline;
               Inject.maybe_fail inject Inject.Graph_build;
               let notes = ref [] in
               let note =
@@ -366,6 +370,7 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
               cur_pass := "codegen";
               let region =
                 if Cost.profitable config cost then begin
+                  Budget.deadline_tick deadline;
                   Inject.maybe_fail inject Inject.Codegen;
                   match
                     traced_span ?trace probe "codegen" (fun () ->
@@ -377,6 +382,7 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
                     if Inject.corrupts inject then
                       ignore (Inject.corrupt_block block);
                     cur_pass := "verify";
+                    Budget.deadline_tick deadline;
                     Inject.maybe_fail inject Inject.Verify;
                     verify_or_abort "verify";
                     (* only now is the region committed; a verify abort
@@ -587,11 +593,13 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
     let cur_pass = ref "cse" in
     let result =
       Transact.protect ~snapshot ~pass:(fun () -> !cur_pass) (fun () ->
+          Budget.deadline_tick deadline;
           Inject.maybe_fail inject Inject.Cse;
           let cse_removed =
             traced_span ?trace probe "cse" (fun () -> Cse.run_block block)
           in
           cur_pass := "dce";
+          Budget.deadline_tick deadline;
           Inject.maybe_fail inject Inject.Dce;
           let dce_removed =
             traced_span ?trace probe "dce" (fun () -> Dce.run_block block)
@@ -667,6 +675,12 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
   match run_unprotected ?trace ~config f with
   | report -> report
   | exception ((Out_of_memory | Sys.Break) as fatal) -> raise fatal
+  | exception (Budget.Deadline_expired _ as cancel) ->
+    (* cooperative cancellation from the service watchdog: restore the
+       scalar input (region transactions already rolled their own state
+       back) and let the pool decide — retry or typed job failure *)
+    Transact.restore whole;
+    raise cancel
   | exception e ->
     Transact.restore whole;
     let failure = Transact.failure_of_exn ~pass:"pipeline" e in

@@ -142,38 +142,51 @@ let run ?(cases = 500) ?(seed = 42) ?config ?inject_spec () : stats =
     injected_runs = !injected_runs;
   }
 
-(* Printed IR embeds the global instruction-id counter in every label
-   (see Lslp_ir.Printer), so two pipeline runs in one process are never
-   textually identical even when they build the same instructions.
-   Alpha-rename every %label by first appearance before comparing. *)
-let normalize_ids s =
-  let b = Buffer.create (String.length s) in
-  let tbl = Lslp_util.Intern.create 64 in
-  let n = String.length s in
-  let is_tok c =
-    (c >= 'a' && c <= 'z')
-    || (c >= 'A' && c <= 'Z')
-    || (c >= '0' && c <= '9')
-    || c = '_' || c = '.'
-  in
-  let i = ref 0 in
-  while !i < n do
-    let c = s.[!i] in
-    if c = '%' then begin
-      let j = ref (!i + 1) in
-      while !j < n && is_tok s.[!j] do incr j done;
-      let tok = String.sub s !i (!j - !i) in
-      let k = Lslp_util.Intern.intern tbl tok in
-      Buffer.add_string b "%r";
-      Buffer.add_string b (string_of_int k);
-      i := !j
-    end
-    else begin
-      Buffer.add_char b c;
-      incr i
-    end
-  done;
-  Buffer.contents b
+(* Moved to Lslp_util.Normalize so the service layer can share it without
+   depending on the fuzzer; kept here as the historical name every test
+   and driver already uses. *)
+let normalize_ids = Lslp_util.Normalize.ids
+
+(* One case under the *indexed* derivation: the whole case — program,
+   config draw, validate flag, injector — comes from a per-case PRNG
+   seeded by (root seed, case), not from one stream threaded across
+   cases.  That makes case k a pure function of (seed, k) alone, so a
+   Domain-pool can run cases in any order or interleaving and a
+   sequential rerun must reproduce every outcome verbatim — the
+   determinism assertion behind `lslpc fuzz --jobs N`. *)
+type case_outcome = {
+  case : int;
+  ok : bool;
+  summary : string;  (* stable per (seed, case): counts or the problem *)
+  c_vectorized : int;
+  c_degraded : int;
+  c_injected : bool;
+}
+
+let run_case_indexed ?config ?inject_spec ~seed ~case () : case_outcome =
+  let st = Random.State.make [| seed; case; 0x5eed |] in
+  match run_case ~st ~inject_spec ~forced_config:config ~seed ~case with
+  | Ok (v, d, injected) ->
+    {
+      case;
+      ok = true;
+      summary = Fmt.str "ok v=%d d=%d inj=%b" v d injected;
+      c_vectorized = v;
+      c_degraded = d;
+      c_injected = injected;
+    }
+  | Error (desc, problem, injected) ->
+    {
+      case;
+      ok = false;
+      summary =
+        Fmt.str "FAIL %s%s [%s]" problem
+          (match injected with Some i -> Fmt.str " inj=%s" i | None -> "")
+          desc;
+      c_vectorized = 0;
+      c_degraded = 0;
+      c_injected = injected <> None;
+    }
 
 (* Differential check for the memoized look-ahead scorer: the same program
    through the same configuration with the score cache on and off must
@@ -244,7 +257,7 @@ let run_cache_diff ?(cases = 200) ?(seed = 42) () : stats =
     injected_runs = 0;
   }
 
-let pp_failure ppf f =
+let pp_failure ppf (f : failure) =
   Fmt.pf ppf "case %d: %s@,  program: %s%a" f.case f.problem f.desc
     (fun ppf -> function
       | Some i -> Fmt.pf ppf "@,  injected: %s" i
@@ -267,7 +280,7 @@ let pp_detail ppf s =
 (* Machine form, shared emitter (same style as remarks and telemetry). *)
 module Json = Lslp_util.Json
 
-let failure_json f =
+let failure_json (f : failure) =
   Json.Obj
     [
       ("case", Json.Int f.case);

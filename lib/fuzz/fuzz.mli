@@ -40,6 +40,34 @@ val normalize_ids : string -> string
     runs over clones of one function are never byte-identical — after this
     renaming, textual equality means structural equality. *)
 
+type case_outcome = {
+  case : int;
+  ok : bool;
+  summary : string;
+  c_vectorized : int;
+  c_degraded : int;
+  c_injected : bool;
+}
+(** One case's result under the indexed derivation.  [summary] is a pure
+    function of (seed, case, config, inject spec) — the string the sharded
+    and sequential runs compare verbatim. *)
+
+val run_case_indexed :
+  ?config:Lslp_core.Config.t ->
+  ?inject_spec:Lslp_robust.Inject.t ->
+  seed:int ->
+  case:int ->
+  unit ->
+  case_outcome
+(** Run case [case] from a per-case PRNG seeded by [(seed, case)] rather
+    than one stream threaded across cases.  Case [k] is a pure function of
+    [(seed, k)] alone, so a Domain pool may run cases in any order and a
+    sequential rerun reproduces every outcome verbatim — the determinism
+    assertion behind [lslpc fuzz --jobs N].  Note the case streams differ
+    from {!run}'s single-stream derivation, so aggregate counts differ
+    between [run] and a sweep of [run_case_indexed]; each is internally
+    deterministic. *)
+
 val run_cache_diff : ?cases:int -> ?seed:int -> unit -> stats
 (** Differential check of the memoized look-ahead scorer
     ([lslpc fuzz --config cache-diff]): each generated program runs through

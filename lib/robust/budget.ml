@@ -62,3 +62,42 @@ let pp ppf t =
   let lim ppf n = if n = max_int then Fmt.string ppf "inf" else Fmt.int ppf n in
   Fmt.pf ppf "fuel=%a nodes=%a steps=%a" lim t.lookahead_fuel lim
     t.max_graph_nodes lim t.max_region_steps
+
+(* Per-job deadlines for the compile service.
+
+   Unlike the per-region caps above — whose [Exhausted] the transaction
+   layer *absorbs*, degrading one region — a deadline is the service's
+   cooperative cancellation signal for a whole compile job.  It is a step
+   counter, not a clock (lint rule R4: no wall-clock in decision paths),
+   ticked at the same pass boundaries the fault injector instruments; when
+   the budget is gone {!Deadline_expired} is raised and deliberately
+   re-raised by {!Transact.protect} and [Pipeline.run] (after restoring
+   their snapshots), so it cancels the job instead of degrading a region.
+   The pool treats it like any other worker death: tear down, retry up to
+   the cap, then record a typed failure. *)
+
+type deadline = { deadline_steps : int; mutable ticks : int }
+
+exception Deadline_expired of { steps : int }
+
+let deadline deadline_steps = { deadline_steps; ticks = 0 }
+let deadline_ticks d = d.ticks
+
+let deadline_tick = function
+  | None -> ()
+  | Some d ->
+    d.ticks <- d.ticks + 1;
+    if d.ticks > d.deadline_steps then
+      raise (Deadline_expired { steps = d.deadline_steps })
+
+(* A simulated hang: spin on the cooperative check until the watchdog
+   fires.  This is exactly what a real runaway pass looks like to the
+   service — progress only at pass boundaries, termination only via the
+   deadline.  Without an armed deadline the hang would be genuine, so we
+   report it as an immediate expiry instead of freezing the process. *)
+let rec deadline_spin d =
+  (match d with
+   | None -> raise (Deadline_expired { steps = 0 })
+   | Some _ -> ());
+  deadline_tick d;
+  deadline_spin d

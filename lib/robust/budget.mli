@@ -31,3 +31,31 @@ val spend_node : meter -> unit
 val spend_step : meter -> unit
 
 val pp : t Fmt.t
+
+(** {2 Per-job deadlines}
+
+    The compile service's cooperative cancellation signal.  A deadline is
+    a step budget, not a clock: it is ticked at the same eight pass
+    boundaries the fault injector instruments, and expiry raises
+    {!Deadline_expired} — which, unlike {!Exhausted}, the transaction
+    layer {e re-raises} (after restoring its snapshot), so it cancels the
+    whole job instead of degrading one region.  See DESIGN.md §15 for the
+    deadline-vs-fuel contract. *)
+
+type deadline
+
+exception Deadline_expired of { steps : int }
+
+val deadline : int -> deadline
+(** A fresh per-job meter allowing that many pass-boundary ticks. *)
+
+val deadline_ticks : deadline -> int
+
+val deadline_tick : deadline option -> unit
+(** No-op on [None]; otherwise spend one tick.
+    @raise Deadline_expired when the budget is gone. *)
+
+val deadline_spin : deadline option -> 'a
+(** Simulate a hung pass: spin on {!deadline_tick} until the watchdog
+    fires.  With [None] armed, raises {!Deadline_expired} immediately
+    rather than hanging the process for real. *)

@@ -23,9 +23,19 @@ type point =
   | Dce
   | Verify
   | Corrupt
+  (* service boundaries: fired by the Domain-pool executor (lib/service)
+     around whole compile jobs, never inside the pipeline's transactions *)
+  | Worker_raise
+  | Worker_hang
+  | Cache_poison
+  | Queue_full
 
+(* "all" keeps meaning every *pipeline* boundary: the fuzzer arms these as
+   a set against a single pipeline run, where service points never fire. *)
 let all_points =
   [ Graph_build; Reorder; Codegen; Reduction; Cse; Dce; Verify; Corrupt ]
+
+let service_points = [ Worker_raise; Worker_hang; Cache_poison; Queue_full ]
 
 let point_name = function
   | Graph_build -> "graph-build"
@@ -36,6 +46,10 @@ let point_name = function
   | Dce -> "dce"
   | Verify -> "verify"
   | Corrupt -> "corrupt"
+  | Worker_raise -> "worker-raise"
+  | Worker_hang -> "worker-hang"
+  | Cache_poison -> "cache-poison"
+  | Queue_full -> "queue-full"
 
 let point_of_name = function
   | "graph-build" -> Some Graph_build
@@ -46,6 +60,10 @@ let point_of_name = function
   | "dce" -> Some Dce
   | "verify" -> Some Verify
   | "corrupt" -> Some Corrupt
+  | "worker-raise" -> Some Worker_raise
+  | "worker-hang" -> Some Worker_hang
+  | "cache-poison" -> Some Cache_poison
+  | "queue-full" -> Some Queue_full
   | _ -> None
 
 type t = {
@@ -72,6 +90,7 @@ let reseed t ~seed = make ~points:t.points ~rate:t.rate ~seed ()
 let parse spec =
   let parse_points = function
     | "all" -> Ok all_points
+    | "service" -> Ok service_points
     | s -> (
       match point_of_name s with
       | Some p -> Ok [ p ]
@@ -128,6 +147,7 @@ let corrupt_block (b : Block.t) =
 
 let pp ppf t =
   Fmt.pf ppf "%s:%g:%d"
-    (if List.length t.points = List.length all_points then "all"
+    (if t.points = all_points then "all"
+     else if t.points = service_points then "service"
      else String.concat "," (List.map point_name t.points))
     t.rate t.seed

@@ -18,8 +18,25 @@ type point =
   | Dce
   | Verify
   | Corrupt
+  | Worker_raise  (** service: the worker crashes as it picks up a job *)
+  | Worker_hang
+      (** service: the job spins at a pass boundary until the deadline
+          watchdog cancels it (see {!Budget.deadline_spin}) *)
+  | Cache_poison
+      (** service: the cached result is corrupted before the hit-time
+          legality re-verification runs *)
+  | Queue_full
+      (** service: the admission queue pretends to be saturated, forcing
+          the shed policy *)
 
 val all_points : point list
+(** Every {e pipeline} boundary (what ["all"] parses to); the four
+    service-boundary points are deliberately excluded — they are armed via
+    {!service_points} / ["service"] and fired by the Domain-pool executor,
+    never inside a pipeline transaction. *)
+
+val service_points : point list
+
 val point_name : point -> string
 val point_of_name : string -> point option
 
@@ -31,7 +48,8 @@ val make : ?points:point list -> ?rate:float -> seed:int -> unit -> t
 (** [points] defaults to every boundary, [rate] to 1.0 (always fire). *)
 
 val parse : string -> (t, string) result
-(** ["pass[:rate[:seed]]"] with [pass] a point name or ["all"]; rate
+(** ["pass[:rate[:seed]]"] with [pass] a point name, ["all"] (every
+    pipeline boundary) or ["service"] (every service boundary); rate
     defaults to 1.0, seed to 0. *)
 
 val fired : t -> int

@@ -12,9 +12,10 @@
 
    [protect] is the commit boundary: run a thunk; on any exception, restore
    the snapshot and return a typed {!failure} naming the pass that was
-   executing.  Only [Out_of_memory] and [Sys.Break] escape — everything
-   else, including [Stack_overflow] and assertion failures, degrades the
-   region instead of killing the compile. *)
+   executing.  Only [Out_of_memory], [Sys.Break] and the service's
+   [Budget.Deadline_expired] (restored first) escape — everything else,
+   including [Stack_overflow] and assertion failures, degrades the region
+   instead of killing the compile. *)
 
 open Lslp_ir
 
@@ -62,6 +63,13 @@ let protect ~(snapshot : snapshot) ~(pass : unit -> string)
   match f () with
   | v -> Ok v
   | exception ((Out_of_memory | Sys.Break) as fatal) -> raise fatal
+  | exception (Budget.Deadline_expired _ as cancel) ->
+    (* job-level cooperative cancellation (the service's watchdog): roll
+       the region back so the function is left scalar-clean, but re-raise —
+       a deadline cancels the whole job, it must not degrade to a
+       per-region failure and let the compile keep burning steps *)
+    restore snapshot;
+    raise cancel
   | exception e ->
     restore snapshot;
     Error (failure_of_exn ~pass:(pass ()) e)

@@ -41,6 +41,8 @@ val protect :
     and returns [Error failure] with [failure.pass] taken from the [pass]
     thunk (callers update a ref as they move between stages) — except for
     {!Inject.Fault}, {!Budget.Exhausted} and {!Check_failed}, which carry
-    their own attribution.  [Out_of_memory] and [Sys.Break] are re-raised;
-    everything else, including [Stack_overflow] and [Assert_failure], is
-    contained. *)
+    their own attribution.  [Out_of_memory] and [Sys.Break] are re-raised,
+    and so is {!Budget.Deadline_expired} — {e after} restoring the
+    snapshot — because a deadline is job-level cancellation, not a region
+    failure; everything else, including [Stack_overflow] and
+    [Assert_failure], is contained. *)

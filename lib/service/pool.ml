@@ -1,0 +1,283 @@
+(* The supervised Domain pool.
+
+   One mutex guards all shared state; two condition variables split the
+   waiters: [cond_work] wakes workers (job ready, or shutdown) and
+   [cond_change] wakes the orchestrator (outcome recorded, worker died,
+   queue space freed).  Workers run jobs outside the lock.
+
+   Fault isolation is the point: any exception a job attempt lets escape —
+   an injected [Inject.Fault], a [Budget.Deadline_expired] from the
+   cooperative watchdog, a genuine pass bug — kills only that worker.  The
+   dying worker records a retry or a typed failure for its job under the
+   lock, marks its slot dead and exits its Domain; the orchestrator joins
+   the corpse and spawns a replacement.  Nothing hangs and no job is ever
+   lost: every submitted job ends in exactly one {!outcome}.
+
+   Time is virtual.  Retry backoff is measured in scheduling ticks — the
+   clock advances on every dispatch, completion and death — so a run
+   never consults the wall clock (lint rule R4) and the backoff schedule
+   is reproducible.  When every runnable job is sitting in the delayed
+   list and nothing is in flight, the first idle worker fast-forwards the
+   clock to the earliest ready_at instead of sleeping. *)
+
+module Budget = Lslp_robust.Budget
+module Inject = Lslp_robust.Inject
+module Trace = Lslp_trace.Trace
+module Stats = Lslp_telemetry.Pool_stats
+
+type failure =
+  | Crashed of string
+  | Timed_out of { steps : int }
+  | Shed
+
+type 'a outcome =
+  | Done of 'a
+  | Degraded_to_failure of { attempts : int; failure : failure }
+
+type config = {
+  domains : int;
+  queue_cap : int;
+  retries : int;
+  backoff : int;
+  deadline_steps : int option;
+  inject_for : int -> Inject.t option;
+  job_seed : int;
+}
+
+let default_config =
+  {
+    domains = 4;
+    queue_cap = 64;
+    retries = 2;
+    backoff = 2;
+    deadline_steps = None;
+    inject_for = (fun _ -> None);
+    job_seed = 0;
+  }
+
+let pp_failure ppf = function
+  | Crashed msg -> Fmt.pf ppf "crashed: %s" msg
+  | Timed_out { steps } -> Fmt.pf ppf "timed out after %d step(s)" steps
+  | Shed -> Fmt.pf ppf "shed: queue full"
+
+(* Each attempt gets its own injector derived from (job_seed, job, attempt)
+   so a fault schedule is a pure function of the spec and those three ints,
+   independent of which domain picks the job up or in what order. *)
+let attempt_seed config ~job ~attempt =
+  (((config.job_seed * 1_000_003) + job) * 8191) + attempt
+
+let attempt_inject config ~job ~attempt =
+  Option.map
+    (fun spec -> Inject.reseed spec ~seed:(attempt_seed config ~job ~attempt))
+    (config.inject_for job)
+
+(* Admission rolls its own dice (salt -1): the queue-full fault must fire
+   independently of what the job's first attempt would do. *)
+let admission_sheds config ~job =
+  match config.inject_for job with
+  | None -> false
+  | Some spec ->
+    Inject.fires
+      (Inject.reseed spec ~seed:(attempt_seed config ~job ~attempt:(-1)))
+      Inject.Queue_full
+
+let run (type a) ?stats ?trace config
+    (jobs :
+      (string
+      * (inject:Inject.t option -> deadline:Budget.deadline option -> a))
+      array) : a outcome array =
+  let n = Array.length jobs in
+  let domains = max 1 config.domains in
+  let retries = max 0 config.retries in
+  let backoff = max 1 config.backoff in
+  let queue_cap = max 1 config.queue_cap in
+  let m = Mutex.create () in
+  let cond_work = Condition.create () in
+  let cond_change = Condition.create () in
+  let outcomes : a outcome option array = Array.make n None in
+  let ready : (int * int) Queue.t = Queue.create () in
+  (* (ready_at vtick, job, attempt); unsorted, promoted when due *)
+  let delayed = ref [] in
+  let vtick = ref 0 in
+  let in_flight = ref 0 in
+  let recorded = ref 0 in
+  let shutdown = ref false in
+  let dead = ref [] in
+  let handles : unit Domain.t option array = Array.make domains None in
+  let bump f = match stats with Some s -> f s | None -> () in
+  let trace_ev what job detail =
+    match trace with
+    | Some t -> Trace.record t (Trace.Pool_event { what; job; detail })
+    | None -> ()
+  in
+  (* all helpers below assume the lock is held *)
+  let promote () =
+    let due, later =
+      List.partition (fun (at, _, _) -> at <= !vtick) !delayed
+    in
+    delayed := later;
+    List.iter
+      (fun (_, job, attempt) ->
+        Queue.add (job, attempt) ready;
+        Condition.signal cond_work)
+      (List.sort compare due)
+  in
+  let tick () =
+    incr vtick;
+    promote ()
+  in
+  let record job outcome =
+    outcomes.(job) <- Some outcome;
+    incr recorded;
+    Condition.signal cond_change
+  in
+  let worker slot =
+    let continue_ = ref true in
+    while !continue_ do
+      Mutex.lock m;
+      while (not !shutdown) && Queue.is_empty ready do
+        if !delayed <> [] && !in_flight = 0 then begin
+          (* everything runnable is backing off: fast-forward the clock *)
+          let soonest =
+            List.fold_left (fun acc (at, _, _) -> min acc at) max_int
+              !delayed
+          in
+          vtick := max !vtick soonest;
+          promote ()
+        end
+        else Condition.wait cond_work m
+      done;
+      if Queue.is_empty ready then begin
+        (* shutdown with nothing left to run *)
+        Mutex.unlock m;
+        continue_ := false
+      end
+      else begin
+        let job, attempt = Queue.pop ready in
+        incr in_flight;
+        tick ();
+        let label = fst jobs.(job) in
+        trace_ev "dispatch" label (Fmt.str "attempt %d" attempt);
+        (* queue space freed: the orchestrator may admit the next job *)
+        Condition.signal cond_change;
+        Mutex.unlock m;
+        let fn = snd jobs.(job) in
+        let inject = attempt_inject config ~job ~attempt in
+        let deadline = Option.map Budget.deadline config.deadline_steps in
+        let result =
+          match
+            Inject.maybe_fail inject Inject.Worker_raise;
+            (match inject with
+             | Some i when Inject.fires i Inject.Worker_hang ->
+               (* spin at the boundary until the watchdog cancels us *)
+               Budget.deadline_spin deadline
+             | _ -> ());
+            fn ~inject ~deadline
+          with
+          | v -> Ok v
+          | exception Budget.Deadline_expired { steps } ->
+            Error (Timed_out { steps })
+          | exception e -> Error (Crashed (Printexc.to_string e))
+        in
+        Mutex.lock m;
+        decr in_flight;
+        (match result with
+         | Ok v ->
+           record job (Done v);
+           bump (fun s -> s.Stats.jobs_completed <- s.Stats.jobs_completed + 1);
+           trace_ev "complete" label "";
+           tick ();
+           if !in_flight = 0 && !delayed <> [] then
+             Condition.broadcast cond_work;
+           Mutex.unlock m
+         | Error failure ->
+           (* job-fatal: record the job's fate, then this worker dies *)
+           (match failure with
+            | Timed_out { steps } ->
+              bump (fun s ->
+                  s.Stats.jobs_timed_out <- s.Stats.jobs_timed_out + 1);
+              trace_ev "timeout" label (Fmt.str "%d step(s)" steps)
+            | Crashed msg -> trace_ev "crash" label msg
+            | Shed -> assert false (* shedding happens at admission *));
+           if attempt < retries then begin
+             let delay = backoff * (1 lsl attempt) in
+             delayed := (!vtick + delay, job, attempt + 1) :: !delayed;
+             bump (fun s -> s.Stats.jobs_retried <- s.Stats.jobs_retried + 1);
+             trace_ev "retry" label
+               (Fmt.str "attempt %d in %d tick(s)" (attempt + 1) delay)
+           end
+           else begin
+             record job
+               (Degraded_to_failure { attempts = attempt + 1; failure });
+             bump (fun s -> s.Stats.jobs_failed <- s.Stats.jobs_failed + 1);
+             trace_ev "fail" label "retries exhausted"
+           end;
+           dead := slot :: !dead;
+           Condition.signal cond_change;
+           tick ();
+           if !in_flight = 0 && !delayed <> [] then
+             Condition.broadcast cond_work;
+           Mutex.unlock m;
+           continue_ := false)
+      end
+    done
+  in
+  let spawn slot = handles.(slot) <- Some (Domain.spawn (fun () -> worker slot)) in
+  for slot = 0 to domains - 1 do
+    spawn slot
+  done;
+  let next = ref 0 in
+  Mutex.lock m;
+  while !recorded < n do
+    (* bury and replace dead workers *)
+    (match !dead with
+     | [] -> ()
+     | slots ->
+       dead := [];
+       Mutex.unlock m;
+       List.iter
+         (fun slot ->
+           match handles.(slot) with
+           | Some d -> Domain.join d
+           | None -> ())
+         slots;
+       Mutex.lock m;
+       List.iter
+         (fun slot ->
+           spawn slot;
+           bump (fun s ->
+               s.Stats.workers_respawned <- s.Stats.workers_respawned + 1);
+           trace_ev "respawn" "" (Fmt.str "worker %d" slot))
+         slots);
+    (* admit while the bounded queue has space — blocking here when it
+       does not is the backpressure *)
+    let progressed = ref false in
+    while !next < n && Queue.length ready < queue_cap do
+      let job = !next in
+      incr next;
+      progressed := true;
+      let label = fst jobs.(job) in
+      bump (fun s -> s.Stats.jobs_submitted <- s.Stats.jobs_submitted + 1);
+      if admission_sheds config ~job then begin
+        record job (Degraded_to_failure { attempts = 0; failure = Shed });
+        bump (fun s -> s.Stats.jobs_shed <- s.Stats.jobs_shed + 1);
+        trace_ev "shed" label "queue full"
+      end
+      else begin
+        Queue.add (job, 0) ready;
+        trace_ev "enqueue" label "";
+        Condition.signal cond_work
+      end
+    done;
+    if !recorded < n && (not !progressed) && !dead = [] then
+      Condition.wait cond_change m
+  done;
+  shutdown := true;
+  Condition.broadcast cond_work;
+  Mutex.unlock m;
+  Array.iter (function Some d -> Domain.join d | None -> ()) handles;
+  Array.map
+    (function
+      | Some o -> o
+      | None -> assert false (* recorded = n implies every slot is filled *))
+    outcomes

@@ -1,0 +1,82 @@
+(* Compile-service pool counters.
+
+   One mutable bag per pool, mutated only under the pool's lock, snapshotted
+   on drain.  Like {!Probe.counters} these are deterministic for a given
+   (job list, configuration, fault spec) — retries, timeouts and cache
+   evictions are driven by the seeded injector and the virtual-tick clock,
+   never by wall time — so the smoke tests can pin them. *)
+
+type t = {
+  mutable jobs_submitted : int;   (* accepted into the queue *)
+  mutable jobs_completed : int;   (* finished with a usable result *)
+  mutable jobs_retried : int;     (* re-queued after a transient fault *)
+  mutable jobs_timed_out : int;   (* deadline expiries observed *)
+  mutable jobs_shed : int;        (* rejected by the backpressure policy *)
+  mutable jobs_failed : int;      (* retries exhausted; typed degradation *)
+  mutable workers_respawned : int;(* domains torn down and replaced *)
+  mutable cache_hits : int;       (* key present, before verification *)
+  mutable cache_misses : int;
+  mutable cache_verified : int;   (* hits that passed legality re-check *)
+  mutable cache_evicted : int;    (* hits that failed it; recompiled *)
+  mutable cache_inserts : int;
+}
+
+let create () =
+  {
+    jobs_submitted = 0;
+    jobs_completed = 0;
+    jobs_retried = 0;
+    jobs_timed_out = 0;
+    jobs_shed = 0;
+    jobs_failed = 0;
+    workers_respawned = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_verified = 0;
+    cache_evicted = 0;
+    cache_inserts = 0;
+  }
+
+let copy s =
+  {
+    jobs_submitted = s.jobs_submitted;
+    jobs_completed = s.jobs_completed;
+    jobs_retried = s.jobs_retried;
+    jobs_timed_out = s.jobs_timed_out;
+    jobs_shed = s.jobs_shed;
+    jobs_failed = s.jobs_failed;
+    workers_respawned = s.workers_respawned;
+    cache_hits = s.cache_hits;
+    cache_misses = s.cache_misses;
+    cache_verified = s.cache_verified;
+    cache_evicted = s.cache_evicted;
+    cache_inserts = s.cache_inserts;
+  }
+
+(* Same single-source-of-truth trick as {!Probe.counter_fields}: the human
+   table and the JSON form both walk this list, so they cannot drift. *)
+let fields =
+  [
+    ("submitted", fun s -> s.jobs_submitted);
+    ("completed", fun s -> s.jobs_completed);
+    ("retried", fun s -> s.jobs_retried);
+    ("timed_out", fun s -> s.jobs_timed_out);
+    ("shed", fun s -> s.jobs_shed);
+    ("failed", fun s -> s.jobs_failed);
+    ("respawned", fun s -> s.workers_respawned);
+    ("cache_hits", fun s -> s.cache_hits);
+    ("cache_misses", fun s -> s.cache_misses);
+    ("cache_verified", fun s -> s.cache_verified);
+    ("cache_evicted", fun s -> s.cache_evicted);
+    ("cache_inserts", fun s -> s.cache_inserts);
+  ]
+
+let pp ppf s =
+  Fmt.pf ppf "@[<v>pool:";
+  List.iter (fun (name, get) -> Fmt.pf ppf "@,  %-14s %d" name (get s)) fields;
+  Fmt.pf ppf "@]"
+
+module Json = Lslp_util.Json
+
+let json s =
+  Json.Obj (List.map (fun (name, get) -> (name, Json.Int (get s))) fields)

@@ -1,0 +1,32 @@
+(** Compile-service pool counters.
+
+    One bag per {!Lslp_service.Pool}, mutated under the pool's lock and
+    snapshotted with {!copy} on drain.  Deterministic for a given (job
+    list, configuration, fault spec): retries, timeouts, shedding and cache
+    evictions are all driven by the seeded injector and the pool's virtual
+    clock, never by wall time, so smoke tests can pin these numbers. *)
+
+type t = {
+  mutable jobs_submitted : int;
+  mutable jobs_completed : int;
+  mutable jobs_retried : int;
+  mutable jobs_timed_out : int;
+  mutable jobs_shed : int;
+  mutable jobs_failed : int;
+  mutable workers_respawned : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_verified : int;
+  mutable cache_evicted : int;
+  mutable cache_inserts : int;
+}
+
+val create : unit -> t
+val copy : t -> t
+
+val fields : (string * (t -> int)) list
+(** Display-ordered column set shared by {!pp} and {!json} — same
+    single-source-of-truth pattern as {!Probe.counter_fields}. *)
+
+val pp : t Fmt.t
+val json : t -> Lslp_util.Json.t

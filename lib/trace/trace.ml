@@ -56,6 +56,11 @@ type payload =
       outcome : string;
       cost : int option;
     }
+  | Pool_event of { what : string; job : string; detail : string }
+    (* compile-service boundary: enqueue/dispatch/retry/timeout/shed,
+       cache hit/verify/evict, worker death/respawn.  [job] is the job's
+       label (or "" for pool-wide events); recorded by the pool's own
+       sink, with logical timestamps assigned under the pool lock. *)
 
 type event = {
   ts : int;
@@ -110,6 +115,7 @@ let payload_name = function
   | Emit _ -> "emit"
   | Rollback _ -> "rollback"
   | Region_outcome _ -> "region-outcome"
+  | Pool_event { what; _ } -> Fmt.str "pool-%s" what
 
 let kind_name = function
   | Knode_group op -> Fmt.str "group %s" op
@@ -164,6 +170,10 @@ let pp_payload ppf = function
     Fmt.pf ppf "outcome %s (VL=%d): %s%a" seed lanes outcome
       Fmt.(option (fun ppf c -> Fmt.pf ppf " (cost %+d)" c))
       cost
+  | Pool_event { what; job; detail } ->
+    Fmt.pf ppf "pool %s%s%s" what
+      (if job = "" then "" else Fmt.str " job=%s" job)
+      (if detail = "" then "" else Fmt.str ": %s" detail)
 
 let pp_event ppf e =
   Fmt.pf ppf "%04d [%s] %a" e.ts e.region pp_payload e.payload
@@ -273,6 +283,12 @@ let payload_args = function
       ("lanes", Json.Int lanes);
       ("outcome", Json.Str outcome);
       ("cost", match cost with Some c -> Json.Int c | None -> Json.Null);
+    ]
+  | Pool_event { what; job; detail } ->
+    [
+      ("what", Json.Str what);
+      ("job", Json.Str job);
+      ("detail", Json.Str detail);
     ]
 
 (* Region labels map to thread ids so Perfetto renders one lane per

@@ -77,6 +77,13 @@ type payload =
       outcome : string;
       cost : int option;
     }
+  | Pool_event of { what : string; job : string; detail : string }
+      (** compile-service boundary ([Lslp_service.Pool]): job
+          enqueue/dispatch/retry/timeout/shed, cache hit/verify/evict,
+          worker death/respawn.  [job] is the job label ([""] for
+          pool-wide events).  Recorded by the pool's own sink under the
+          pool lock, so pool traces are deterministic per (job list,
+          configuration, fault spec) like every other trace. *)
 
 type event = {
   ts : int;  (** logical timestamp: the sink's event sequence number *)

@@ -1,0 +1,10 @@
+(** Alpha-renaming of printed IR labels.
+
+    Instruction labels embed a process-global id counter, so two pipeline
+    runs over clones of one function are never byte-identical; after
+    {!ids}, textual equality means structural equality.  Shared by the
+    differential fuzzer, the domain-determinism smoke and the compile
+    service's content-addressed result cache. *)
+
+val ids : string -> string
+(** Rename every [%label] by first appearance ([%r0], [%r1], ...). *)

@@ -27,4 +27,5 @@ let () =
       ("id-gen", Test_id_gen.suite);
       ("lint", Test_lint.suite);
       ("domains", Test_domains.suite);
+      ("service", Test_service.suite);
     ]

@@ -3,7 +3,7 @@
 .PHONY: all test check bench ci clean fuzz lint lint-exceptions \
   domain-smoke serve-smoke bench-lint stats-golden bench-check \
   bench-baseline bench-speed bench-speed-report bench-serve \
-  bench-serve-report trace-golden
+  bench-serve-report trace-golden cond-smoke
 
 all:
 	dune build
@@ -26,6 +26,7 @@ ci:
 	$(MAKE) domain-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) fuzz
+	$(MAKE) cond-smoke
 	$(MAKE) stats-golden
 	$(MAKE) trace-golden
 	$(MAKE) bench-check
@@ -35,6 +36,17 @@ ci:
 # oracle, with and without injected faults.
 fuzz:
 	dune exec bin/lslpc.exe -- fuzz --cases 500 --seed 42
+
+# Branching gate: the masked-IR fuzz arm — 500 pinned-seed programs of
+# guarded stores, selects and masked loads through the pipeline against
+# the scalar oracle — plus every cond.* catalog kernel through analyze
+# with the legality validator.
+cond-smoke:
+	dune exec bin/lslpc.exe -- fuzz --cases 500 --seed 42 --config cond
+	dune exec bin/lslpc.exe -- analyze --kernel cond.abs
+	dune exec bin/lslpc.exe -- analyze --kernel cond.clamp
+	dune exec bin/lslpc.exe -- analyze --kernel cond.saxpy-guard
+	dune exec bin/lslpc.exe -- analyze --kernel cond.max-mask
 
 # Telemetry gate: the golden counter tables (test/cram/stats.t) plus the
 # cache-differential fuzz — 200 random programs whose cached and uncached
@@ -63,7 +75,7 @@ domain-smoke:
 
 # Fault-survival gate for the batch compile service: the catalog twice
 # through a 4-domain pool with one injected worker crash (job 3, round 1)
-# and one cache poisoning (job 30 = kernel 6, round 2).  The batch must
+# and one cache poisoning (job 30 = kernel 2, round 2).  The batch must
 # complete, every undamaged job must match, and the run must record
 # EXACTLY two degradations — the crashed job's typed failure and the
 # poisoned entry's verified eviction (exit 1 on any other count).  The

@@ -555,7 +555,8 @@ let fuzz_cmd =
   let run cases seed config inject jobs json verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
-    if jobs > 1 && config <> Some "cache-diff" then begin
+    if jobs > 1 && config <> Some "cache-diff" && config <> Some "cond"
+    then begin
       (* sharded on the service pool: every case derives from (seed, case)
          alone, then the whole run is replayed sequentially and compared
          case by case — sharding must be observationally invisible *)
@@ -612,6 +613,10 @@ let fuzz_cmd =
         | Some "cache-diff" ->
           (* differential check of the memoized scorer: cache on vs off *)
           Lslp_fuzz.Fuzz.run_cache_diff ~cases ~seed ()
+        | Some "cond" ->
+          (* the branching arm: only masked-IR programs (guarded stores,
+             selects, masked loads), configs still drawn from the pool *)
+          Lslp_fuzz.Fuzz.run ~cases ~seed ~cond:true ?inject_spec:inject ()
         | Some s -> (
           match config_of_string s with
           | Ok c -> Lslp_fuzz.Fuzz.run ~cases ~seed ~config:c
@@ -645,8 +650,10 @@ let fuzz_cmd =
   let config =
     let doc =
       "Pin one vectorizer configuration instead of drawing from the pool, \
-       or $(b,cache-diff) to differentially test the memoized look-ahead \
-       scorer (cache on vs off must agree byte-for-byte)."
+       $(b,cache-diff) to differentially test the memoized look-ahead \
+       scorer (cache on vs off must agree byte-for-byte), or $(b,cond) to \
+       fuzz only branching masked-IR programs (guarded stores, selects, \
+       masked loads) against the scalar oracle."
     in
     Arg.(value & opt (some string) None
          & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)

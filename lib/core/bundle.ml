@@ -67,7 +67,9 @@ let loads_consecutive insts =
 (* Shapes the code generator knows how to widen. *)
 let widenable (i : Instr.t) =
   match i.kind with
-  | Instr.Binop _ | Instr.Unop _ | Instr.Load _ | Instr.Store _ ->
+  | Instr.Binop _ | Instr.Unop _ | Instr.Load _ | Instr.Store _
+  | Instr.Cmp _ | Instr.Select _ | Instr.Masked_load _
+  | Instr.Masked_store _ ->
     not (Types.is_vector i.ty)
   | Instr.Splat _ | Instr.Buildvec _ | Instr.Extract _ | Instr.Reduce _
   | Instr.Shuffle _ -> false

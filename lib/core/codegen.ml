@@ -324,6 +324,68 @@ let run ?reduction ?(record = fun ~lanes:_ ~vector:_ -> ()) ?probe ?trace
                | cs ->
                  error "%d-lane unop group has %d operand node(s), want 1"
                    lanes (List.length cs))
+            | Instr.Cmp (op, _, _) ->
+              let children = List.map emit_node (Graph.children graph n) in
+              (match children with
+               | [ a; b ] ->
+                 (* i0 is i1-typed, so element_scalar yields I1: the wide
+                    compare produces the vector mask directly *)
+                 let ty = Types.vec (element_scalar i0) lanes in
+                 let i = Instr.create ~name:"vcmp" (Instr.Cmp (op, a, b)) ty in
+                 push i;
+                 record ~lanes:insts ~vector:i;
+                 Instr.Ins i
+               | cs ->
+                 error "%d-lane cmp group has %d operand node(s), want 2"
+                   lanes (List.length cs))
+            | Instr.Select _ ->
+              let children = List.map emit_node (Graph.children graph n) in
+              (match children with
+               | [ m; a; b ] ->
+                 let ty = Types.vec (element_scalar i0) lanes in
+                 let i =
+                   Instr.create ~name:"vsel" (Instr.Select (m, a, b)) ty
+                 in
+                 push i;
+                 record ~lanes:insts ~vector:i;
+                 Instr.Ins i
+               | cs ->
+                 error "%d-lane select group has %d operand node(s), want 3"
+                   lanes (List.length cs))
+            | Instr.Masked_load (a, _, _) ->
+              let children = List.map emit_node (Graph.children graph n) in
+              (match children with
+               | [ m; p ] ->
+                 let addr = { a with Instr.access_lanes = lanes } in
+                 let i =
+                   Instr.create ~name:"vmload"
+                     (Instr.Masked_load (addr, m, p))
+                     (Types.vec addr.Instr.elt lanes)
+                 in
+                 push i;
+                 record ~lanes:insts ~vector:i;
+                 Instr.Ins i
+               | cs ->
+                 error
+                   "%d-lane masked-load group has %d operand node(s), want 2"
+                   lanes (List.length cs))
+            | Instr.Masked_store (a, _, _) ->
+              let children = List.map emit_node (Graph.children graph n) in
+              (match children with
+               | [ v; m ] ->
+                 let addr = { a with Instr.access_lanes = lanes } in
+                 let i =
+                   Instr.create ~name:"vmstore"
+                     (Instr.Masked_store (addr, v, m))
+                     Types.Void
+                 in
+                 push i;
+                 record ~lanes:insts ~vector:i;
+                 Instr.Ins i
+               | cs ->
+                 error
+                   "%d-lane masked-store group has %d operand node(s), want 2"
+                   lanes (List.length cs))
             | Instr.Splat _ | Instr.Buildvec _ | Instr.Extract _
             | Instr.Reduce _ | Instr.Shuffle _ ->
               (* unreachable: Bundle.classify rejects vector-only opcodes

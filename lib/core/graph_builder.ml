@@ -131,6 +131,37 @@ and build_bundle_fresh ctx (b : Bundle.t) : Graph.node =
         [ build_bundle ctx (Bundle.operand_column insts ~index:0);
           build_bundle ctx (Bundle.operand_column insts ~index:1) ];
       node
+    | Instr.Cmp _ ->
+      (* compares recurse in operand order; swapping operands would flip
+         the predicate, which the rebuild does not model *)
+      let node = register (Graph.add_node ctx.graph (Graph.Group insts)) in
+      Graph.set_children ctx.graph node
+        [ build_bundle ctx (Bundle.operand_column insts ~index:0);
+          build_bundle ctx (Bundle.operand_column insts ~index:1) ];
+      node
+    | Instr.Select _ ->
+      (* the mask column first, then both value arms; the arms are not
+         interchangeable (swapping them negates the mask) *)
+      let node = register (Graph.add_node ctx.graph (Graph.Group insts)) in
+      Graph.set_children ctx.graph node
+        [ build_bundle ctx (Bundle.operand_column insts ~index:0);
+          build_bundle ctx (Bundle.operand_column insts ~index:1);
+          build_bundle ctx (Bundle.operand_column insts ~index:2) ];
+      node
+    | Instr.Masked_load _ ->
+      (* a leaf for the memory side, but the mask and passthrough columns
+         are ordinary operands and recurse *)
+      let node = register (Graph.add_node ctx.graph (Graph.Group insts)) in
+      Graph.set_children ctx.graph node
+        [ build_bundle ctx (Bundle.operand_column insts ~index:0);
+          build_bundle ctx (Bundle.operand_column insts ~index:1) ];
+      node
+    | Instr.Masked_store _ ->
+      let node = register (Graph.add_node ctx.graph (Graph.Group insts)) in
+      Graph.set_children ctx.graph node
+        [ build_bundle ctx (Bundle.operand_column insts ~index:0);
+          build_bundle ctx (Bundle.operand_column insts ~index:1) ];
+      node
     | Instr.Splat _ | Instr.Buildvec _ | Instr.Extract _ | Instr.Reduce _
     | Instr.Shuffle _ ->
       (* excluded by Bundle.classify (Unsupported_shape) *)

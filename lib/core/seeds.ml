@@ -75,7 +75,7 @@ let collect ?arena ?probe ?trace (config : Config.t) (block : Block.t) :
         () (* symbolically incomparable: no seed *)
       | accesses ->
         (* stable sort by constant offset, then split into maximal
-           consecutive runs with unique offsets *)
+           consecutive runs *)
         let sorted =
           List.stable_sort
             (fun j k ->
@@ -83,38 +83,73 @@ let collect ?arena ?probe ?trace (config : Config.t) (block : Block.t) :
                 (Arena.addr_const arena k))
             accesses
         in
-        let runs = ref [] and current = ref [] in
-        let flush () =
-          if !current <> [] then runs := List.rev !current :: !runs;
-          current := []
-        in
-        List.iter
-          (fun k ->
-            match !current with
-            | [] -> current := [ k ]
-            | prev :: _ ->
-              if Arena.consecutive arena prev k then
-                current := k :: !current
+        (* Duplicate offsets arise from if-conversion: the then- and
+           else-branch both store (under complementary masks) to the same
+           element.  Interleaved they would chop every run to nothing, so
+           split the bucket into occurrence streams first — the s-th store
+           to each offset joins stream s, in program order.  Each stream
+           forms consecutive runs independently: all the then-branch stores
+           seed one vector, all the else-branch stores another.  Buckets
+           with unique offsets are a single stream, i.e. the classic case
+           is untouched. *)
+        let tagged =
+          (* equal offsets are adjacent after the sort, so the occurrence
+             index is just the position within the current equal-offset
+             group — no table needed *)
+          let prev_off = ref min_int and occ = ref (-1) in
+          List.map
+            (fun k ->
+              let off = Arena.addr_const arena k in
+              if off = !prev_off then incr occ
               else begin
-                flush ();
-                current := [ k ]
-              end)
-          sorted;
-        flush ();
-        List.iter
-          (fun run ->
-            let insts = List.map (Arena.instr arena) run in
-            let elt =
-              match insts with
-              | s :: _ -> (
-                match Instr.address s with
-                | Some a -> a.Instr.elt
-                | None -> Types.I64)
-              | [] -> Types.I64
-            in
-            let max_lanes = Config.effective_max_lanes config elt in
-            seeds := !seeds @ windows max_lanes insts)
-          (List.rev !runs))
+                prev_off := off;
+                occ := 0
+              end;
+              (!occ, k))
+            sorted
+        in
+        let max_stream =
+          List.fold_left (fun acc (s, _) -> max acc s) 0 tagged
+        in
+        for stream = 0 to max_stream do
+          let members =
+            List.filter_map
+              (fun (s, k) -> if s = stream then Some k else None)
+              tagged
+          in
+          let runs = ref [] and current = ref [] in
+          let flush () =
+            if !current <> [] then runs := List.rev !current :: !runs;
+            current := []
+          in
+          List.iter
+            (fun k ->
+              match !current with
+              | [] -> current := [ k ]
+              | prev :: _ ->
+                if Arena.consecutive arena prev k then
+                  current := k :: !current
+                else begin
+                  flush ();
+                  current := [ k ]
+                end)
+            members;
+          flush ();
+          List.iter
+            (fun run ->
+              let insts = List.map (Arena.instr arena) run in
+              let elt =
+                match insts with
+                | s :: _ -> (
+                  match Instr.address s with
+                  | Some a -> a.Instr.elt
+                  | None -> Types.I64)
+                | [] -> Types.I64
+              in
+              let max_lanes = Config.effective_max_lanes config elt in
+              seeds := !seeds @ windows max_lanes insts)
+            (List.rev !runs)
+        done)
     buckets;
   (* deterministic order: by position of the first store *)
   let sorted =

@@ -32,6 +32,10 @@ type t = {
   unop_cost : Opcode.unop -> op_costs;
   load_cost : op_costs;
   store_cost : op_costs;
+  cmp_cost : op_costs;                  (* lane compare producing a mask *)
+  select_cost : op_costs;               (* per-lane blend on an i1 mask *)
+  masked_load_cost : op_costs;          (* predicated load *)
+  masked_store_cost : op_costs;         (* predicated store *)
   insert_element : int;                 (* scalar -> vector lane insertion *)
   insert_element_alu : int;             (* insertion of an ALU-produced value
                                            (register-domain crossing) *)
@@ -73,6 +77,14 @@ let skylake_avx2 =
     unop_cost = skylake_unop;
     load_cost = alu;
     store_cost = alu;
+    (* cmp/blend are plain ALU ops (vcmppd/vblendvpd); the masked memory ops
+       (vmaskmovpd) pay an extra cycle over their unconditional forms, and
+       their scalar fallback pays the same 2 for its compare+branch — so a
+       4-lane masked group still beats 4 scalar guarded accesses. *)
+    cmp_cost = alu;
+    select_cost = alu;
+    masked_load_cost = { scalar = 2; vector = (fun _ -> 2) };
+    masked_store_cost = { scalar = 2; vector = (fun _ -> 2) };
     insert_element = 1;
     insert_element_alu = 1;
     extract_element = 1;
@@ -142,6 +154,10 @@ let scalar_instr_cost t (i : Instr.t) =
   | Instr.Unop (op, _) -> (t.unop_cost op).scalar
   | Instr.Load _ -> t.load_cost.scalar
   | Instr.Store _ -> t.store_cost.scalar
+  | Instr.Cmp _ -> t.cmp_cost.scalar
+  | Instr.Select _ -> t.select_cost.scalar
+  | Instr.Masked_load _ -> t.masked_load_cost.scalar
+  | Instr.Masked_store _ -> t.masked_store_cost.scalar
   | Instr.Splat _ -> t.splat
   | Instr.Buildvec vs -> gather_cost t vs
   | Instr.Extract _ -> t.extract_element
@@ -169,6 +185,18 @@ let instr_cost t (i : Instr.t) =
   | Instr.Store (a, _) ->
     if a.access_lanes > 1 then t.store_cost.vector a.access_lanes
     else t.store_cost.scalar
+  | Instr.Cmp _ ->
+    let n = lanes_of i.ty in
+    if n > 1 then t.cmp_cost.vector n else t.cmp_cost.scalar
+  | Instr.Select _ ->
+    let n = lanes_of i.ty in
+    if n > 1 then t.select_cost.vector n else t.select_cost.scalar
+  | Instr.Masked_load (a, _, _) ->
+    if a.access_lanes > 1 then t.masked_load_cost.vector a.access_lanes
+    else t.masked_load_cost.scalar
+  | Instr.Masked_store (a, _, _) ->
+    if a.access_lanes > 1 then t.masked_store_cost.vector a.access_lanes
+    else t.masked_store_cost.scalar
   | Instr.Splat _ -> t.splat
   | Instr.Buildvec vs -> gather_cost t vs
   | Instr.Extract _ -> t.extract_element
@@ -183,6 +211,10 @@ let vector_group_cost t (i : Instr.t) ~lanes =
   | Instr.Unop (op, _) -> (t.unop_cost op).vector lanes
   | Instr.Load _ -> t.load_cost.vector lanes
   | Instr.Store _ -> t.store_cost.vector lanes
+  | Instr.Cmp _ -> t.cmp_cost.vector lanes
+  | Instr.Select _ -> t.select_cost.vector lanes
+  | Instr.Masked_load _ -> t.masked_load_cost.vector lanes
+  | Instr.Masked_store _ -> t.masked_store_cost.vector lanes
   | Instr.Splat _ | Instr.Buildvec _ | Instr.Extract _ | Instr.Reduce _
   | Instr.Shuffle _ ->
     invalid_arg "vector_group_cost: not a scalar instruction"

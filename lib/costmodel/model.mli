@@ -20,6 +20,11 @@ type t = {
   unop_cost : Opcode.unop -> op_costs;
   load_cost : op_costs;
   store_cost : op_costs;
+  cmp_cost : op_costs;  (** lane compare producing an i1 mask *)
+  select_cost : op_costs;  (** per-lane blend on a mask *)
+  masked_load_cost : op_costs;
+      (** predicated load; dearer than [load_cost] on both sides *)
+  masked_store_cost : op_costs;  (** predicated store *)
   insert_element : int;
   insert_element_alu : int;
       (** insertion of an ALU-produced (non-load) value; the machine table

@@ -15,6 +15,8 @@ type binop =
   | B_and | B_or | B_xor
   | B_shl | B_shr
 
+type cmpop = C_lt | C_le | C_gt | C_ge | C_eq | C_ne
+
 type expr = { desc : expr_desc; epos : Token.pos }
 
 and expr_desc =
@@ -23,6 +25,7 @@ and expr_desc =
   | Var of string
   | Load of string * expr            (* array[index] *)
   | Bin of binop * expr * expr
+  | Cmp of cmpop * expr * expr       (* a < b — only as an if condition *)
   | Neg of expr
   | Call of string * expr list       (* builtin: sqrt, fabs, min, max... *)
 
@@ -32,6 +35,13 @@ and stmt_desc =
   | Decl of ty * string * expr       (* ty name = expr; *)
   | Store of string * expr * expr    (* array[index] = expr; *)
   | For of for_loop                  (* for (i64 i = a; i < b; i += s) {..} *)
+  | If of if_stmt                    (* if (cond) {..} [else {..}] *)
+
+and if_stmt = {
+  i_cond : expr;
+  i_then : stmt list;
+  i_else : stmt list;                (* empty when there is no else branch *)
+}
 
 and for_loop = {
   f_counter : string;
@@ -55,6 +65,10 @@ let binop_symbol = function
   | B_add -> "+" | B_sub -> "-" | B_mul -> "*" | B_div -> "/" | B_rem -> "%"
   | B_and -> "&" | B_or -> "|" | B_xor -> "^"
   | B_shl -> "<<" | B_shr -> ">>"
+
+let cmpop_symbol = function
+  | C_lt -> "<" | C_le -> "<=" | C_gt -> ">" | C_ge -> ">="
+  | C_eq -> "==" | C_ne -> "!="
 
 (* Builtins and their arities; the lowering maps them to IR opcodes. *)
 let builtins = [ ("sqrt", 1); ("fabs", 1); ("fmin", 2); ("fmax", 2);

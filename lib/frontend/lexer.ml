@@ -120,6 +120,8 @@ let lex_ident st =
   match String.sub st.src begin_off (st.off - begin_off) with
   | "kernel" -> Token.KERNEL
   | "for" -> Token.FOR
+  | "if" -> Token.IF
+  | "else" -> Token.ELSE
   | "i64" -> Token.TY_I64
   | "f64" -> Token.TY_F64
   | s -> Token.IDENT s
@@ -142,7 +144,11 @@ let next_token st : Token.spanned =
       | '}' -> simple Token.RBRACE
       | ',' -> simple Token.COMMA
       | ';' -> simple Token.SEMI
+      | '=' when peek2c st = '=' ->
+        advance st; advance st; Token.EQEQ
       | '=' -> simple Token.ASSIGN
+      | '!' when peek2c st = '=' ->
+        advance st; advance st; Token.NEQ
       | '+' when peek2c st = '=' ->
         advance st; advance st; Token.PLUSEQ
       | '+' -> simple Token.PLUS
@@ -155,9 +161,14 @@ let next_token st : Token.spanned =
       | '^' -> simple Token.CARET
       | '<' when peek2c st = '<' ->
         advance st; advance st; Token.SHL
+      | '<' when peek2c st = '=' ->
+        advance st; advance st; Token.LE
       | '<' -> simple Token.LT
       | '>' when peek2c st = '>' ->
         advance st; advance st; Token.SHR
+      | '>' when peek2c st = '=' ->
+        advance st; advance st; Token.GE
+      | '>' -> simple Token.GT
       | c -> error p "unexpected character %C" c
   in
   { Token.tok; pos = p }

@@ -28,6 +28,9 @@ type env = {
   mutable locals : (string * local) list;
   mutable counters : string list;  (* enclosing loop counters (at most one) *)
   mutable next_loop : int;
+  mutable mask : Instr.value option;
+      (* set while if-converting a branch: the i1 predicate every memory
+         access in the branch must be guarded by *)
 }
 
 let lookup_local env name = List.assoc_opt name env.locals
@@ -61,7 +64,7 @@ let rec affine_of env (e : Ast.expr) : Affine.t option =
       | Ast.B_shl | Ast.B_shr -> None)
     | (None | Some _), _ -> None)
   | Ast.Neg a -> Option.map Affine.neg (affine_of env a)
-  | Ast.Float_lit _ | Ast.Load _ | Ast.Call _ -> None
+  | Ast.Float_lit _ | Ast.Load _ | Ast.Call _ | Ast.Cmp _ -> None
 
 let rec infer_ty env (e : Ast.expr) : Ast.ty =
   match e.Ast.desc with
@@ -97,6 +100,9 @@ let rec infer_ty env (e : Ast.expr) : Ast.ty =
      | Ast.B_add | Ast.B_sub | Ast.B_mul | Ast.B_div -> ());
     ta
   | Ast.Neg a -> infer_ty env a
+  | Ast.Cmp _ ->
+    error e.Ast.epos
+      "comparisons can only appear as an `if` condition, not as a value"
   | Ast.Call (name, args) -> (
     match name with
     | "sqrt" | "fabs" | "fmin" | "fmax" ->
@@ -113,6 +119,14 @@ let rec infer_ty env (e : Ast.expr) : Ast.ty =
        | [ _; _ ] -> error e.Ast.epos "%s arguments must have equal types" name
        | _ -> error e.Ast.epos "%s expects 2 arguments" name)
     | _ -> error e.Ast.epos "unknown builtin %s" name)
+
+let cmp_opcode : Ast.cmpop -> Opcode.cmp = function
+  | Ast.C_lt -> Opcode.Lt
+  | Ast.C_le -> Opcode.Le
+  | Ast.C_gt -> Opcode.Gt
+  | Ast.C_ge -> Opcode.Ge
+  | Ast.C_eq -> Opcode.Eq
+  | Ast.C_ne -> Opcode.Ne
 
 let binop_opcode pos (op : Ast.binop) (ty : Ast.ty) : Opcode.binop =
   match (op, ty) with
@@ -170,9 +184,27 @@ let rec lower_expr env (e : Ast.expr) : Instr.value =
         | Some (Ast.P_arr _) ->
           error e.Ast.epos "array %s used as a scalar value" x
         | None -> error e.Ast.epos "undefined variable %s" x))
-  | Ast.Load (arr, idx) ->
+  | Ast.Load (arr, idx) -> (
     let index = subscript env arr idx in
-    Builder.load env.builder ~base:arr index
+    match env.mask with
+    | None -> Builder.load env.builder ~base:arr index
+    | Some mask ->
+      (* inside an if-converted branch the access must not happen on
+         masked-off lanes (the guard may be exactly what keeps it in
+         bounds); the passthrough zero feeds lanes whose results are
+         discarded by the guarded stores downstream *)
+      let passthrough =
+        match lookup_param env arr with
+        | Some (Ast.P_arr Ast.Ti64) -> Builder.iconst 0
+        | Some (Ast.P_arr Ast.Tf64) -> Builder.fconst 0.0
+        | Some (Ast.P_i64 | Ast.P_f64) ->
+          error e.Ast.epos "%s is not an array" arr
+        | None -> error e.Ast.epos "undefined array %s" arr
+      in
+      Builder.masked_load env.builder ~base:arr index ~mask ~passthrough)
+  | Ast.Cmp _ ->
+    error e.Ast.epos
+      "comparisons can only appear as an `if` condition, not as a value"
   | Ast.Bin (op, a, b) ->
     let ty = infer_ty env e in
     let va = lower_expr env a in
@@ -253,13 +285,19 @@ let rec lower_stmt env (s : Ast.stmt) =
           Ast.pp_ty elt_ty arr;
       let index = subscript env arr idx in
       let v = lower_expr env e in
-      Builder.store env.builder ~base:arr index v
+      (match env.mask with
+       | None -> Builder.store env.builder ~base:arr index v
+       | Some mask -> Builder.masked_store env.builder ~base:arr index v ~mask)
     | Some (Ast.P_i64 | Ast.P_f64) ->
       error s.Ast.spos "%s is not an array" arr
     | None -> error s.Ast.spos "undefined array %s" arr)
   | Ast.For fl ->
     if env.counters <> [] then
       error s.Ast.spos "nested loops are not supported";
+    if env.mask <> None then
+      error s.Ast.spos
+        "loops cannot appear inside `if` (if-converted regions are \
+         straight-line)";
     let counter = fl.Ast.f_counter in
     if Option.is_some (lookup_param env counter) then
       error s.Ast.spos "loop counter %s shadows a parameter" counter;
@@ -284,6 +322,87 @@ let rec lower_stmt env (s : Ast.stmt) =
     env.locals <- saved_locals;
     (* code after the loop falls through into a fresh straight block *)
     ignore (Builder.start_block env.builder ())
+  | Ast.If ifs ->
+    (* If-conversion: both branches flatten into the current straight-line
+       block, every memory access guarded by an i1 mask.  The condition is
+       evaluated exactly once; the else branch runs under the negated
+       predicate applied to the same operand values (sound under the no-NaN
+       fast-math contract — see Opcode.negate_cmp). *)
+    let op, va, vb =
+      match ifs.Ast.i_cond.Ast.desc with
+      | Ast.Cmp (op, a, b) ->
+        let ta = infer_ty env a and tb = infer_ty env b in
+        if ta <> tb then
+          error ifs.Ast.i_cond.Ast.epos
+            "comparison operands have different types (%a vs %a)" Ast.pp_ty
+            ta Ast.pp_ty tb;
+        let va = lower_expr env a in
+        let vb = lower_expr env b in
+        (cmp_opcode op, va, vb)
+      | _ ->
+        error ifs.Ast.i_cond.Ast.epos "if condition must be a comparison"
+    in
+    (* nested ifs compose: the branch predicate is ANDed with the enclosing
+       mask, so only lanes live in *both* regions execute the branch *)
+    let combine m =
+      match env.mask with
+      | None -> m
+      | Some outer -> Builder.binop env.builder ~name:"mand" Opcode.And outer m
+    in
+    let outer_locals = env.locals in
+    let outer_mask = env.mask in
+    let then_mask = combine (Builder.cmp env.builder op va vb) in
+    env.mask <- Some then_mask;
+    List.iter (lower_stmt env) ifs.Ast.i_then;
+    let then_locals = env.locals in
+    env.locals <- outer_locals;
+    env.mask <- outer_mask;
+    let else_locals =
+      if ifs.Ast.i_else = [] then outer_locals
+      else begin
+        let else_mask =
+          combine (Builder.cmp env.builder (Opcode.negate_cmp op) va vb)
+        in
+        env.mask <- Some else_mask;
+        List.iter (lower_stmt env) ifs.Ast.i_else;
+        let l = env.locals in
+        env.locals <- outer_locals;
+        env.mask <- outer_mask;
+        l
+      end
+    in
+    (* Join: a local declared in BOTH branches keeps its name after the if,
+       merged lane-wise with a select on the then-mask.  Branch-only locals
+       go out of scope with their branch (their value is undefined on the
+       other path). *)
+    let branch_fresh locs =
+      (* entries the branch consed onto the shared outer tail, oldest first *)
+      let rec strip l =
+        if l == outer_locals then []
+        else match l with [] -> [] | x :: tl -> x :: strip tl
+      in
+      List.rev (strip locs)
+    in
+    let else_fresh = branch_fresh else_locals in
+    List.iter
+      (fun (name, tl) ->
+        match List.assoc_opt name else_fresh with
+        | Some el when el.l_ty = tl.l_ty ->
+          let merged =
+            Builder.select env.builder ~name:(name ^ "_m") then_mask
+              tl.l_value el.l_value
+          in
+          env.locals <-
+            (name,
+             { l_ty = tl.l_ty; l_value = merged; l_affine = None;
+               l_block = Builder.current_block env.builder })
+            :: env.locals
+        | Some _ ->
+          error s.Ast.spos
+            "local %s is declared with different types in the two branches"
+            name
+        | None -> ())
+      (branch_fresh then_locals)
 
 let arg_ty_of_param = function
   | Ast.P_i64 -> Instr.Int_arg
@@ -306,7 +425,7 @@ let lower_kernel (k : Ast.kernel) : Func.t =
   in
   let env =
     { builder; params = k.Ast.params; locals = []; counters = [];
-      next_loop = 0 }
+      next_loop = 0; mask = None }
   in
   List.iter (lower_stmt env) k.Ast.body;
   let f = Builder.func builder in

@@ -2,6 +2,9 @@
 
    Expression grammar with C-like precedence, lowest to highest:
 
+     cond:    bitor ('<'|'<='|'>'|'>='|'=='|'!=') bitor
+              (comparisons appear only as `if` conditions; they are not
+               general expressions, so there is no chained `a < b < c`)
      bitor:   bitxor ('|' bitxor)*
      bitxor:  bitand ('^' bitand)*
      bitand:  shift ('&' shift)*
@@ -46,6 +49,30 @@ let expect_ident st what =
     error t.Token.pos "expected %s but found `%s`" what (Token.to_string other)
 
 let rec parse_expr st = parse_bitor st
+
+(* `if` conditions only: a single non-associative comparison. *)
+and parse_cond st =
+  let lhs = parse_bitor st in
+  let t = peek st in
+  let op =
+    match t.Token.tok with
+    | Token.LT -> Some Ast.C_lt
+    | Token.LE -> Some Ast.C_le
+    | Token.GT -> Some Ast.C_gt
+    | Token.GE -> Some Ast.C_ge
+    | Token.EQEQ -> Some Ast.C_eq
+    | Token.NEQ -> Some Ast.C_ne
+    | _ -> None
+  in
+  match op with
+  | Some op ->
+    advance st;
+    let rhs = parse_bitor st in
+    { Ast.desc = Ast.Cmp (op, lhs, rhs); epos = lhs.Ast.epos }
+  | None ->
+    error t.Token.pos
+      "an if condition must be a comparison (a < b, a == b, ...), found `%s`"
+      (Token.to_string t.Token.tok)
 
 and parse_bitor st =
   let lhs = parse_bitxor st in
@@ -205,6 +232,29 @@ let rec parse_stmt st =
             f_step = step;
             f_body = body;
           };
+      spos = t.Token.pos;
+    }
+  | Token.IF ->
+    advance st;
+    expect st Token.LPAREN "`(` after `if`";
+    let cond = parse_cond st in
+    expect st Token.RPAREN "`)` closing the if condition";
+    expect st Token.LBRACE "`{` opening the then branch";
+    let then_stmts = parse_stmts st in
+    expect st Token.RBRACE "`}` closing the then branch";
+    let else_stmts =
+      if (peek st).Token.tok = Token.ELSE then begin
+        advance st;
+        expect st Token.LBRACE "`{` opening the else branch";
+        let ss = parse_stmts st in
+        expect st Token.RBRACE "`}` closing the else branch";
+        ss
+      end
+      else []
+    in
+    {
+      Ast.sdesc =
+        Ast.If { Ast.i_cond = cond; i_then = then_stmts; i_else = else_stmts };
       spos = t.Token.pos;
     }
   | Token.TY_I64 | Token.TY_F64 ->

@@ -5,6 +5,8 @@ type pos = { line : int; col : int }
 type t =
   | KERNEL
   | FOR
+  | IF
+  | ELSE
   | TY_I64
   | TY_F64
   | IDENT of string
@@ -18,7 +20,8 @@ type t =
   | PLUS | MINUS | STAR | SLASH | PERCENT
   | AMP | PIPE | CARET
   | SHL | SHR                   (* << >> *)
-  | LT                          (* < *)
+  | LT | LE | GT | GE           (* < <= > >= *)
+  | EQEQ | NEQ                  (* == != *)
   | PLUSEQ                      (* += *)
   | EOF
 
@@ -27,6 +30,8 @@ type spanned = { tok : t; pos : pos }
 let to_string = function
   | KERNEL -> "kernel"
   | FOR -> "for"
+  | IF -> "if"
+  | ELSE -> "else"
   | TY_I64 -> "i64"
   | TY_F64 -> "f64"
   | IDENT s -> s
@@ -40,7 +45,8 @@ let to_string = function
   | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
   | AMP -> "&" | PIPE -> "|" | CARET -> "^"
   | SHL -> "<<" | SHR -> ">>"
-  | LT -> "<"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+  | EQEQ -> "==" | NEQ -> "!="
   | PLUSEQ -> "+="
   | EOF -> "<eof>"
 

@@ -44,9 +44,9 @@ let unroll_factor = 4
 (* One case: generate, clone, unroll the candidate, run the pipeline under
    the drawn config, then check the three properties.  Returns the report's
    (vectorized, degraded) counts on success. *)
-let run_case ~st ~inject_spec ~forced_config ~seed ~case :
+let run_case ~st ~cond ~inject_spec ~forced_config ~seed ~case :
     (int * int * bool, string * string * string option) result =
-  let prog = Gen.generate st in
+  let prog = Gen.generate ~cond_only:cond st in
   let desc = Gen.describe prog in
   let base_config =
     match forced_config with
@@ -109,7 +109,8 @@ let run_case ~st ~inject_spec ~forced_config ~seed ~case :
               report.Pipeline.degraded_regions,
               inject <> None )))
 
-let run ?(cases = 500) ?(seed = 42) ?config ?inject_spec () : stats =
+let run ?(cases = 500) ?(seed = 42) ?(cond = false) ?config ?inject_spec () :
+    stats =
   let st = Random.State.make [| seed |] in
   let failures = ref [] in
   let vectorized = ref 0 in
@@ -117,7 +118,7 @@ let run ?(cases = 500) ?(seed = 42) ?config ?inject_spec () : stats =
   let injected_runs = ref 0 in
   for case = 0 to cases - 1 do
     match
-      run_case ~st ~inject_spec ~forced_config:config ~seed ~case
+      run_case ~st ~cond ~inject_spec ~forced_config:config ~seed ~case
     with
     | Ok (v, d, injected) ->
       vectorized := !vectorized + v;
@@ -163,9 +164,12 @@ type case_outcome = {
   c_injected : bool;
 }
 
-let run_case_indexed ?config ?inject_spec ~seed ~case () : case_outcome =
+let run_case_indexed ?config ?(cond = false) ?inject_spec ~seed ~case () :
+    case_outcome =
   let st = Random.State.make [| seed; case; 0x5eed |] in
-  match run_case ~st ~inject_spec ~forced_config:config ~seed ~case with
+  match
+    run_case ~st ~cond ~inject_spec ~forced_config:config ~seed ~case
+  with
   | Ok (v, d, injected) ->
     {
       case;

@@ -24,6 +24,7 @@ type stats = {
 val run :
   ?cases:int ->
   ?seed:int ->
+  ?cond:bool ->
   ?config:Lslp_core.Config.t ->
   ?inject_spec:Lslp_robust.Inject.t ->
   unit ->
@@ -32,7 +33,9 @@ val run :
     draws from a pool of seven configurations (and a random [validate]
     flag).  [inject_spec] — typically parsed from [--inject] — is re-seeded
     per case; without it, a quarter of the cases arm a random low-rate
-    injector anyway. *)
+    injector anyway.  [~cond:true] (the [lslpc fuzz --config cond] arm)
+    draws only branching masked-IR programs — guarded stores, selects,
+    masked loads — instead of the classic shape mix. *)
 
 val normalize_ids : string -> string
 (** Alpha-rename every [%label] in printed IR by first appearance.
@@ -54,6 +57,7 @@ type case_outcome = {
 
 val run_case_indexed :
   ?config:Lslp_core.Config.t ->
+  ?cond:bool ->
   ?inject_spec:Lslp_robust.Inject.t ->
   seed:int ->
   case:int ->

@@ -1,10 +1,11 @@
 (** Random well-typed kernel generation for the differential fuzzer.
 
-    Three shapes — straight-line lanes of one commutative expression with
-    hidden per-lane isomorphism, reduction chains, and counted loops that
-    vectorize through the unroller.  Programs only load from A/B/C and
-    store to R/S, and are verified well-formed before leaving the
-    generator. *)
+    Four shapes — straight-line lanes of one commutative expression with
+    hidden per-lane isomorphism, reduction chains, counted loops that
+    vectorize through the unroller, and masked branching code (guarded
+    stores, selects, masked loads) as produced by if-conversion.  Programs
+    only load from A/B/C and store to R/S, and are verified well-formed
+    before leaving the generator. *)
 
 open Lslp_ir
 
@@ -32,11 +33,25 @@ type shape =
       l_trip : int;
       l_symbolic : bool;
     }
+  | Cond of {
+      c_vl : int;
+      c_cmp : Opcode.cmp;
+      c_guard : leaf;
+      c_thresh : float;
+      c_op : Opcode.binop;
+      c_leaves : leaf list;
+      c_has_else : bool;
+      c_select : bool;
+      c_masked_loads : bool;
+      c_nested : bool;
+    }
 
 type prog = { elt : elt; shape : shape }
 
-val generate : Random.State.t -> prog
-(** Draw one program description; deterministic in the state. *)
+val generate : ?cond_only:bool -> Random.State.t -> prog
+(** Draw one program description; deterministic in the state.
+    [~cond_only:true] always draws the branching [Cond] shape (the default
+    never does, keeping the classic pinned-seed streams bit-stable). *)
 
 val build : prog -> Func.t
 (** Construct (and verify) the scalar function.  Fresh instructions every

@@ -14,6 +14,7 @@ type scalar_value =
   | VF of float
   | VI32 of int32
   | VF32 of float  (* kept single-rounded *)
+  | VB of bool     (* one i1 mask lane *)
 
 type rvalue = S of scalar_value | V of scalar_value array
 
@@ -26,6 +27,7 @@ let pp_scalar_value ppf = function
   | VF x -> Fmt.pf ppf "%.17g" x
   | VI32 n -> Fmt.pf ppf "%ld" n
   | VF32 x -> Fmt.pf ppf "%.9g" x
+  | VB b -> Fmt.pf ppf "%b" b
 
 (* x86 masks 64-bit shift amounts to their low 6 bits (5 for 32-bit). *)
 let shift_amount n = Int64.to_int (Int64.logand n 63L)
@@ -83,13 +85,52 @@ let int32_binop (op : Opcode.binop) a b =
   | Opcode.Fmax ->
     trap "float opcode %s applied to ints" (Opcode.binop_name op)
 
+(* Mask lanes only combine with the bitwise logical opcodes. *)
+let mask_binop (op : Opcode.binop) a b =
+  match op with
+  | Opcode.And -> a && b
+  | Opcode.Or -> a || b
+  | Opcode.Xor -> a <> b
+  | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Sdiv | Opcode.Srem
+  | Opcode.Shl | Opcode.Lshr | Opcode.Ashr | Opcode.Smin | Opcode.Smax
+  | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv | Opcode.Fmin
+  | Opcode.Fmax ->
+    trap "opcode %s applied to i1 mask lanes" (Opcode.binop_name op)
+
 let scalar_binop op a b =
   match (a, b) with
   | VI x, VI y -> VI (int_binop op x y)
   | VF x, VF y -> VF (float_binop op x y)
   | VI32 x, VI32 y -> VI32 (int32_binop op x y)
   | VF32 x, VF32 y -> VF32 (Memory.round32 (float_binop op x y))
-  | (VI _ | VF _ | VI32 _ | VF32 _), _ -> trap "mixed-type binop"
+  | VB x, VB y -> VB (mask_binop op x y)
+  | (VI _ | VF _ | VI32 _ | VF32 _ | VB _), _ -> trap "mixed-type binop"
+
+let scalar_cmp (op : Opcode.cmp) a b =
+  let of_order c =
+    match op with
+    | Opcode.Lt -> c < 0
+    | Opcode.Le -> c <= 0
+    | Opcode.Gt -> c > 0
+    | Opcode.Ge -> c >= 0
+    | Opcode.Eq -> c = 0
+    | Opcode.Ne -> c <> 0
+  in
+  match (a, b) with
+  | VI x, VI y -> VB (of_order (Int64.compare x y))
+  | VI32 x, VI32 y -> VB (of_order (Int32.compare x y))
+  | VF x, VF y | VF32 x, VF32 y ->
+    (* IEEE semantics: every ordered predicate is false on NaN *)
+    VB
+      (if Float.is_nan x || Float.is_nan y then
+         match op with Opcode.Ne -> true | _ -> false
+       else of_order (compare (x : float) y))
+  | VB _, _ | _, VB _ -> trap "cmp applied to i1 mask lanes"
+  | (VI _ | VF _ | VI32 _ | VF32 _), _ -> trap "mixed-type cmp"
+
+let as_mask = function
+  | VB b -> b
+  | VI _ | VF _ | VI32 _ | VF32 _ -> trap "expected an i1 mask lane"
 
 let scalar_unop (op : Opcode.unop) v =
   match (op, v) with
@@ -158,6 +199,7 @@ let load_element st (a : Instr.address) k =
   | Types.F64 -> VF (Memory.read_float st.mem a.base (base_index + k))
   | Types.I32 -> VI32 (Memory.read_int32 st.mem a.base (base_index + k))
   | Types.F32 -> VF32 (Memory.read_float32 st.mem a.base (base_index + k))
+  | Types.I1 -> trap "i1 load: masks never touch memory"
 
 let store_element st (a : Instr.address) k v =
   let base_index = Affine.eval ~env:(affine_env st) a.index in
@@ -167,7 +209,7 @@ let store_element st (a : Instr.address) k v =
   | Types.I32, VI32 x -> Memory.write_int32 st.mem a.base (base_index + k) x
   | Types.F32, VF32 x ->
     Memory.write_float32 st.mem a.base (base_index + k) x
-  | (Types.I64 | Types.F64 | Types.I32 | Types.F32), _ ->
+  | (Types.I64 | Types.F64 | Types.I32 | Types.F32 | Types.I1), _ ->
     trap "store element type mismatch"
 
 let exec_instr st (i : Instr.t) =
@@ -196,6 +238,63 @@ let exec_instr st (i : Instr.t) =
          if Array.length lanes <> a.access_lanes then
            trap "store lane count mismatch";
          Array.iteri (fun k sv -> store_element st a k sv) lanes
+       end);
+      None
+    | Instr.Cmp (op, x, y) ->
+      (match (eval_value st x, eval_value st y) with
+       | S a, S b -> Some (S (scalar_cmp op a b))
+       | V a, V b ->
+         if Array.length a <> Array.length b then trap "lane count mismatch";
+         Some (V (Array.map2 (scalar_cmp op) a b))
+       | S _, V _ | V _, S _ -> trap "mixed scalar/vector cmp")
+    | Instr.Select (m, x, y) ->
+      (match (eval_value st m, eval_value st x, eval_value st y) with
+       | S mv, S a, S b -> Some (S (if as_mask mv then a else b))
+       | V mv, V a, V b ->
+         if Array.length mv <> Array.length a
+            || Array.length a <> Array.length b
+         then trap "lane count mismatch";
+         Some
+           (V
+              (Array.init (Array.length a) (fun k ->
+                   if as_mask mv.(k) then a.(k) else b.(k))))
+       | (S _ | V _), _, _ -> trap "mixed scalar/vector select")
+    | Instr.Masked_load (a, m, p) ->
+      (* a masked-off lane reads nothing at all — not even bounds-checked,
+         since the guard may be exactly what keeps the access in range —
+         and yields the passthrough lane instead *)
+      if a.access_lanes = 1 then
+        if as_mask (as_scalar (eval_value st m)) then
+          Some (S (load_element st a 0))
+        else Some (S (as_scalar (eval_value st p)))
+      else begin
+        let mask = as_vector (eval_value st m) in
+        let pass = as_vector (eval_value st p) in
+        if
+          Array.length mask <> a.access_lanes
+          || Array.length pass <> a.access_lanes
+        then trap "masked load lane count mismatch";
+        Some
+          (V
+             (Array.init a.access_lanes (fun k ->
+                  if as_mask mask.(k) then load_element st a k else pass.(k))))
+      end
+    | Instr.Masked_store (a, v, m) ->
+      (* a masked-off lane writes nothing *)
+      (if a.access_lanes = 1 then begin
+         let sv = as_scalar (eval_value st v) in
+         if as_mask (as_scalar (eval_value st m)) then store_element st a 0 sv
+       end
+       else begin
+         let mask = as_vector (eval_value st m) in
+         let lanes = as_vector (eval_value st v) in
+         if
+           Array.length mask <> a.access_lanes
+           || Array.length lanes <> a.access_lanes
+         then trap "masked store lane count mismatch";
+         Array.iteri
+           (fun k sv -> if as_mask mask.(k) then store_element st a k sv)
+           lanes
        end);
       None
     | Instr.Splat v ->

@@ -12,6 +12,7 @@ type scalar_value =
   | VF of float
   | VI32 of int32
   | VF32 of float  (** kept single-rounded *)
+  | VB of bool  (** one i1 mask lane *)
 type rvalue = S of scalar_value | V of scalar_value array
 
 exception Trap of string
@@ -40,3 +41,4 @@ val int32_binop : Opcode.binop -> int32 -> int32 -> int32
 val float_binop : Opcode.binop -> float -> float -> float
 val scalar_binop : Opcode.binop -> scalar_value -> scalar_value -> scalar_value
 val scalar_unop : Opcode.unop -> scalar_value -> scalar_value
+val scalar_cmp : Opcode.cmp -> scalar_value -> scalar_value -> scalar_value

@@ -23,6 +23,7 @@ let alloc t name (elt : Types.scalar) ~size =
     | Types.F64 -> Float_mem (Array.make size 0.0)
     | Types.I32 -> Int32_mem (Array.make size 0l)
     | Types.F32 -> Float32_mem (Array.make size 0.0)
+    | Types.I1 -> fault "i1 is not a memory element type"
   in
   Hashtbl.replace t name arr
 

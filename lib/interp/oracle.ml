@@ -115,7 +115,10 @@ let setup ?(seed = 42) ?(index = default_index) (f : Func.t) =
          | Types.F32 ->
            Memory.set_float32 mem a.arg_name
              (Array.init size (fun _ ->
-                  Random.State.float rng 16.0 -. 8.0 +. 0.0625)))
+                  Random.State.float rng 16.0 -. 8.0 +. 0.0625))
+         | Types.I1 ->
+           (* the verifier rejects i1 arrays; nothing to allocate *)
+           ())
       | Instr.Int_arg | Instr.Float_arg -> ())
     f.args;
   { int_args; float_args; mem }

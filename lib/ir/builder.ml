@@ -99,6 +99,20 @@ let unop b ?(name = "") op x =
   let name = fresh_name b name in
   emit b (Instr.create ~name (Instr.Unop (op, x)) (Types.Scalar elt))
 
+let cmp b ?(name = "") op x y =
+  let what = "cmp." ^ Opcode.cmp_name op in
+  let elt = operand_scalar what Opcode.cmp_accepts x in
+  check_scalar_ty what elt y;
+  let name = fresh_name b (if String.equal name "" then "m" else name) in
+  emit b (Instr.create ~name (Instr.Cmp (op, x, y)) (Types.Scalar Types.I1))
+
+let select b ?(name = "") m x y =
+  check_scalar_ty "select mask" Types.I1 m;
+  let elt = operand_scalar "select" (fun s -> not (Types.is_mask_scalar s)) x in
+  check_scalar_ty "select" elt y;
+  let name = fresh_name b (if String.equal name "" then "sel" else name) in
+  emit b (Instr.create ~name (Instr.Select (m, x, y)) (Types.Scalar elt))
+
 let array_elt b base =
   match Func.find_arg b.func base with
   | Some { Instr.arg_ty = Instr.Array_arg elt; _ } -> elt
@@ -116,6 +130,25 @@ let store b ~base index v =
   check_scalar_ty (Fmt.str "store to %s" base) elt v;
   let addr = { Instr.base; elt; index; access_lanes = 1 } in
   ignore (emit b (Instr.create (Instr.Store (addr, v)) Types.Void))
+
+let masked_load b ?(name = "") ~base index ~mask ~passthrough =
+  let elt = array_elt b base in
+  check_scalar_ty (Fmt.str "masked.load from %s mask" base) Types.I1 mask;
+  check_scalar_ty (Fmt.str "masked.load from %s passthrough" base) elt
+    passthrough;
+  let addr = { Instr.base; elt; index; access_lanes = 1 } in
+  let name = fresh_name b (if String.equal name "" then "mld" else name) in
+  emit b
+    (Instr.create ~name
+       (Instr.Masked_load (addr, mask, passthrough))
+       (Types.Scalar elt))
+
+let masked_store b ~base index v ~mask =
+  let elt = array_elt b base in
+  check_scalar_ty (Fmt.str "masked.store to %s" base) elt v;
+  check_scalar_ty (Fmt.str "masked.store to %s mask" base) Types.I1 mask;
+  let addr = { Instr.base; elt; index; access_lanes = 1 } in
+  ignore (emit b (Instr.create (Instr.Masked_store (addr, v, mask)) Types.Void))
 
 (* Shorthand used pervasively by tests and examples: index [i + k]. *)
 let idx ?(sym = "i") k = Affine.add_const k (Affine.sym sym)

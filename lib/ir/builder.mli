@@ -34,11 +34,31 @@ val binop :
 
 val unop : t -> ?name:string -> Opcode.unop -> Instr.value -> Instr.value
 
+val cmp :
+  t -> ?name:string -> Opcode.cmp -> Instr.value -> Instr.value -> Instr.value
+(** Scalar compare: lanes in, an i1 mask out. *)
+
+val select :
+  t -> ?name:string -> Instr.value -> Instr.value -> Instr.value ->
+  Instr.value
+(** [select mask then_v else_v].  The two arms must agree in type; the mask
+    must be i1. *)
+
 val load : t -> ?name:string -> base:string -> Affine.t -> Instr.value
 (** Scalar load [base[index]]. *)
 
 val store : t -> base:string -> Affine.t -> Instr.value -> unit
 (** Scalar store [base[index] = v]. *)
+
+val masked_load :
+  t -> ?name:string -> base:string -> Affine.t -> mask:Instr.value ->
+  passthrough:Instr.value -> Instr.value
+(** Guarded load: yields [base[index]] where the mask is set, the passthrough
+    value where it is clear (the masked-off access is not even performed). *)
+
+val masked_store :
+  t -> base:string -> Affine.t -> Instr.value -> mask:Instr.value -> unit
+(** Guarded store: writes only where the mask is set. *)
 
 val idx : ?sym:string -> int -> Affine.t
 (** [idx k] is the affine index [i + k] (with [?sym] overriding ["i"]). *)

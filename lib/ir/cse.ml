@@ -108,7 +108,35 @@ let instr_key ctx (i : Instr.t) =
         k.(4 + n + (3 * j)) <- c)
       ops;
     Some k
-  | Instr.Store _ -> None
+  | Instr.Cmp (op, _, _) ->
+    (* only the symmetric predicates get a canonical operand order *)
+    let ops = triples () in
+    let ops =
+      if Opcode.cmp_is_commutative op then List.sort compare_triple ops
+      else ops
+    in
+    Some (key_of_triples 18 (Opcode.cmp_code op) ops)
+  | Instr.Select _ -> Some (key_of_triples 19 0 (triples ()))
+  | Instr.Masked_load (a, _, _) ->
+    (* like Load: keyed under the array's store generation, plus the mask
+       and passthrough operands (different mask = different value) *)
+    let base, shape, const, lanes = address_words ctx a in
+    let ops = triples () in
+    let k = Array.make (6 + (3 * List.length ops)) 0 in
+    k.(0) <- 20;
+    k.(1) <- base;
+    k.(2) <- shape;
+    k.(3) <- const;
+    k.(4) <- lanes;
+    k.(5) <- gen_of ctx base;
+    List.iteri
+      (fun j (x, y, z) ->
+        k.(6 + (3 * j)) <- x;
+        k.(7 + (3 * j)) <- y;
+        k.(8 + (3 * j)) <- z)
+      ops;
+    Some k
+  | Instr.Store _ | Instr.Masked_store _ -> None
 
 let run_block block =
   let ctx = { names = Intern.create 16; shapes = Intern.create 16; gens = [||] } in
@@ -142,9 +170,10 @@ let run_block block =
       match instr_key ctx i with
       | None -> (
         match i.Instr.kind with
-        | Instr.Store (addr, _) ->
+        | Instr.Store (addr, _) | Instr.Masked_store (addr, _, _) ->
           bump_gen ctx (Intern.intern ctx.names addr.Instr.base)
-        | Instr.Binop _ | Instr.Unop _ | Instr.Load _ | Instr.Splat _
+        | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _ | Instr.Select _
+        | Instr.Load _ | Instr.Masked_load _ | Instr.Splat _
         | Instr.Buildvec _ | Instr.Extract _ | Instr.Reduce _
         | Instr.Shuffle _ -> ())
       | Some key -> (

@@ -31,6 +31,12 @@ and kind =
   | Unop of Opcode.unop * value
   | Load of address
   | Store of address * value
+  (* Predicated instructions, produced by if-conversion.  The mask is an
+     ordinary i1-lane value; there is no separate predicate register file. *)
+  | Cmp of Opcode.cmp * value * value        (* lanes -> i1 lanes *)
+  | Select of value * value * value          (* mask, then-value, else-value *)
+  | Masked_load of address * value * value   (* address, mask, passthrough *)
+  | Masked_store of address * value * value  (* address, stored value, mask *)
   (* Vector-only instructions, produced by SLP/LSLP code generation: *)
   | Splat of value                  (* broadcast a scalar into all lanes *)
   | Buildvec of value list          (* gather scalars into a vector *)
@@ -70,8 +76,12 @@ let map_address_index f i =
   match i.kind with
   | Load a -> i.kind <- Load { a with index = f a.index }
   | Store (a, v) -> i.kind <- Store ({ a with index = f a.index }, v)
-  | Binop _ | Unop _ | Splat _ | Buildvec _ | Extract _ | Reduce _
-  | Shuffle _ -> ()
+  | Masked_load (a, m, p) ->
+    i.kind <- Masked_load ({ a with index = f a.index }, m, p)
+  | Masked_store (a, v, m) ->
+    i.kind <- Masked_store ({ a with index = f a.index }, v, m)
+  | Binop _ | Unop _ | Cmp _ | Select _ | Splat _ | Buildvec _ | Extract _
+  | Reduce _ | Shuffle _ -> ()
 
 let equal a b = a.id = b.id
 let compare a b = Int.compare a.id b.id
@@ -96,11 +106,14 @@ let value_ty = function
 
 let operands i =
   match i.kind with
-  | Binop (_, a, b) -> [ a; b ]
+  | Binop (_, a, b) | Cmp (_, a, b) -> [ a; b ]
   | Unop (_, a) | Splat a | Extract (a, _) | Reduce (_, a)
   | Shuffle (a, _) -> [ a ]
   | Load _ -> []
   | Store (_, v) -> [ v ]
+  | Select (m, a, b) -> [ m; a; b ]
+  | Masked_load (_, m, p) -> [ m; p ]
+  | Masked_store (_, v, m) -> [ v; m ]
   | Buildvec vs -> vs
 
 let set_operands i ops =
@@ -113,24 +126,32 @@ let set_operands i ops =
   | Shuffle (_, idx), [ a ] -> i.kind <- Shuffle (a, idx)
   | Load _, [] -> ()
   | Store (addr, _), [ v ] -> i.kind <- Store (addr, v)
+  | Cmp (op, _, _), [ a; b ] -> i.kind <- Cmp (op, a, b)
+  | Select _, [ m; a; b ] -> i.kind <- Select (m, a, b)
+  | Masked_load (addr, _, _), [ m; p ] -> i.kind <- Masked_load (addr, m, p)
+  | Masked_store (addr, _, _), [ v; m ] ->
+    i.kind <- Masked_store (addr, v, m)
   | Buildvec old, vs when List.length old = List.length vs ->
     i.kind <- Buildvec vs
-  | ( (Binop _ | Unop _ | Splat _ | Extract _ | Reduce _ | Shuffle _
-      | Load _ | Store _ | Buildvec _),
+  | ( (Binop _ | Unop _ | Cmp _ | Select _ | Splat _ | Extract _ | Reduce _
+      | Shuffle _ | Load _ | Store _ | Masked_load _ | Masked_store _
+      | Buildvec _),
       _ ) ->
     invalid_arg "Instr.set_operands: operand count mismatch"
 
 let map_operands f i = set_operands i (List.map f (operands i))
 
+(* A masked store is a may-write: dependence edges, DCE side-effects and
+   seed collection must all treat it exactly like an unconditional store. *)
 let is_store i = match i.kind with
-  | Store _ -> true
-  | Binop _ | Unop _ | Load _ | Splat _ | Buildvec _ | Extract _ | Reduce _
-  | Shuffle _ -> false
+  | Store _ | Masked_store _ -> true
+  | Binop _ | Unop _ | Cmp _ | Select _ | Load _ | Masked_load _ | Splat _
+  | Buildvec _ | Extract _ | Reduce _ | Shuffle _ -> false
 
 let is_load i = match i.kind with
-  | Load _ -> true
-  | Binop _ | Unop _ | Store _ | Splat _ | Buildvec _ | Extract _ | Reduce _
-  | Shuffle _ -> false
+  | Load _ | Masked_load _ -> true
+  | Binop _ | Unop _ | Cmp _ | Select _ | Store _ | Masked_store _ | Splat _
+  | Buildvec _ | Extract _ | Reduce _ | Shuffle _ -> false
 
 let is_memory_access i = is_store i || is_load i
 
@@ -138,13 +159,15 @@ let has_side_effect = is_store
 
 let address i =
   match i.kind with
-  | Load a | Store (a, _) -> Some a
-  | Binop _ | Unop _ | Splat _ | Buildvec _ | Extract _ | Reduce _
-  | Shuffle _ -> None
+  | Load a | Store (a, _) | Masked_load (a, _, _) | Masked_store (a, _, _) ->
+    Some a
+  | Binop _ | Unop _ | Cmp _ | Select _ | Splat _ | Buildvec _ | Extract _
+  | Reduce _ | Shuffle _ -> None
 
 let binop i = match i.kind with
   | Binop (op, _, _) -> Some op
-  | Unop _ | Load _ | Store _ | Splat _ | Buildvec _ | Extract _ | Reduce _
+  | Unop _ | Cmp _ | Select _ | Load _ | Store _ | Masked_load _
+  | Masked_store _ | Splat _ | Buildvec _ | Extract _ | Reduce _
   | Shuffle _ -> None
 
 (* Opcode classes used by isomorphism checks: two instructions can share a
@@ -152,8 +175,12 @@ let binop i = match i.kind with
 type opclass =
   | C_binop of Opcode.binop
   | C_unop of Opcode.unop
+  | C_cmp of Opcode.cmp
+  | C_select
   | C_load
   | C_store
+  | C_masked_load
+  | C_masked_store
   | C_splat
   | C_buildvec
   | C_extract
@@ -164,8 +191,12 @@ let opclass i =
   match i.kind with
   | Binop (op, _, _) -> C_binop op
   | Unop (op, _) -> C_unop op
+  | Cmp (op, _, _) -> C_cmp op
+  | Select _ -> C_select
   | Load _ -> C_load
   | Store _ -> C_store
+  | Masked_load _ -> C_masked_load
+  | Masked_store _ -> C_masked_store
   | Splat _ -> C_splat
   | Buildvec _ -> C_buildvec
   | Extract _ -> C_extract
@@ -177,19 +208,27 @@ let equal_opclass (a : opclass) (b : opclass) = a = b
 let opclass_name = function
   | C_binop op -> Opcode.binop_name op
   | C_unop op -> Opcode.unop_name op
+  | C_cmp op -> "cmp." ^ Opcode.cmp_name op
+  | C_select -> "select"
   | C_load -> "load"
   | C_store -> "store"
+  | C_masked_load -> "masked.load"
+  | C_masked_store -> "masked.store"
   | C_splat -> "splat"
   | C_buildvec -> "buildvec"
   | C_extract -> "extract"
   | C_reduce op -> "reduce." ^ Opcode.binop_name op
   | C_shuffle -> "shuffle"
 
+(* Select is NOT operand-commutative: swapping the value arms negates the
+   mask.  The reorderer handles select groups via its generic same-position
+   scoring instead (see graph_builder). *)
 let is_commutative i =
   match i.kind with
   | Binop (op, _, _) -> Opcode.is_commutative op
-  | Unop _ | Load _ | Store _ | Splat _ | Buildvec _ | Extract _ | Reduce _
-  | Shuffle _ -> false
+  | Cmp (op, _, _) -> Opcode.cmp_is_commutative op
+  | Unop _ | Select _ | Load _ | Store _ | Masked_load _ | Masked_store _
+  | Splat _ | Buildvec _ | Extract _ | Reduce _ | Shuffle _ -> false
 
 let equal_const (a : const) (b : const) =
   match (a, b) with

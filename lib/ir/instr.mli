@@ -31,6 +31,17 @@ and kind =
   | Unop of Opcode.unop * value
   | Load of address
   | Store of address * value
+  | Cmp of Opcode.cmp * value * value
+      (** compare lanes; result has the same lane count at element type i1 *)
+  | Select of value * value * value
+      (** [(mask, a, b)]: per lane, [a] where the mask lane is true, else
+          [b] *)
+  | Masked_load of address * value * value
+      (** [(addr, mask, passthrough)]: masked-off lanes read nothing and
+          yield the passthrough lane *)
+  | Masked_store of address * value * value
+      (** [(addr, v, mask)]: masked-off lanes write nothing — a may-write
+          for dependence purposes *)
   | Splat of value          (** broadcast a scalar into all lanes *)
   | Buildvec of value list  (** gather scalars into a vector *)
   | Extract of value * int  (** extract one lane of a vector *)
@@ -71,7 +82,7 @@ val set_kind : t -> kind -> unit
     instruction order) snapshots a block completely. *)
 
 val map_address_index : (Affine.t -> Affine.t) -> t -> unit
-(** Rewrite the address index of a load/store in place; no-op on
+(** Rewrite the address index of a (masked) load/store in place; no-op on
     non-memory instructions.  Used by the unroller to shift the loop
     counter in replicated bodies. *)
 
@@ -103,8 +114,12 @@ val is_commutative : t -> bool
 type opclass =
   | C_binop of Opcode.binop
   | C_unop of Opcode.unop
+  | C_cmp of Opcode.cmp
+  | C_select
   | C_load
   | C_store
+  | C_masked_load
+  | C_masked_store
   | C_splat
   | C_buildvec
   | C_extract

@@ -15,11 +15,28 @@ type binop =
 
 type unop = Neg | Fneg | Fsqrt | Fabs
 
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+(** Comparison predicates, produced by if-conversion.  Kept outside [binop]:
+    a compare maps value lanes to i1 lanes, so none of the binop machinery
+    (width checks, reductions, [binop_code]) applies. *)
+
 val all_binops : binop list
 val all_unops : unop list
+val all_cmps : cmp list
 
 val is_commutative : binop -> bool
 val is_associative : binop -> bool
+
+val cmp_is_commutative : cmp -> bool
+(** Only [Eq]/[Ne] commute. *)
+
+val swap_cmp : cmp -> cmp
+(** [cmp a b = (swap_cmp cmp) b a] — the predicate to use after flipping the
+    operands. *)
+
+val negate_cmp : cmp -> cmp
+(** [not (cmp a b) = (negate_cmp cmp) a b] — the else-branch predicate of
+    if-conversion.  Exact only under the no-NaN (fast-math) contract. *)
 
 val binop_is_float : binop -> bool
 val unop_is_float : unop -> bool
@@ -35,15 +52,23 @@ val binop_accepts : binop -> Types.scalar -> bool
 
 val unop_accepts : unop -> Types.scalar -> bool
 
+val cmp_accepts : Types.scalar -> bool
+(** Comparisons accept every non-mask scalar (predicates are
+    width-polymorphic); masks themselves are combined with And/Or/Xor. *)
+
 val equal_binop : binop -> binop -> bool
 val equal_unop : unop -> unop -> bool
+val equal_cmp : cmp -> cmp -> bool
 
 val binop_name : binop -> string
 val unop_name : unop -> string
+val cmp_name : cmp -> string
 val pp_binop : binop Fmt.t
 val pp_unop : unop Fmt.t
+val pp_cmp : cmp Fmt.t
 
 val binop_code : binop -> int
 (** Dense stable code for packing opcodes into int-array keys. *)
 
 val unop_code : unop -> int
+val cmp_code : cmp -> int

@@ -45,6 +45,15 @@ let pp_instr ppf (i : Instr.t) =
     Fmt.pf ppf "%a%a %a" lhs () Opcode.pp_unop op pp_value x
   | Instr.Load a -> Fmt.pf ppf "%aload %a" lhs () pp_address a
   | Instr.Store (a, v) -> Fmt.pf ppf "store %a, %a" pp_address a pp_value v
+  | Instr.Cmp (op, x, y) ->
+    Fmt.pf ppf "%acmp.%a %a, %a" lhs () Opcode.pp_cmp op pp_value x pp_value y
+  | Instr.Select (m, x, y) ->
+    Fmt.pf ppf "%aselect %a, %a, %a" lhs () pp_value m pp_value x pp_value y
+  | Instr.Masked_load (a, m, p) ->
+    Fmt.pf ppf "%amasked.load %a, %a, %a" lhs () pp_address a pp_value m
+      pp_value p
+  | Instr.Masked_store (a, v, m) ->
+    Fmt.pf ppf "masked.store %a, %a, %a" pp_address a pp_value v pp_value m
   | Instr.Splat v -> Fmt.pf ppf "%asplat %a" lhs () pp_value v
   | Instr.Buildvec vs ->
     Fmt.pf ppf "%abuildvec [%a]" lhs () Fmt.(list ~sep:(any ", ") pp_value) vs

@@ -4,7 +4,7 @@
    64-bit integers ([long]/[unsigned long]) and doubles, so the scalar type
    universe is deliberately small.  Vector types carry their lane count. *)
 
-type scalar = I64 | F64 | I32 | F32
+type scalar = I64 | F64 | I32 | F32 | I1
 
 type t =
   | Scalar of scalar
@@ -15,6 +15,7 @@ let i64 = Scalar I64
 let f64 = Scalar F64
 let i32 = Scalar I32
 let f32 = Scalar F32
+let i1 = Scalar I1
 
 let vec elt lanes =
   if lanes < 2 then invalid_arg "Types.vec: lane count must be >= 2";
@@ -32,7 +33,13 @@ let lanes = function
 
 let is_float_scalar = function
   | F64 | F32 -> true
-  | I64 | I32 -> false
+  | I64 | I32 | I1 -> false
+
+(* Masks (if-conversion predicates) are i1 lanes; no array has element type
+   i1, so a mask never touches memory directly. *)
+let is_mask_scalar = function
+  | I1 -> true
+  | I64 | F64 | I32 | F32 -> false
 
 let is_float = function
   | Scalar s | Vec (s, _) -> is_float_scalar s
@@ -46,6 +53,7 @@ let is_vector = function
 let scalar_size_bytes = function
   | I64 | F64 -> 8
   | I32 | F32 -> 4
+  | I1 -> 1
 
 let widen ty n =
   match ty with
@@ -62,6 +70,7 @@ let pp_scalar ppf = function
   | F64 -> Fmt.string ppf "f64"
   | I32 -> Fmt.string ppf "i32"
   | F32 -> Fmt.string ppf "f32"
+  | I1 -> Fmt.string ppf "i1"
 
 let pp ppf = function
   | Scalar s -> pp_scalar ppf s

@@ -4,7 +4,7 @@
     vectors of either, and [Void] for instructions executed for effect
     (stores). *)
 
-type scalar = I64 | F64 | I32 | F32
+type scalar = I64 | F64 | I32 | F32 | I1
 
 type t =
   | Scalar of scalar
@@ -15,6 +15,10 @@ val i64 : t
 val f64 : t
 val i32 : t
 val f32 : t
+
+val i1 : t
+(** The mask scalar: one truth lane, produced by compares and consumed by
+    select/masked memory ops.  No array has i1 elements. *)
 
 val vec : scalar -> int -> t
 (** [vec elt lanes] is the vector type with [lanes] lanes.
@@ -30,8 +34,11 @@ val is_float_scalar : scalar -> bool
 val is_float : t -> bool
 val is_vector : t -> bool
 
+val is_mask_scalar : scalar -> bool
+(** [true] exactly for [I1]. *)
+
 val scalar_size_bytes : scalar -> int
-(** Size of one element in bytes (8 for i64/f64, 4 for i32/f32). *)
+(** Size of one element in bytes (8 for i64/f64, 4 for i32/f32, 1 for i1). *)
 
 val widen : t -> int -> t
 (** [widen (Scalar s) n] is [Vec (s, n)].

@@ -71,6 +71,8 @@ let check_func (f : Func.t) =
        err ~instr "%s is not an array argument" a.base
      | None -> err ~instr "unknown array %s" a.base);
     if a.access_lanes < 1 then err ~instr "non-positive access width";
+    if Types.is_mask_scalar a.elt then
+      err ~instr "i1 is not a memory element type (masks never touch memory)";
     List.iter
       (fun s ->
         if Some s <> counter then
@@ -86,6 +88,11 @@ let check_func (f : Func.t) =
   let access_ty (a : Instr.address) =
     if a.access_lanes = 1 then Types.Scalar a.elt
     else Types.Vec (a.elt, a.access_lanes)
+  in
+  (* The mask for an n-lane operation is an ordinary i1 value with the same
+     lane count — there is no separate predicate register file. *)
+  let mask_ty n =
+    if n = 1 then Types.Scalar Types.I1 else Types.Vec (Types.I1, n)
   in
   let check_instr ~counter (i : Instr.t) =
     if Int_table.mem seen_ids i.Instr.id then
@@ -119,6 +126,38 @@ let check_func (f : Func.t) =
        expect_ty i "stored value" (access_ty a) v;
        if not (Types.equal i.ty Types.Void) then
          err ~instr:i "store must have void type"
+     | Instr.Cmp (op, x, y) ->
+       (match i.ty with
+        | Types.Scalar Types.I1 | Types.Vec (Types.I1, _) -> ()
+        | Types.Scalar _ | Types.Vec _ | Types.Void ->
+          err ~instr:i "cmp.%s must produce i1 lanes" (Opcode.cmp_name op));
+       (match Instr.value_ty x with
+        | Some (Types.Scalar s as tx) | Some (Types.Vec (s, _) as tx) ->
+          if not (Opcode.cmp_accepts s) then
+            err ~instr:i "cmp cannot compare %a lanes" Types.pp_scalar s;
+          if Types.lanes tx <> Types.lanes i.ty then
+            err ~instr:i "cmp lane count does not match its result";
+          expect_ty i "right operand" tx y
+        | Some Types.Void | None -> err ~instr:i "cmp of non-value")
+     | Instr.Select (m, x, y) ->
+       (match i.ty with
+        | Types.Void -> err ~instr:i "select with void result"
+        | Types.Scalar _ | Types.Vec _ ->
+          expect_ty i "select mask" (mask_ty (Types.lanes i.ty)) m;
+          expect_ty i "then-value" i.ty x;
+          expect_ty i "else-value" i.ty y)
+     | Instr.Masked_load (a, m, p) ->
+       check_address ~counter i a;
+       if not (Types.equal i.ty (access_ty a)) then
+         err ~instr:i "masked load result type does not match access width";
+       expect_ty i "load mask" (mask_ty a.access_lanes) m;
+       expect_ty i "passthrough" (access_ty a) p
+     | Instr.Masked_store (a, v, m) ->
+       check_address ~counter i a;
+       expect_ty i "stored value" (access_ty a) v;
+       expect_ty i "store mask" (mask_ty a.access_lanes) m;
+       if not (Types.equal i.ty Types.Void) then
+         err ~instr:i "masked store must have void type"
      | Instr.Splat v ->
        (match i.ty with
         | Types.Vec (s, _) -> expect_ty i "splat operand" (Types.Scalar s) v

@@ -72,7 +72,21 @@ let loops =
       origin = "symbolic trip count"; source = Sources.loop_dyn };
   ]
 
-let all = table2 @ extras @ loops
+(* Branching kernels (PR 9): per-element control flow the frontend
+   if-converts into masked straight-line code. *)
+let conds =
+  [
+    { key = "cond.abs"; benchmark = "branching";
+      origin = "lane-wise |x| via if/else"; source = Sources.cond_abs };
+    { key = "cond.clamp"; benchmark = "branching";
+      origin = "clamp-above, constant then-arm"; source = Sources.cond_clamp };
+    { key = "cond.saxpy-guard"; benchmark = "branching";
+      origin = "guarded saxpy, no else"; source = Sources.cond_saxpy_guard };
+    { key = "cond.max-mask"; benchmark = "branching";
+      origin = "i64 max via branch"; source = Sources.cond_max_mask };
+  ]
+
+let all = table2 @ extras @ loops @ conds
 
 let find key =
   match List.find_opt (fun k -> String.equal k.key key) all with

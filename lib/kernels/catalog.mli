@@ -21,6 +21,10 @@ val loops : kernel list
 (** Loop-form kernels: counted loops that need the unroll/region-formation
     layer before anything can vectorize. *)
 
+val conds : kernel list
+(** Branching kernels: per-element if/else the frontend flattens into
+    masked straight-line code (if-conversion). *)
+
 val all : kernel list
 
 val find : string -> kernel

@@ -259,3 +259,66 @@ kernel loop_dyn(f64 Y[], f64 X[], f64 a, i64 n) {
   }
 }
 |}
+
+(* Branching kernels (if-conversion): divergent per-element control flow
+   flattened into masked straight-line code.  The then/else stores of one
+   element hit the same address under complementary masks, so the seed
+   collector's occurrence streams are what lets each branch's store run
+   seed its own vector. *)
+
+(* Lane-wise absolute value by branch: both branches store, both load the
+   guarded input again inside the branch (masked loads with a zero
+   passthrough). *)
+let cond_abs = {|
+kernel cond_abs(f64 x[], f64 y[]) {
+  for (i64 i = 0; i < 256; i += 1) {
+    if (x[i] < 0.0) {
+      y[i] = 0.0 - x[i];
+    } else {
+      y[i] = x[i];
+    }
+  }
+}
+|}
+
+(* Clamp from above: the then branch stores a constant (a splat column,
+   no masked load at all), the else branch copies the input through. *)
+let cond_clamp = {|
+kernel cond_clamp(f64 x[], f64 y[]) {
+  for (i64 i = 0; i < 128; i += 1) {
+    if (x[i] > 100.0) {
+      y[i] = 100.0;
+    } else {
+      y[i] = x[i];
+    }
+  }
+}
+|}
+
+(* Guarded saxpy update, no else branch: an i64 predicate array gates an
+   f64 read-modify-write — the canonical "the guard is what keeps the
+   access meaningful" shape, all of y/x only touched on live lanes. *)
+let cond_saxpy_guard = {|
+kernel cond_saxpy_guard(i64 g[], f64 y[], f64 x[], f64 a) {
+  for (i64 i = 0; i < 64; i += 1) {
+    if (g[i] > 0) {
+      y[i] = y[i] + a * x[i];
+    }
+  }
+}
+|}
+
+(* Integer lane-wise max via branch, with loads in the condition itself:
+   the compare consumes unconditional loads of both inputs, the branches
+   re-read them under the mask. *)
+let cond_max_mask = {|
+kernel cond_max_mask(i64 a[], i64 b[], i64 m[]) {
+  for (i64 i = 0; i < 96; i += 1) {
+    if (a[i] < b[i]) {
+      m[i] = b[i];
+    } else {
+      m[i] = a[i];
+    }
+  }
+}
+|}

@@ -1,0 +1,142 @@
+Branching kernels through if-conversion: the `if`/`else` bodies become
+masked stores under an i1 predicate, complementary then/else stores form
+two independent seed streams (same addresses, different occurrence), and
+both vectorize.  cond.abs is the two-stream shape:
+
+  $ lslpc analyze --kernel cond.abs
+  LSLP: cond_abs, 2 region(s) considered
+  region [loop0.x4] y[i] x4 (VL=4):
+    remark[outcome]: vectorized at VL=4: cost -17 beats threshold 0
+    remark[gathered-columns]: operand column(s) gathered: not all members are instructions
+  region [loop0.x4] y[i] x4 (VL=4):
+    remark[outcome]: vectorized at VL=4: cost -11 beats threshold 0
+    remark[gathered-columns]: operand column(s) gathered: not all members are instructions; instruction shape is not vectorizable
+  legality: 0 error(s), 0 warning(s)
+
+A guarded read-modify-write with no else branch: one region, masked
+loads of both inputs under the guard, one masked store back:
+
+  $ lslpc analyze --kernel cond.saxpy-guard
+  LSLP: cond_saxpy_guard, 1 region(s) considered
+  region [loop0.x4] y[i] x4 (VL=4):
+    remark[outcome]: vectorized at VL=4: cost -29 beats threshold 0
+    remark[gathered-columns]: operand column(s) gathered: not all members are instructions (x3)
+  legality: 0 error(s), 0 warning(s)
+
+The simulated-cycle run proves the masked code is both faster and
+equivalent to the scalar branchy reference:
+
+  $ lslpc run --kernel cond.abs 2>/dev/null
+  LSLP: 2 region(s), 2 vectorized, total cost -28
+    [loop0.x4] y[i] x4 (VL=4): cost -17 [vectorized]
+    [loop0.x4] y[i] x4 (VL=4): cost -11 [vectorized]
+  
+  scalar cycles:     3072
+  vectorized cycles: 1536
+  speedup:           2.000x
+  equivalence:       OK
+
+  $ lslpc run --kernel cond.saxpy-guard 2>/dev/null
+  LSLP: 1 region(s), 1 vectorized, total cost -29
+    [loop0.x4] y[i] x4 (VL=4): cost -29 [vectorized]
+  
+  scalar cycles:     640
+  vectorized cycles: 176
+  speedup:           3.636x
+  equivalence:       OK
+
+The decision log for the guarded saxpy: the cmp column vectorizes once
+(%vcmp) and feeds the masked loads AND the masked store — no predicate
+is ever rematerialized:
+
+  $ lslpc trace --kernel cond.saxpy-guard --trace-format log 2>/dev/null
+  0000 [loop0.x4] begin seed-collect
+  0001 [loop0.x4]   seeds: 1
+  y[i] x4
+  0002 [loop0.x4] end seed-collect
+  0003 [loop0.x4] try seed y[i] x4 (VL=4)
+  0004 [loop0.x4] begin graph-build
+  0005 [loop0.x4]   get_best mode=LOAD last=%mld2.38 {%mld2.45,
+  %t4.47} -> %mld2.45
+  0006 [loop0.x4]   get_best mode=OPCODE last=%t4.40 {%t4.47} -> %t4.47
+  0007 [loop0.x4]   get_best mode=LOAD last=%mld2.45 {%mld2.52,
+  %t4.54} -> %mld2.52
+  0008 [loop0.x4]   get_best mode=OPCODE last=%t4.47 {%t4.54} -> %t4.54
+  0009 [loop0.x4]   get_best mode=LOAD last=%mld2.52 {%mld2.59,
+  %t4.61} -> %mld2.59
+  0010 [loop0.x4]   get_best mode=OPCODE last=%t4.54 {%t4.61} -> %t4.61
+  0011 [loop0.x4]   slot modes: LOAD,
+  OPCODE
+  0012 [loop0.x4]   get_best mode=CONST last=a {a,
+  %mld3.46} -> a
+  0013 [loop0.x4]   get_best mode=LOAD last=%mld3.39 {%mld3.46} -> %mld3.46
+  0014 [loop0.x4]   get_best mode=SPLAT last=a {a,
+  %mld3.53} -> a
+  0015 [loop0.x4]   get_best mode=LOAD last=%mld3.46 {%mld3.53} -> %mld3.53
+  0016 [loop0.x4]   get_best mode=SPLAT last=a {a,
+  %mld3.60} -> a
+  0017 [loop0.x4]   get_best mode=LOAD last=%mld3.53 {%mld3.60} -> %mld3.60
+  0018 [loop0.x4]   slot modes: SPLAT,
+  LOAD
+  0019 [loop0.x4]   graph g0 for y[i] x4
+  0020 [loop0.x4]   g0 node#1 group masked.store [%v42, %v49, %v56, %v63]
+  0021 [loop0.x4]   g0 node#2 group cmp.gt [%m1.37, %m1.44, %m1.51, %m1.58]
+  0022 [loop0.x4]   g0 node#3 gather [0, 0, 0, 0]
+  0023 [loop0.x4]   g0 node#4 group load [%ld0.36, %ld0.43, %ld0.50, %ld0.57]
+  0024 [loop0.x4]   g0 node#5 multi fadd [%t5.41, %t5.48, %t5.55, %t5.62]
+  0025 [loop0.x4]   g0 node#6 group masked.load [%mld2.38, %mld2.45, %mld2.52,
+                                                 %mld2.59]
+  0026 [loop0.x4]   g0 node#7 gather [0, 0, 0, 0]
+  0027 [loop0.x4]   g0 node#8 multi fmul [%t4.40, %t4.47, %t4.54, %t4.61]
+  0028 [loop0.x4]   g0 node#9 gather [a, a, a, a]
+  0029 [loop0.x4]   g0 node#10 group masked.load [%mld3.39, %mld3.46, %mld3.53,
+                                                  %mld3.60]
+  0030 [loop0.x4]   g0 edge #1 -> #5 (slot 0)
+  0031 [loop0.x4]   g0 edge #1 -> #2 (slot 1)
+  0032 [loop0.x4]   g0 edge #2 -> #4 (slot 0)
+  0033 [loop0.x4]   g0 edge #2 -> #3 (slot 1)
+  0034 [loop0.x4]   g0 edge #5 -> #6 (slot 0)
+  0035 [loop0.x4]   g0 edge #5 -> #8 (slot 1)
+  0036 [loop0.x4]   g0 edge #6 -> #2 (slot 0)
+  0037 [loop0.x4]   g0 edge #6 -> #7 (slot 1)
+  0038 [loop0.x4]   g0 edge #8 -> #9 (slot 0)
+  0039 [loop0.x4]   g0 edge #8 -> #10 (slot 1)
+  0040 [loop0.x4]   g0 edge #10 -> #2 (slot 0)
+  0041 [loop0.x4]   g0 edge #10 -> #7 (slot 1)
+  0042 [loop0.x4]   g0 dep #1 ~> #4
+  0043 [loop0.x4]   g0 dep #1 ~> #6
+  0044 [loop0.x4]   g0 dep #1 ~> #8
+  0045 [loop0.x4]   g0 dep #1 ~> #10
+  0046 [loop0.x4]   g0 dep #5 ~> #2
+  0047 [loop0.x4]   g0 dep #5 ~> #4
+  0048 [loop0.x4]   g0 dep #5 ~> #10
+  0049 [loop0.x4]   g0 dep #6 ~> #4
+  0050 [loop0.x4]   g0 dep #8 ~> #2
+  0051 [loop0.x4]   g0 dep #8 ~> #4
+  0052 [loop0.x4]   g0 dep #10 ~> #4
+  0053 [loop0.x4] end graph-build
+  0054 [loop0.x4] begin cost
+  0055 [loop0.x4] end cost
+  0056 [loop0.x4] cost y[i] x4: -29 vs threshold 0 over 10 node(s) -> accept
+  0057 [loop0.x4] begin codegen
+  0058 [loop0.x4]   emit x4 %vload.64 : <4 x i64> = load <4 x i64> g[i]
+  0059 [loop0.x4]   emit x4 %gath.65 : <4 x i64> = buildvec [0, 0, 0, 0]
+  0060 [loop0.x4]   emit x4 %vcmp.66 : <4 x i1> = cmp.gt %vload.64, %gath.65
+  0061 [loop0.x4]   emit x4 %gath.67 : <4 x f64> = buildvec [0, 0, 0, 0]
+  0062 [loop0.x4]   emit x4 %vmload.68 : <4 x f64> = masked.load <4 x f64> y[i], %vcmp.66, %gath.67
+  0063 [loop0.x4]   emit x4 %vmload.69 : <4 x f64> = masked.load <4 x f64> x[i], %vcmp.66, %gath.67
+  0064 [loop0.x4]   emit x4 %splat.70 : <4 x f64> = splat a
+  0065 [loop0.x4]   emit x4 %v.71 : <4 x f64> = fmul %splat.70, %vmload.69
+  0066 [loop0.x4]   emit x4 %v.72 : <4 x f64> = fadd %vmload.68, %v.71
+  0067 [loop0.x4]   emit x4 masked.store <4 x f64> y[i], %v.72, %vcmp.66
+  0068 [loop0.x4] end codegen
+  0069 [loop0.x4] outcome y[i] x4 (VL=4): vectorized (cost -29)
+  0070 [loop0.x4] begin seed-collect
+  0071 [loop0.x4]   seeds: 0
+  0072 [loop0.x4] end seed-collect
+  0073 [loop0.x4] begin reduction
+  0074 [loop0.x4] end reduction
+  0075 [loop0.x4] begin cse
+  0076 [loop0.x4] end cse
+  0077 [loop0.x4] begin dce
+  0078 [loop0.x4] end dce

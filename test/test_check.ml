@@ -131,6 +131,84 @@ let test_mismatched_opcode () =
   let diags = Legality.validate ~provenance snap f in
   check_bool "opcode mismatch flagged" true (has_rule "bundle-typing" diags)
 
+(* ---- mutation tests: masked IR ------------------------------------- *)
+
+let cond_src =
+  "kernel k(f64 g[], f64 a[], f64 y[], i64 i) {\n\
+  \  if (g[i] < 0.0) { a[i] = 1.5; }\n\
+  \  y[i] = a[i] * 2.0;\n\
+   }"
+
+let find_masked_store f =
+  List.hd
+    (Block.find_all
+       (fun i ->
+         match i.Instr.kind with Instr.Masked_store _ -> true | _ -> false)
+       (Func.entry f))
+
+let test_corrupt_mask_operand () =
+  (* swap the masked store's i1 mask for an i64 constant: the verifier
+     must reject the function with a typed message, not misexecute it *)
+  let f = compile cond_src in
+  Verifier.verify_exn f;
+  let ms = find_masked_store f in
+  (match ms.Instr.kind with
+   | Instr.Masked_store (a, v, _) ->
+     Instr.set_kind ms
+       (Instr.Masked_store (a, v, Instr.Const (Instr.Cint 1L)))
+   | _ -> assert false);
+  match Verifier.check_func f with
+  | [] -> Alcotest.fail "corrupt mask accepted"
+  | e :: _ ->
+    let msg = Verifier.error_to_string e in
+    check_bool (Fmt.str "names the mask (%s)" msg) true
+      (String.length msg > 0)
+
+let test_corrupt_select_mask () =
+  let f =
+    compile
+      "kernel k(f64 x[], f64 y[], i64 i) {\n\
+      \  if (x[i] < 0.5) { f64 t = 1.0; } else { f64 t = 2.0; }\n\
+      \  y[i] = t;\n\
+       }"
+  in
+  Verifier.verify_exn f;
+  let sel =
+    List.hd
+      (Block.find_all
+         (fun i ->
+           match i.Instr.kind with Instr.Select _ -> true | _ -> false)
+         (Func.entry f))
+  in
+  (match sel.Instr.kind with
+   | Instr.Select (_, a, b) ->
+     Instr.set_kind sel
+       (Instr.Select (Instr.Const (Instr.Cfloat 1.0), a, b))
+   | _ -> assert false);
+  check_bool "non-mask selector rejected" true (Verifier.check_func f <> [])
+
+let test_masked_store_reordered_past_load () =
+  (* a masked store is a may-write: moving it past a load of the same
+     array must violate the recorded dependence order *)
+  let f = compile cond_src in
+  let snap = Legality.snapshot f in
+  check_string "clean before corruption" ""
+    (show_diags (Legality.validate snap f));
+  let ms = find_masked_store f in
+  let load =
+    List.hd
+      (Block.find_all
+         (fun i ->
+           Instr.is_load i
+           && match Instr.address i with
+              | Some a -> a.Instr.base = "a"
+              | None -> false)
+         (Func.entry f))
+  in
+  swap_in_block (Func.entry f) ms load;
+  let diags = Legality.validate snap f in
+  check_bool "violated order flagged" true (has_rule "dependence-order" diags)
+
 (* ---- the genuine pipeline must validate cleanly -------------------- *)
 
 let main_configs = [ Config.slp_nr; Config.slp; Config.lslp ]
@@ -325,6 +403,10 @@ let suite =
     tc "broken schedule is flagged" test_broken_schedule;
     tc "provenance lane-count lie is flagged" test_wrong_lane_count;
     tc "mismatched lane opcode is flagged" test_mismatched_opcode;
+    tc "corrupt masked-store mask operand is flagged" test_corrupt_mask_operand;
+    tc "non-mask select selector is flagged" test_corrupt_select_mask;
+    tc "masked store reordered past an overlapping load is flagged"
+      test_masked_store_reordered_past_load;
     tc "whole catalog validates cleanly under all main configs"
       test_catalog_clean;
     tc "verifier checkpoints stay silent on well-formed input"

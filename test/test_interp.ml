@@ -42,6 +42,29 @@ let int_binop_tests =
         check_bool "raises" true
           (try ignore (int_binop Opcode.Fadd 1L 1L); false
            with Eval.Trap _ -> true));
+    tc "scalar compares order lanes and reject masks" (fun () ->
+        check_bool "lt" true (Eval.scalar_cmp Opcode.Lt (Eval.VI 1L) (Eval.VI 2L) = Eval.VB true);
+        check_bool "ge" true (Eval.scalar_cmp Opcode.Ge (Eval.VF 2.0) (Eval.VF 2.0) = Eval.VB true);
+        check_bool "ne" true (Eval.scalar_cmp Opcode.Ne (Eval.VI 1L) (Eval.VI 1L) = Eval.VB false);
+        check_bool "cmp of masks traps" true
+          (try ignore (Eval.scalar_cmp Opcode.Eq (Eval.VB true) (Eval.VB true)); false
+           with Eval.Trap _ -> true));
+    tc "NaN compares false except != (the no-NaN contract's escape hatch)" (fun () ->
+        let nan = Eval.VF Float.nan and one = Eval.VF 1.0 in
+        check_bool "lt false" true (Eval.scalar_cmp Opcode.Lt nan one = Eval.VB false);
+        check_bool "ge also false" true (Eval.scalar_cmp Opcode.Ge nan one = Eval.VB false);
+        check_bool "eq false" true (Eval.scalar_cmp Opcode.Eq nan nan = Eval.VB false);
+        check_bool "ne true" true (Eval.scalar_cmp Opcode.Ne nan nan = Eval.VB true));
+    tc "mask lanes combine only with the logical opcodes" (fun () ->
+        check_bool "and" true
+          (Eval.scalar_binop Opcode.And (Eval.VB true) (Eval.VB false) = Eval.VB false);
+        check_bool "or" true
+          (Eval.scalar_binop Opcode.Or (Eval.VB true) (Eval.VB false) = Eval.VB true);
+        check_bool "xor" true
+          (Eval.scalar_binop Opcode.Xor (Eval.VB true) (Eval.VB true) = Eval.VB false);
+        check_bool "arithmetic on masks traps" true
+          (try ignore (Eval.scalar_binop Opcode.Add (Eval.VB true) (Eval.VB true)); false
+           with Eval.Trap _ -> true));
     tc "float ops" (fun () ->
         check_bool "fadd" true (Eval.float_binop Opcode.Fadd 1.5 2.0 = 3.5);
         check_bool "fdiv" true (Eval.float_binop Opcode.Fdiv 1.0 4.0 = 0.25);
@@ -173,6 +196,22 @@ kernel k(i64 A[], i64 i) { A[i] = A[i] + 2; }
         let b = Oracle.compare_runs ~seed:9 ~reference:f ~candidate:f () in
         check_int "same cycles" a.reference_cycles b.reference_cycles;
         check_int "self-equivalent" 0 (List.length a.mismatches));
+    tc "branching kernel executes as predicated straight-line code" (fun () ->
+        let mem, _ =
+          exec_kernel {|
+kernel k(f64 x[], f64 y[], i64 i) {
+  if (x[i] < 0.0) { y[i] = 0.0 - x[i]; } else { y[i] = x[i]; }
+}
+|}
+            ~ints:[ ("i", 1L) ]
+            ~mem_setup:(fun mem ->
+              Memory.set_float mem "x" [| 4.0; -3.0 |];
+              Memory.set_float mem "y" [| 0.0; 0.0 |])
+        in
+        check_bool "then branch took effect" true
+          (Memory.read_float mem "y" 1 = 3.0);
+        check_bool "other element untouched" true
+          (Memory.read_float mem "y" 0 = 0.0));
     tc "sdiv kernels never see zero divisors from the oracle" (fun () ->
         let f = compile {|
 kernel k(i64 A[], i64 B[], i64 i) { A[i] = A[i] / B[i]; }

@@ -21,6 +21,7 @@ let () =
       ("properties", Test_qcheck.suite);
       ("arena", Test_arena.suite);
       ("check", Test_check.suite);
+      ("cond", Test_cond.suite);
       ("robust", Test_robust.suite);
       ("telemetry", Test_telemetry.suite);
       ("trace", Test_trace.suite);

@@ -3,7 +3,8 @@
 .PHONY: all test check bench ci clean fuzz lint lint-exceptions \
   domain-smoke serve-smoke bench-lint stats-golden bench-check \
   bench-baseline bench-speed bench-speed-report bench-serve \
-  bench-serve-report trace-golden cond-smoke
+  bench-serve-report trace-golden cond-smoke metrics-check \
+  metrics-baseline metrics-smoke
 
 all:
 	dune build
@@ -30,6 +31,8 @@ ci:
 	$(MAKE) stats-golden
 	$(MAKE) trace-golden
 	$(MAKE) bench-check
+	$(MAKE) metrics-check
+	$(MAKE) metrics-smoke
 
 # The pinned-seed differential fuzz run CI's fuzz-smoke job executes:
 # 500 random programs through the pipeline, checked against the scalar
@@ -137,6 +140,42 @@ bench-serve:
 
 bench-serve-report:
 	dune exec bench/serve.exe -- --reps 100 --no-write --min-warm-speedup 5
+
+# Tolerance-free exposition gate for the observability layer: two
+# identical 1-domain batches must dump byte-identical Prometheus metrics
+# and flight-recorder JSONL, and the metrics dump must match the
+# committed baseline exactly (every value is jobs/ticks/steps, never
+# wall-clock, so no tolerances are needed).  After an intended metrics
+# change, regenerate with `make metrics-baseline` and commit the diff.
+metrics-check:
+	dune exec bin/lslpc.exe -- batch --jobs 1 --repeat 2 \
+	  --metrics-out _build/metrics_a.prom --flight-out _build/flight_a.jsonl
+	dune exec bin/lslpc.exe -- batch --jobs 1 --repeat 2 \
+	  --metrics-out _build/metrics_b.prom --flight-out _build/flight_b.jsonl
+	cmp _build/metrics_a.prom _build/metrics_b.prom
+	cmp _build/flight_a.jsonl _build/flight_b.jsonl
+	cmp _build/metrics_a.prom bench_results/METRICS_baseline.prom
+
+metrics-baseline:
+	dune exec bin/lslpc.exe -- batch --jobs 1 --repeat 2 \
+	  --metrics-out bench_results/METRICS_baseline.prom
+
+# Observability smoke: a faulted multi-domain batch must emit a
+# Prometheus dump that lslpc's own parser accepts and whose degradation
+# counters (failed + shed + evicted) reconcile with the batch gate's
+# count; the JSON exposition must reconcile to the same number.
+metrics-smoke:
+	dune exec bin/lslpc.exe -- batch --jobs 4 \
+	  --inject worker-raise@3 --inject queue-full@7 \
+	  --expect-degradations 2 --metrics-out _build/metrics_smoke.prom
+	dune exec bin/lslpc.exe -- metrics-verify _build/metrics_smoke.prom \
+	  --expect-degradations 2
+	dune exec bin/lslpc.exe -- batch --jobs 4 \
+	  --inject worker-raise@3 --inject queue-full@7 \
+	  --expect-degradations 2 --metrics-out _build/metrics_smoke.json \
+	  --metrics-format json
+	dune exec bin/lslpc.exe -- metrics-verify _build/metrics_smoke.json \
+	  --metrics-format json --expect-degradations 2
 
 bench:
 	dune exec bench/main.exe

@@ -68,6 +68,23 @@ let report name ns =
   Fmt.pr "%-28s %12.0f ns/batch  %8.1f batches/s@." name ns (1e9 /. ns);
   ns
 
+(* Per-job latency percentiles in virtual pool ticks, read off the
+   service registry's lslp_job_latency_ticks histogram.  Ticks, unlike
+   the ns/batch numbers above, are machine-independent: the same batch
+   on the same domain count always lands the same distribution. *)
+let latency_percentiles svc =
+  match
+    Lslp_obs.Registry.histogram_view (Service.registry svc)
+      "lslp_job_latency_ticks"
+  with
+  | None -> (0, 0, 0)
+  | Some h ->
+    Lslp_obs.Registry.(percentile h 0.5, percentile h 0.95, percentile h 0.99)
+
+let latency_json (p50, p95, p99) =
+  Json.Obj
+    [ ("p50", Json.Int p50); ("p95", Json.Int p95); ("p99", Json.Int p99) ]
+
 let git_commit () =
   try
     let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
@@ -128,10 +145,9 @@ let () =
        reflect GC synchronization, not parallel speedup@.";
   (* sequential floor and pooled run, both compiling every batch *)
   let seq_ns = report "sequential, cache off" (timed_pass (service ~domains:1 ~cache:false) !reps) in
+  let pool_svc = service ~domains:!domains ~cache:false in
   let pool_ns =
-    report
-      (Fmt.str "%d domains, cache off" !domains)
-      (timed_pass (service ~domains:!domains ~cache:false) !reps)
+    report (Fmt.str "%d domains, cache off" !domains) (timed_pass pool_svc !reps)
   in
   (* cache: one cold batch fills it, then every job must hit *)
   let svc = service ~domains:1 ~cache:true in
@@ -148,8 +164,13 @@ let () =
     die "unexpected evictions in a clean run: %d" s.Stats.cache_evicted;
   let warm_speedup = seq_ns /. warm_ns in
   let pool_speedup = seq_ns /. pool_ns in
+  let pool_lat = latency_percentiles pool_svc in
+  let cached_lat = latency_percentiles svc in
+  let pp_lat ppf (p50, p95, p99) = Fmt.pf ppf "%d/%d/%d" p50 p95 p99 in
   Fmt.pr "every warm hit legality-verified: %d/%d@." s.Stats.cache_verified
     s.Stats.cache_hits;
+  Fmt.pr "job latency ticks p50/p95/p99: pooled %a, cached %a@." pp_lat
+    pool_lat pp_lat cached_lat;
   Fmt.pr "warm cache vs cold compile: %.2fx;  %d domains vs 1: %.2fx@."
     warm_speedup !domains pool_speedup;
   (match !min_warm_speedup with
@@ -176,6 +197,12 @@ let () =
                ] );
            ("warm_speedup", Json.Float warm_speedup);
            ("pool_speedup", Json.Float pool_speedup);
+           ( "latency_ticks",
+             Json.Obj
+               [
+                 ("pool", latency_json pool_lat);
+                 ("cached", latency_json cached_lat);
+               ] );
            ("cache_hits", Json.Int s.Stats.cache_hits);
            ("cache_verified", Json.Int s.Stats.cache_verified);
          ]

@@ -22,6 +22,11 @@
      domains  domain-pool determinism smoke: the whole catalog on N
               concurrent pool domains must reproduce the sequential IR,
               remarks and counters (modulo id alpha-renaming)
+     profile  deterministic compile-cost profile: catalog x N compiles
+              into per-pass step histograms and folded stacks
+     metrics-verify
+              parse a --metrics-out dump and gate on its degradation
+              counters (the CI half of make metrics-smoke)
 
    Example:
      lslpc compile --config lslp --dump-ir examples/kernels/foo.k
@@ -103,7 +108,35 @@ let stats_arg =
 let stats_json_arg =
   Arg.(value & flag
        & info [ "stats-json" ]
-           ~doc:"Emit the telemetry report (counters and timers) as JSON.")
+           ~doc:"Emit the telemetry report (counters and timers) plus the \
+                 per-pass step histograms as one JSON document.")
+
+(* ---- metrics exposition ------------------------------------------- *)
+
+type metrics_format = Prom | Mjson
+
+let metrics_format_arg =
+  let doc =
+    "Metrics dump format: $(b,prom) (Prometheus text exposition) or \
+     $(b,json) (one lslp-metrics/1 document)."
+  in
+  Arg.(value
+       & opt (enum [ ("prom", Prom); ("json", Mjson) ]) Prom
+       & info [ "metrics-format" ] ~docv:"FORMAT" ~doc)
+
+let render_registry ~format registry =
+  let samples = Lslp_obs.Registry.snapshot registry in
+  match format with
+  | Prom -> Lslp_obs.Export.prometheus samples
+  | Mjson -> Lslp_util.Json.to_string (Lslp_obs.Export.json samples) ^ "\n"
+
+(* One run's pass-step histograms, derived deterministically from the
+   report — what `--stats-json` rides along with the telemetry. *)
+let report_metrics (t : Lslp_telemetry.Report.t) =
+  let reg = Lslp_obs.Registry.create () in
+  let pm = Lslp_telemetry.Pass_metrics.create ~root:"run" reg in
+  Lslp_telemetry.Pass_metrics.observe pm t;
+  Lslp_obs.Export.json (Lslp_obs.Registry.snapshot reg)
 
 (* Counters are deterministic per (input, config) and go to stdout so
    golden tests can pin them; wall-clock timings go to stderr. *)
@@ -113,7 +146,14 @@ let print_stats ~stats ~stats_json (report : Lslp_core.Pipeline.report) =
     Fmt.pr "%a" Lslp_telemetry.Report.pp_counters t;
     Fmt.epr "%a" Lslp_telemetry.Report.pp_timers t
   end;
-  if stats_json then Fmt.pr "%s@." (Lslp_telemetry.Report.to_json t)
+  if stats_json then
+    Fmt.pr "%s@."
+      (Lslp_util.Json.to_string
+         (Lslp_util.Json.Obj
+            [
+              ("telemetry", Lslp_telemetry.Report.json t);
+              ("metrics", report_metrics t);
+            ]))
 
 (* ---- decision trace ----------------------------------------------- *)
 
@@ -498,21 +538,32 @@ let stats_cmd =
     handle_errors @@ fun () ->
     setup_logs false;
     let config = apply_score_cache no_cache config in
+    let registry = Lslp_obs.Registry.create () in
+    let pm = Lslp_telemetry.Pass_metrics.create ~root:"catalog" registry in
     let rows =
       List.map
         (fun (k : Lslp_kernels.Catalog.kernel) ->
           let f = Lslp_kernels.Catalog.compile k in
           ignore (Lslp_frontend.Unroll.run ~factor:unroll f);
-          let report = Lslp_core.Pipeline.run ~config f in
+          let report = Lslp_core.Pipeline.run ~metrics:pm ~config f in
           (k.key, report.Lslp_core.Pipeline.telemetry))
         Lslp_kernels.Catalog.all
     in
     if json then
-      Fmt.pr "[%s]@."
-        (String.concat ","
-           (List.map
-              (fun (_, t) -> Lslp_telemetry.Report.to_json t)
-              rows))
+      Fmt.pr "%s@."
+        (Lslp_util.Json.to_string
+           (Lslp_util.Json.Obj
+              [
+                ("schema", Lslp_util.Json.Str "lslp-catalog-stats/1");
+                ( "kernels",
+                  Lslp_util.Json.Arr
+                    (List.map
+                       (fun (_, t) -> Lslp_telemetry.Report.json t)
+                       rows) );
+                ( "metrics",
+                  Lslp_obs.Export.json (Lslp_obs.Registry.snapshot registry)
+                );
+              ]))
     else begin
       (* one total row per kernel; timings stay on stderr *)
       Fmt.pr "=== catalog telemetry: %s ===@." config.Lslp_core.Config.name;
@@ -530,6 +581,11 @@ let stats_cmd =
             Lslp_telemetry.Probe.counter_fields;
           Fmt.pr "@.")
         rows;
+      (* step-count distributions over the catalog; deterministic, so they
+         print to stdout with the counter table *)
+      Fmt.pr "@.=== catalog step histograms: %s ===@.%a@."
+        config.Lslp_core.Config.name Lslp_obs.Export.pp_table
+        (Lslp_obs.Registry.snapshot registry);
       List.iter
         (fun (key, t) ->
           Fmt.epr "--- %s@.%a" key Lslp_telemetry.Report.pp_timers t)
@@ -538,15 +594,16 @@ let stats_cmd =
   in
   let json =
     Arg.(value & flag
-         & info [ "json" ] ~doc:"Emit one telemetry report per kernel as a \
-                                 JSON array.")
+         & info [ "json" ]
+             ~doc:"Emit one lslp-catalog-stats/1 document: per-kernel \
+                   telemetry reports plus the aggregated metrics registry.")
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Vectorize the whole kernel catalog and tabulate the telemetry \
           counters (seeds, score evaluations, cache hits, graph nodes, \
-          regions)")
+          regions) and the per-pass step histograms")
     Term.(const run $ config_arg $ unroll_arg $ no_score_cache_arg $ json)
 
 (* ---- fuzz --------------------------------------------------------- *)
@@ -741,8 +798,8 @@ let print_pool_stats s =
 
 let batch_cmd =
   let run config unroll jobs queue_cap deadline_steps retries backoff cache
-      repeat injects expect stats_flag stats_json trace_out trace_format
-      verbose =
+      repeat injects expect stats_flag stats_json metrics_out metrics_format
+      flight_out trace_out trace_format verbose =
     handle_errors @@ fun () ->
     setup_logs verbose;
     let inject_for = inject_for_of injects in
@@ -787,11 +844,30 @@ let batch_cmd =
     Fmt.pr "batch: %d round(s) x %d kernel(s) on %d domain(s): %d ok (%d \
             from cache), %d degraded@."
       (max 1 repeat) n jobs !ok !cached !failed;
-    if stats_flag then print_pool_stats (Lslp_service.Service.stats svc);
+    if stats_flag then begin
+      print_pool_stats (Lslp_service.Service.stats svc);
+      Fmt.pr "%a@." Lslp_obs.Export.pp_table
+        (Lslp_obs.Registry.snapshot (Lslp_service.Service.registry svc))
+    end;
+    (* the full registry — pool counters including shed/retry, cache
+       counters, histograms and pipeline counters — not just the flat
+       pool table *)
     if stats_json then
       Fmt.pr "%s@."
         (Lslp_util.Json.to_string
-           (Lslp_telemetry.Pool_stats.json (Lslp_service.Service.stats svc)));
+           (Lslp_obs.Export.json
+              (Lslp_obs.Registry.snapshot (Lslp_service.Service.registry svc))));
+    Option.iter
+      (fun path ->
+        write_out path
+          (render_registry ~format:metrics_format
+             (Lslp_service.Service.registry svc)))
+      metrics_out;
+    Option.iter
+      (fun path ->
+        write_out path
+          (Lslp_obs.Flight.to_jsonl (Lslp_service.Service.flight svc)))
+      flight_out;
     Option.iter
       (fun path ->
         let events = Lslp_service.Service.trace_events svc in
@@ -863,6 +939,21 @@ let batch_cmd =
              ~doc:"Exit non-zero unless failures + cache evictions equal \
                    exactly N (the fault-survival smoke gate).")
   in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Dump the metrics registry (counters, gauges, \
+                   histograms) to $(docv) ($(b,-) for stdout) after the \
+                   batch.  Virtual ticks and step counts only — with \
+                   --jobs 1 the dump is byte-reproducible.")
+  in
+  let flight_out =
+    Arg.(value & opt (some string) None
+         & info [ "flight-out" ] ~docv:"FILE"
+             ~doc:"Dump the flight recorder (per-job lifecycle events \
+                   with attempt seeds and cache outcomes) as JSONL to \
+                   $(docv) ($(b,-) for stdout).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -872,6 +963,7 @@ let batch_cmd =
     Term.(const run $ config_arg $ unroll_arg $ jobs $ queue_cap
           $ deadline_steps $ retries $ backoff $ cache $ repeat
           $ service_inject_args $ expect $ stats_arg $ stats_json_arg
+          $ metrics_out $ metrics_format_arg $ flight_out
           $ trace_out_arg $ trace_format_arg $ verbose_arg)
 
 (* ---- domains ------------------------------------------------------ *)
@@ -1005,6 +1097,179 @@ let domains_cmd =
           baseline")
     Term.(const run $ config_arg $ unroll_arg $ jobs $ verbose_arg)
 
+(* ---- profile ------------------------------------------------------ *)
+
+(* Compile-time profiling in the deterministic unit: probe steps at the
+   instrumented pass boundaries, not wall clock.  catalog x reps through
+   Pipeline.run feeding one registry; the percentile table and the
+   folded stacks are byte-reproducible, so perf work can diff them in CI
+   the way `make bench-check` diffs counters (the fig14 compile-time
+   hunt's instrument). *)
+let profile_cmd =
+  let run config unroll reps kernel no_cache folded_out metrics_out
+      metrics_format =
+    handle_errors @@ fun () ->
+    setup_logs false;
+    let config = apply_score_cache no_cache config in
+    let registry = Lslp_obs.Registry.create () in
+    let pm = Lslp_telemetry.Pass_metrics.create ~root:"profile" registry in
+    let kernels =
+      match kernel with
+      | None -> Lslp_kernels.Catalog.all
+      | Some key -> [ Lslp_kernels.Catalog.find key ]
+    in
+    let reps = max 1 reps in
+    for _rep = 1 to reps do
+      List.iter
+        (fun (k : Lslp_kernels.Catalog.kernel) ->
+          let f = Lslp_kernels.Catalog.compile k in
+          ignore (Lslp_frontend.Unroll.run ~factor:unroll f);
+          ignore (Lslp_core.Pipeline.run ~metrics:pm ~config f))
+        kernels
+    done;
+    Fmt.pr "=== profile: %d kernel(s) x %d rep(s), config %s ===@."
+      (List.length kernels) reps config.Lslp_core.Config.name;
+    Fmt.pr "%a@." Lslp_obs.Export.pp_table
+      (Lslp_obs.Registry.snapshot registry);
+    Option.iter
+      (fun path -> write_out path (Lslp_telemetry.Pass_metrics.folded pm))
+      folded_out;
+    Option.iter
+      (fun path ->
+        write_out path (render_registry ~format:metrics_format registry))
+      metrics_out
+  in
+  let reps =
+    Arg.(value & opt int 1
+         & info [ "reps" ] ~docv:"N"
+             ~doc:"Compile the kernel set N times (histogram sample size).")
+  in
+  let kernel =
+    Arg.(value & opt (some string) None
+         & info [ "kernel" ] ~docv:"KEY"
+             ~doc:"Profile one catalog kernel instead of the whole catalog.")
+  in
+  let folded_out =
+    Arg.(value & opt (some string) None
+         & info [ "folded-out" ] ~docv:"FILE"
+             ~doc:"Write folded stacks (profile;func;block;pass steps) to \
+                   $(docv) ($(b,-) for stdout) — flamegraph.pl dialect.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Dump the profile registry to $(docv) ($(b,-) for \
+                   stdout).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile compile cost in deterministic pass-boundary steps: \
+          catalog x N compiles into per-pass step histograms (percentile \
+          table) and flamegraph-compatible folded stacks")
+    Term.(const run $ config_arg $ unroll_arg $ reps $ kernel
+          $ no_score_cache_arg $ folded_out $ metrics_out
+          $ metrics_format_arg)
+
+(* ---- metrics-verify ----------------------------------------------- *)
+
+(* The metrics-smoke gate's second half: prove a dump parses and that its
+   degradation counters add up to the expected count.  "Degradations"
+   here is the same sum `--expect-degradations` gates on the batch side:
+   jobs failed + jobs shed + cache evictions. *)
+let metrics_verify_cmd =
+  let read_file path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let counter_of_json doc name =
+    match Lslp_util.Json.member "metrics" doc with
+    | Some (Lslp_util.Json.Arr ms) ->
+      List.find_map
+        (fun m ->
+          match
+            (Lslp_util.Json.member "name" m, Lslp_util.Json.member "value" m)
+          with
+          | Some (Lslp_util.Json.Str n), Some v when n = name ->
+            Lslp_util.Json.to_int_opt v
+          | _ -> None)
+        ms
+    | _ -> None
+  in
+  let run file format expect =
+    handle_errors @@ fun () ->
+    setup_logs false;
+    let contents = read_file file in
+    let die fmt =
+      Fmt.kstr
+        (fun s ->
+          Fmt.epr "metrics-verify: %s: %s@." file s;
+          exit 1)
+        fmt
+    in
+    let counter =
+      match format with
+      | Prom -> (
+        match Lslp_obs.Export.parse_prometheus contents with
+        | Error e -> die "%s" e
+        | Ok samples ->
+          Fmt.pr "metrics-verify: %d sample(s) parsed@."
+            (List.length samples);
+          fun name ->
+            (match Lslp_obs.Export.sample_value samples name with
+             | Some v -> int_of_float v
+             | None -> die "missing counter %s" name))
+      | Mjson -> (
+        match Lslp_util.Json.of_string contents with
+        | Error e -> die "%s" e
+        | Ok doc ->
+          Fmt.pr "metrics-verify: document parsed@.";
+          fun name ->
+            (match counter_of_json doc name with
+             | Some v -> v
+             | None -> die "missing counter %s" name))
+    in
+    let failed = counter "lslp_jobs_failed_total" in
+    let shed = counter "lslp_jobs_shed_total" in
+    let evicted = counter "lslp_cache_evicted_total" in
+    let degradations = failed + shed + evicted in
+    match expect with
+    | Some want when want <> degradations ->
+      Fmt.epr
+        "metrics-verify: expected %d degradation(s), got %d (failed %d + \
+         shed %d + evicted %d)@."
+        want degradations failed shed evicted;
+      exit 1
+    | Some _ ->
+      Fmt.pr "metrics-verify: degradations %d (as expected)@." degradations
+    | None ->
+      Fmt.pr
+        "metrics-verify: degradations %d (failed %d + shed %d + evicted \
+         %d)@."
+        degradations failed shed evicted
+  in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"A metrics dump written by batch --metrics-out.")
+  in
+  let expect =
+    Arg.(value & opt (some int) None
+         & info [ "expect-degradations" ] ~docv:"N"
+             ~doc:"Exit non-zero unless failed + shed + evicted counters \
+                   sum to exactly N.")
+  in
+  Cmd.v
+    (Cmd.info "metrics-verify"
+       ~doc:
+         "Parse a metrics dump (Prometheus text or lslp-metrics/1 JSON) \
+          and check its degradation counters — the CI half of \
+          make metrics-smoke")
+    Term.(const run $ file $ metrics_format_arg $ expect)
+
 (* ---- kernels ------------------------------------------------------ *)
 
 let kernels_cmd =
@@ -1043,4 +1308,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ compile_cmd; run_cmd; analyze_cmd; trace_cmd; stats_cmd;
-            fuzz_cmd; batch_cmd; domains_cmd; kernels_cmd; show_cmd ]))
+            fuzz_cmd; batch_cmd; domains_cmd; profile_cmd;
+            metrics_verify_cmd; kernels_cmd; show_cmd ]))

@@ -663,7 +663,7 @@ let run_unprotected ?trace ~(config : Config.t) (f : Func.t) : report =
        | None -> []);
   }
 
-let run ?(config = Config.lslp) (f : Func.t) : report =
+let run ?metrics ?(config = Config.lslp) (f : Func.t) : report =
   (* Whole-function safety net: region failures are handled inside, so
      anything arriving here is a driver bug — restore the function to its
      scalar input form and report one degraded pseudo-region rather than
@@ -671,9 +671,17 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
   let trace =
     if config.Config.trace then Some (Lslp_trace.Trace.create ()) else None
   in
+  (* feed the observability registry on every path that produces a report;
+     cancellation re-raises and is accounted by the pool instead *)
+  let observed report =
+    (match metrics with
+     | Some m -> Lslp_telemetry.Pass_metrics.observe m report.telemetry
+     | None -> ());
+    report
+  in
   let whole = Transact.snapshot_func f in
   match run_unprotected ?trace ~config f with
-  | report -> report
+  | report -> observed report
   | exception ((Out_of_memory | Sys.Break) as fatal) -> raise fatal
   | exception (Budget.Deadline_expired _ as cancel) ->
     (* cooperative cancellation from the service watchdog: restore the
@@ -686,6 +694,7 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
     let failure = Transact.failure_of_exn ~pass:"pipeline" e in
     (* events recorded before the driver died survive into the report —
        exactly the breadcrumbs needed to debug the driver bug *)
+    observed
     {
       config_name = config.Config.name;
       regions =
@@ -713,9 +722,10 @@ let run ?(config = Config.lslp) (f : Func.t) : report =
     }
 
 (* Convenience: clone, run, return (report, transformed clone). *)
-let run_cloned ?(config = Config.lslp) (f : Func.t) : report * Func.t =
+let run_cloned ?metrics ?(config = Config.lslp) (f : Func.t) :
+    report * Func.t =
   let g = Func.clone f in
-  let report = run ~config g in
+  let report = run ?metrics ~config g in
   (report, g)
 
 let pp_report ppf r =

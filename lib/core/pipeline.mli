@@ -56,8 +56,14 @@ type report = {
           {!Lslp_trace.Trace} exporters. *)
 }
 
-val run : ?config:Config.t -> Func.t -> report
+val run :
+  ?metrics:Lslp_telemetry.Pass_metrics.t -> ?config:Config.t -> Func.t ->
+  report
 (** Run on [f], mutating it.  [config] defaults to {!Config.lslp}.
+    With [metrics], the finished report is folded into the registry
+    ([Pass_metrics.observe]) before returning — counters, step
+    histograms and folded stacks; zero cost and output-invariant when
+    omitted.
     With [config.validate] the pre-pass dependence graph is snapshotted and
     the transformed function is checked against it ({!Lslp_check.Legality});
     the structural verifier also runs after codegen, reduction, CSE and DCE,
@@ -68,7 +74,9 @@ val run : ?config:Config.t -> Func.t -> report
     rolls back that region (degrading it) instead of producing a diagnostic
     on a miscompiled function. *)
 
-val run_cloned : ?config:Config.t -> Func.t -> report * Func.t
+val run_cloned :
+  ?metrics:Lslp_telemetry.Pass_metrics.t -> ?config:Config.t -> Func.t ->
+  report * Func.t
 (** Like {!run} but on a deep copy, leaving the input untouched. *)
 
 val pp_report : report Fmt.t

@@ -1,0 +1,274 @@
+(* Exposition: one registry snapshot, three formats.
+
+   - Prometheus text (0.0.4): HELP/TYPE per family, cumulative
+     [le]-labelled buckets for histograms.  [parse_prometheus] reads the
+     same dialect back — the smoke gate writes a dump, re-parses it and
+     cross-checks the degradation counters, so the emitter can never
+     drift from what a scraper would accept without CI noticing.
+   - Lslp_util.Json: the same snapshot as one minified document, with
+     derived percentiles included per histogram.
+   - Folded stacks: "frame;frame;frame count" lines (flamegraph.pl
+     dialect), sorted, for the pass-boundary step counts.
+
+   Everything walks the snapshot in registration order and is pure —
+   identical snapshots render identical bytes. *)
+
+module Json = Lslp_util.Json
+module Registry = Registry
+
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let label_block labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    Fmt.str "{%s}"
+      (String.concat ","
+         (List.map
+            (fun (k, v) -> Fmt.str "%s=\"%s\"" k (escape_label v))
+            labels))
+
+let type_name = function
+  | Registry.Counter_v _ -> "counter"
+  | Registry.Gauge_v _ -> "gauge"
+  | Registry.Histogram_v _ -> "histogram"
+
+let prometheus samples =
+  let buf = Buffer.create 4096 in
+  let last_family = ref "" in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string buf s;
+                            Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (s : Registry.sample) ->
+      if s.s_name <> !last_family then begin
+        last_family := s.s_name;
+        if s.s_help <> "" then line "# HELP %s %s" s.s_name s.s_help;
+        line "# TYPE %s %s" s.s_name (type_name s.s_value)
+      end;
+      match s.s_value with
+      | Registry.Counter_v v | Registry.Gauge_v v ->
+        line "%s%s %d" s.s_name (label_block s.s_labels) v
+      | Registry.Histogram_v h ->
+        let cum = ref 0 in
+        Array.iteri
+          (fun i c ->
+            if i < Array.length h.bounds then begin
+              cum := !cum + c;
+              line "%s_bucket%s %d" s.s_name
+                (label_block (s.s_labels @ [ ("le", string_of_int h.bounds.(i)) ]))
+                !cum
+            end)
+          h.counts;
+        line "%s_bucket%s %d" s.s_name
+          (label_block (s.s_labels @ [ ("le", "+Inf") ]))
+          h.hcount;
+        line "%s_sum%s %d" s.s_name (label_block s.s_labels) h.hsum;
+        line "%s_count%s %d" s.s_name (label_block s.s_labels) h.hcount)
+    samples;
+  Buffer.contents buf
+
+(* {2 Parsing the text format back} *)
+
+type psample = {
+  p_name : string;
+  p_labels : (string * string) list;
+  p_value : float;
+}
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9') || c = '_' || c = ':'
+
+(* One sample line: NAME[{k="v",...}] SP VALUE.  Returns [Error] with a
+   reason rather than raising — the smoke gate turns that into exit 1. *)
+let parse_sample_line ln =
+  let len = String.length ln in
+  let rec name_end i = if i < len && is_name_char ln.[i] then name_end (i + 1) else i in
+  let ne = name_end 0 in
+  if ne = 0 then Error "expected metric name"
+  else
+    let name = String.sub ln 0 ne in
+    let labels = ref [] in
+    let pos = ref ne in
+    let fail = ref None in
+    (if !pos < len && ln.[!pos] = '{' then begin
+       incr pos;
+       let continue_ = ref true in
+       while !continue_ && !fail = None do
+         if !pos >= len then begin
+           fail := Some "unterminated label block";
+           continue_ := false
+         end
+         else if ln.[!pos] = '}' then begin
+           incr pos;
+           continue_ := false
+         end
+         else begin
+           let ks = !pos in
+           let rec kend i =
+             if i < len && is_name_char ln.[i] then kend (i + 1) else i
+           in
+           let ke = kend ks in
+           if ke = ks || ke + 1 >= len || ln.[ke] <> '=' || ln.[ke + 1] <> '"'
+           then fail := Some "malformed label"
+           else begin
+             let vbuf = Buffer.create 8 in
+             let i = ref (ke + 2) in
+             let closed = ref false in
+             while (not !closed) && !fail = None do
+               if !i >= len then fail := Some "unterminated label value"
+               else if ln.[!i] = '\\' && !i + 1 < len then begin
+                 (match ln.[!i + 1] with
+                  | 'n' -> Buffer.add_char vbuf '\n'
+                  | c -> Buffer.add_char vbuf c);
+                 i := !i + 2
+               end
+               else if ln.[!i] = '"' then begin
+                 closed := true;
+                 incr i
+               end
+               else begin
+                 Buffer.add_char vbuf ln.[!i];
+                 incr i
+               end
+             done;
+             if !fail = None then begin
+               labels :=
+                 (String.sub ln ks (ke - ks), Buffer.contents vbuf) :: !labels;
+               pos := !i;
+               if !pos < len && ln.[!pos] = ',' then incr pos
+             end
+           end
+         end
+       done
+     end);
+    match !fail with
+    | Some e -> Error e
+    | None ->
+      let rest = String.trim (String.sub ln !pos (len - !pos)) in
+      if rest = "" then Error "missing sample value"
+      else (
+        match
+          if rest = "+Inf" then Some infinity
+          else if rest = "-Inf" then Some neg_infinity
+          else float_of_string_opt rest
+        with
+        | None -> Error (Fmt.str "bad sample value %S" rest)
+        | Some v ->
+          Ok { p_name = name; p_labels = List.rev !labels; p_value = v })
+
+let parse_prometheus text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | ln :: rest ->
+      let ln' = String.trim ln in
+      if ln' = "" || ln'.[0] = '#' then go (lineno + 1) acc rest
+      else (
+        match parse_sample_line ln' with
+        | Ok s -> go (lineno + 1) (s :: acc) rest
+        | Error e -> Error (Fmt.str "line %d: %s" lineno e))
+  in
+  go 1 [] lines
+
+let sample_value samples ?(labels = []) name =
+  List.find_map
+    (fun s ->
+      if s.p_name = name && s.p_labels = labels then Some s.p_value else None)
+    samples
+
+(* {2 JSON exposition} *)
+
+let percentile_fields h =
+  [
+    ("p50", Json.Int (Registry.percentile h 0.50));
+    ("p95", Json.Int (Registry.percentile h 0.95));
+    ("p99", Json.Int (Registry.percentile h 0.99));
+  ]
+
+let sample_json (s : Registry.sample) =
+  let base =
+    [
+      ("name", Json.Str s.s_name);
+      ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.s_labels));
+      ("type", Json.Str (type_name s.s_value));
+    ]
+  in
+  match s.s_value with
+  | Registry.Counter_v v | Registry.Gauge_v v ->
+    Json.Obj (base @ [ ("value", Json.Int v) ])
+  | Registry.Histogram_v h ->
+    let cum = ref 0 in
+    let buckets =
+      List.concat
+        [
+          List.mapi
+            (fun i b ->
+              cum := !cum + h.counts.(i);
+              Json.Obj
+                [ ("le", Json.Str (string_of_int b)); ("count", Json.Int !cum) ])
+            (Array.to_list h.bounds);
+          [ Json.Obj
+              [ ("le", Json.Str "+Inf"); ("count", Json.Int h.hcount) ] ];
+        ]
+    in
+    Json.Obj
+      (base
+      @ [
+          ("buckets", Json.Arr buckets);
+          ("sum", Json.Int h.hsum);
+          ("count", Json.Int h.hcount);
+          ("min", Json.Int h.hmin);
+          ("max", Json.Int h.hmax);
+        ]
+      @ percentile_fields h)
+
+let json samples =
+  Json.Obj
+    [
+      ("schema", Json.Str "lslp-metrics/1");
+      ("metrics", Json.Arr (List.map sample_json samples));
+    ]
+
+(* {2 Folded stacks} *)
+
+let folded stacks =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (stack, n) -> Buffer.add_string buf (Fmt.str "%s %d\n" stack n))
+    (List.sort compare stacks);
+  Buffer.contents buf
+
+(* {2 Human histogram table} *)
+
+let pp_table ppf samples =
+  let hists =
+    List.filter_map
+      (fun (s : Registry.sample) ->
+        match s.s_value with
+        | Registry.Histogram_v h ->
+          Some (s.s_name ^ label_block s.s_labels, h)
+        | Counter_v _ | Gauge_v _ -> None)
+      samples
+  in
+  Fmt.pf ppf "@[<v>%-40s %7s %9s %6s %6s %6s %6s %6s" "histogram" "count"
+    "sum" "min" "max" "p50" "p95" "p99";
+  List.iter
+    (fun (name, (h : Registry.hview)) ->
+      Fmt.pf ppf "@,%-40s %7d %9d %6d %6d %6d %6d %6d" name h.hcount h.hsum
+        h.hmin h.hmax
+        (Registry.percentile h 0.50)
+        (Registry.percentile h 0.95)
+        (Registry.percentile h 0.99))
+    hists;
+  Fmt.pf ppf "@]"

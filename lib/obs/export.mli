@@ -1,0 +1,41 @@
+(** Exposition of a {!Registry} snapshot: Prometheus text, JSON and
+    folded stacks.
+
+    All exporters walk the snapshot in registration order and are pure —
+    identical snapshots render identical bytes, which is what
+    `make metrics-check` gates. *)
+
+val prometheus : Registry.sample list -> string
+(** Prometheus text exposition (0.0.4): [# HELP]/[# TYPE] per family,
+    cumulative [le]-labelled buckets, [_sum]/[_count] per histogram. *)
+
+(** {1 Reading the text format back} *)
+
+type psample = {
+  p_name : string;
+  p_labels : (string * string) list;
+  p_value : float;
+}
+
+val parse_prometheus : string -> (psample list, string) result
+(** Parse text exposition back into flat samples (histograms appear as
+    their [_bucket]/[_sum]/[_count] series).  Total: returns [Error
+    "line N: reason"] instead of raising — `lslpc metrics-verify` builds
+    the smoke gate on it. *)
+
+val sample_value :
+  psample list -> ?labels:(string * string) list -> string -> float option
+
+(** {1 Other formats} *)
+
+val json : Registry.sample list -> Lslp_util.Json.t
+(** One document: [{schema; metrics: [...]}], histograms carrying
+    cumulative buckets, sum/count/min/max and derived p50/p95/p99. *)
+
+val folded : (string * int) list -> string
+(** Folded-stack lines ["frame;frame;frame count\n"], sorted — feed to
+    any flamegraph renderer. *)
+
+val pp_table : Format.formatter -> Registry.sample list -> unit
+(** Deterministic histogram summary table (count/sum/min/max/p50/p95/p99
+    per histogram) for [lslpc stats] and [lslpc batch --stats]. *)

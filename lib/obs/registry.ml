@@ -1,0 +1,195 @@
+(* The typed metric registry.
+
+   One registry per service instance; metrics register once (idempotently,
+   keyed on name x labels) and are then bumped through their handles.  All
+   values are integers: counts, virtual ticks, pass steps — never wall
+   clock — so for a fixed (input, config, fault spec) every exported
+   number is reproducible byte for byte (the determinism contract
+   DESIGN.md §17 states and `make metrics-check` enforces).
+
+   One mutex per registry guards both the metric list and every value;
+   handles share it.  Bumps happen on the service's per-job control path
+   (a handful per compile), so a single short critical section costs
+   nothing next to a pipeline run.  Per-instance locked state: lint R1
+   does not apply, and nothing here reads the clock (R4) or raises (R3).
+
+   Histograms are fixed-bucket: bounds are chosen at registration and
+   never resize, which keeps exposition stable across runs regardless of
+   the values observed.  [percentile] answers from the cumulative bucket
+   counts — the answer is the smallest bucket upper bound covering the
+   requested rank, clamped to the observed min/max so exact small samples
+   report exact values. *)
+
+type kind = Counter | Gauge | Histogram
+
+type metric = {
+  m_name : string;
+  m_labels : (string * string) list;
+  m_help : string;
+  m_kind : kind;
+  m_lock : Mutex.t;  (* the owning registry's lock *)
+  mutable m_value : int;  (* counter / gauge *)
+  m_bounds : int array;  (* finite upper bounds, ascending; histograms *)
+  m_counts : int array;  (* per-bucket counts; last slot is +Inf *)
+  mutable m_sum : int;
+  mutable m_count : int;
+  mutable m_min : int;
+  mutable m_max : int;
+}
+
+type counter = metric
+type gauge = metric
+type histogram = metric
+
+type t = { lock : Mutex.t; mutable rev : metric list }
+
+let create () = { lock = Mutex.create (); rev = [] }
+
+(* [f] must not raise — every caller below satisfies that. *)
+let locked lock f =
+  Mutex.lock lock;
+  let r = f () in
+  Mutex.unlock lock;
+  r
+
+let find_or_add t ~name ~labels ~help ~kind ~bounds =
+  locked t.lock (fun () ->
+      match
+        List.find_opt
+          (fun m -> m.m_name = name && m.m_labels = labels)
+          t.rev
+      with
+      | Some m -> m
+      | None ->
+        let m =
+          {
+            m_name = name;
+            m_labels = labels;
+            m_help = help;
+            m_kind = kind;
+            m_lock = t.lock;
+            m_value = 0;
+            m_bounds = bounds;
+            m_counts = Array.make (Array.length bounds + 1) 0;
+            m_sum = 0;
+            m_count = 0;
+            m_min = 0;
+            m_max = 0;
+          }
+        in
+        t.rev <- m :: t.rev;
+        m)
+
+let counter t ?(help = "") ?(labels = []) name =
+  find_or_add t ~name ~labels ~help ~kind:Counter ~bounds:[||]
+
+let gauge t ?(help = "") ?(labels = []) name =
+  find_or_add t ~name ~labels ~help ~kind:Gauge ~bounds:[||]
+
+let histogram t ?(help = "") ?(labels = []) ~buckets name =
+  (* defend the fixed-bucket invariant: ascending, deduplicated *)
+  let bounds =
+    let sorted = List.sort_uniq compare (Array.to_list buckets) in
+    Array.of_list sorted
+  in
+  find_or_add t ~name ~labels ~help ~kind:Histogram ~bounds
+
+let add c n = locked c.m_lock (fun () -> c.m_value <- c.m_value + n)
+let incr c = add c 1
+let set g v = locked g.m_lock (fun () -> g.m_value <- v)
+let value m = locked m.m_lock (fun () -> m.m_value)
+
+let observe h v =
+  locked h.m_lock (fun () ->
+      let n = Array.length h.m_bounds in
+      let rec bucket i =
+        if i >= n then n else if v <= h.m_bounds.(i) then i else bucket (i + 1)
+      in
+      h.m_counts.(bucket 0) <- h.m_counts.(bucket 0) + 1;
+      h.m_sum <- h.m_sum + v;
+      if h.m_count = 0 then begin
+        h.m_min <- v;
+        h.m_max <- v
+      end
+      else begin
+        if v < h.m_min then h.m_min <- v;
+        if v > h.m_max then h.m_max <- v
+      end;
+      h.m_count <- h.m_count + 1)
+
+type hview = {
+  bounds : int array;
+  counts : int array;  (* per-bucket, not cumulative; last is +Inf *)
+  hsum : int;
+  hcount : int;
+  hmin : int;
+  hmax : int;
+}
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of hview
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_help : string;
+  s_value : value;
+}
+
+let sample_of m =
+  {
+    s_name = m.m_name;
+    s_labels = m.m_labels;
+    s_help = m.m_help;
+    s_value =
+      (match m.m_kind with
+       | Counter -> Counter_v m.m_value
+       | Gauge -> Gauge_v m.m_value
+       | Histogram ->
+         Histogram_v
+           {
+             bounds = Array.copy m.m_bounds;
+             counts = Array.copy m.m_counts;
+             hsum = m.m_sum;
+             hcount = m.m_count;
+             hmin = m.m_min;
+             hmax = m.m_max;
+           });
+  }
+
+let snapshot t =
+  (* rev_map of the reversed registration list = registration order *)
+  locked t.lock (fun () -> List.rev_map sample_of t.rev)
+
+let histogram_view t ?(labels = []) name =
+  locked t.lock (fun () ->
+      match
+        List.find_opt
+          (fun m ->
+            m.m_name = name && m.m_labels = labels && m.m_kind = Histogram)
+          t.rev
+      with
+      | None -> None
+      | Some m ->
+        (match (sample_of m).s_value with
+         | Histogram_v h -> Some h
+         | Counter_v _ | Gauge_v _ -> None))
+
+let percentile (h : hview) q =
+  if h.hcount = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (Float.round (ceil (q *. float_of_int h.hcount))) in
+      if r < 1 then 1 else if r > h.hcount then h.hcount else r
+    in
+    let n = Array.length h.bounds in
+    let rec walk i acc =
+      if i >= n then h.hmax
+      else
+        let acc = acc + h.counts.(i) in
+        if acc >= rank then min h.bounds.(i) h.hmax else walk (i + 1) acc
+    in
+    max h.hmin (walk 0 0)
+  end

@@ -1,0 +1,84 @@
+(** The typed metric registry under the compile service's observability
+    layer.
+
+    Counters, gauges and fixed-bucket histograms, registered once per
+    (name, labels) pair and bumped through handles.  Every value is an
+    integer in a deterministic unit — job counts, virtual scheduling
+    ticks, pass-boundary steps — never wall-clock, so a registry's
+    exported state is a pure function of (input, config, fault spec) and
+    byte-reproducible dumps can be gated without tolerances (DESIGN.md
+    §17).
+
+    Thread-safety: one mutex per registry guards registration and every
+    bump; handles may be used freely from pool worker domains.  No
+    operation raises and none reads the clock. *)
+
+type t
+(** A registry instance.  Per-instance locked state (lint R1-clean). *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> ?labels:(string * string) list ->
+  string -> counter
+(** Idempotent: registering the same (name, labels) again returns the
+    existing handle, so read views and re-entrant wiring are safe. *)
+
+val gauge : t -> ?help:string -> ?labels:(string * string) list ->
+  string -> gauge
+
+val histogram : t -> ?help:string -> ?labels:(string * string) list ->
+  buckets:int array -> string -> histogram
+(** [buckets] are finite upper bounds (sorted and deduplicated here); an
+    implicit +Inf bucket is appended.  Bounds are fixed at registration —
+    exposition shape never depends on the values observed. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> int -> unit
+
+val value : counter -> int
+(** Current value of a counter or gauge handle (locked read). *)
+
+val observe : histogram -> int -> unit
+
+(** {1 Snapshots} *)
+
+type hview = {
+  bounds : int array;
+  counts : int array;
+      (** per-bucket (not cumulative); one longer than [bounds], the last
+          slot counting observations above every finite bound *)
+  hsum : int;
+  hcount : int;
+  hmin : int;  (** 0 when [hcount = 0] *)
+  hmax : int;
+}
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of hview
+
+type sample = {
+  s_name : string;
+  s_labels : (string * string) list;
+  s_help : string;
+  s_value : value;
+}
+
+val snapshot : t -> sample list
+(** Consistent copy of every metric, in registration order — the order
+    every exporter walks, which is what makes dumps reproducible. *)
+
+val histogram_view : t -> ?labels:(string * string) list -> string ->
+  hview option
+
+val percentile : hview -> float -> int
+(** [percentile h q] for [q] in (0, 1]: the smallest bucket upper bound
+    whose cumulative count covers rank [ceil (q * count)], clamped to the
+    observed [hmin]/[hmax] (so exact for samples that fit one bucket).
+    0 when the histogram is empty. *)

@@ -25,6 +25,8 @@ module Legality = Lslp_check.Legality
 module Diagnostic = Lslp_check.Diagnostic
 module Inject = Lslp_robust.Inject
 module Stats = Lslp_telemetry.Pool_stats
+module Registry = Lslp_obs.Registry
+module Flight = Lslp_obs.Flight
 module Trace = Lslp_trace.Trace
 
 type cached = {
@@ -47,16 +49,16 @@ type t = {
   m : Mutex.t;
   by_key : (string, entry) Hashtbl.t;  (* canonical digest -> entry *)
   by_source : (string, string) Hashtbl.t;  (* front digest -> canonical *)
-  stats : Stats.t option;
+  metrics : Stats.metrics option;
   trace : Trace.t option;
 }
 
-let create ?stats ?trace () =
+let create ?metrics ?trace () =
   {
     m = Mutex.create ();
     by_key = Hashtbl.create 64;
     by_source = Hashtbl.create 64;
-    stats;
+    metrics;
     trace;
   }
 
@@ -74,8 +76,12 @@ let length t =
   Mutex.unlock t.m;
   n
 
-(* lock held *)
-let bump t f = match t.stats with Some s -> f s | None -> ()
+(* lock held.  Cache events carry tick -1 in the flight recorder: the
+   cache runs under its own lock and does not see the pool's vclock. *)
+let bump t f = match t.metrics with Some m -> f m | None -> ()
+
+let flight t ~job ~detail kind =
+  bump t (fun m -> Flight.record m.Stats.flight ~tick:(-1) ~job ~detail kind)
 
 let trace_ev t what job detail =
   match t.trace with
@@ -93,21 +99,27 @@ let poison_entry entry =
    then replay the legality validator.  Clean -> reuse; anything else ->
    evict the entry and every front alias, and the caller recompiles. *)
 let verify_hit t ~label ~key entry ~poison =
-  bump t (fun s -> s.Stats.cache_hits <- s.Stats.cache_hits + 1);
+  bump t (fun m -> Registry.incr m.Stats.c_hits);
+  flight t ~job:label ~detail:key "cache-hit";
   if poison then begin
     trace_ev t "cache-poison" label key;
     poison_entry entry
   end;
   let diags = Legality.validate entry.snap entry.func in
   if Diagnostic.errors diags = [] then begin
-    bump t (fun s -> s.Stats.cache_verified <- s.Stats.cache_verified + 1);
+    bump t (fun m -> Registry.incr m.Stats.c_verified);
+    flight t ~job:label ~detail:key "cache-verified";
     trace_ev t "cache-verify" label key;
     Some entry.payload
   end
   else begin
     Hashtbl.remove t.by_key key;
     List.iter (Hashtbl.remove t.by_source) entry.aliases;
-    bump t (fun s -> s.Stats.cache_evicted <- s.Stats.cache_evicted + 1);
+    bump t (fun m -> Registry.incr m.Stats.c_evicted);
+    flight t ~job:label
+      ~detail:
+        (Fmt.str "%s: %s" key (Diagnostic.summary (Diagnostic.errors diags)))
+      "cache-evicted";
     trace_ev t "cache-evict" label
       (Fmt.str "%s: %s" key
          (Diagnostic.summary (Diagnostic.errors diags)));
@@ -150,7 +162,8 @@ let find_by_ir t ~label ~source_key ~input_norm ~fingerprint ~poison =
       | None -> None)
     | Some _ (* digest collision: treat as a miss, never trust it *)
     | None ->
-      bump t (fun s -> s.Stats.cache_misses <- s.Stats.cache_misses + 1);
+      bump t (fun m -> Registry.incr m.Stats.c_misses);
+      flight t ~job:label ~detail:key "cache-miss";
       trace_ev t "cache-miss" label key;
       None
   in
@@ -169,7 +182,8 @@ let insert t ~label ~source_key ~input_norm ~fingerprint ~snap ~func payload =
     in
     Hashtbl.replace t.by_key key entry;
     Hashtbl.replace t.by_source source_key key;
-    bump t (fun s -> s.Stats.cache_inserts <- s.Stats.cache_inserts + 1);
+    bump t (fun m -> Registry.incr m.Stats.c_inserts);
+    flight t ~job:label ~detail:key "cache-insert";
     trace_ev t "cache-insert" label key
   end
   else if not (Hashtbl.mem t.by_source source_key) then begin

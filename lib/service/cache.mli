@@ -31,13 +31,14 @@ type cached = {
 type t
 
 val create :
-  ?stats:Lslp_telemetry.Pool_stats.t ->
+  ?metrics:Lslp_telemetry.Pool_stats.metrics ->
   ?trace:Lslp_trace.Trace.t ->
   unit ->
   t
-(** Counters ([cache_hits]/[cache_verified]/[cache_evicted]/
-    [cache_misses]/[cache_inserts]) and [Pool_event] trace records are
-    emitted under the cache lock. *)
+(** Registry counters ([lslp_cache_*_total]), flight-recorder events
+    (cache-hit/verified/evicted/miss/insert, recorded with tick [-1] —
+    the cache does not see the pool's virtual clock) and [Pool_event]
+    trace records are emitted under the cache lock. *)
 
 val source_key : source:string -> unroll:int -> fingerprint:string -> string
 (** The front key for a job, computable without parsing. *)

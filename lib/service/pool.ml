@@ -24,6 +24,8 @@ module Budget = Lslp_robust.Budget
 module Inject = Lslp_robust.Inject
 module Trace = Lslp_trace.Trace
 module Stats = Lslp_telemetry.Pool_stats
+module Registry = Lslp_obs.Registry
+module Flight = Lslp_obs.Flight
 
 type failure =
   | Crashed of string
@@ -81,7 +83,7 @@ let admission_sheds config ~job =
       (Inject.reseed spec ~seed:(attempt_seed config ~job ~attempt:(-1)))
       Inject.Queue_full
 
-let run (type a) ?stats ?trace config
+let run (type a) ?metrics ?trace config
     (jobs :
       (string
       * (inject:Inject.t option -> deadline:Budget.deadline option -> a))
@@ -104,7 +106,13 @@ let run (type a) ?stats ?trace config
   let shutdown = ref false in
   let dead = ref [] in
   let handles : unit Domain.t option array = Array.make domains None in
-  let bump f = match stats with Some s -> f s | None -> () in
+  let obs f = match metrics with Some (m : Stats.metrics) -> f m | None -> () in
+  (* virtual tick of each job's {e first} dispatch, so the latency
+     histogram charges retries and backoff to the job that paid them *)
+  let first_dispatch = Array.make n (-1) in
+  let flight m ~job ?attempt ?seed ?detail kind =
+    Flight.record m.Stats.flight ~tick:!vtick ~job ?attempt ?seed ?detail kind
+  in
   let trace_ev what job detail =
     match trace with
     | Some t -> Trace.record t (Trace.Pool_event { what; job; detail })
@@ -157,6 +165,13 @@ let run (type a) ?stats ?trace config
         incr in_flight;
         tick ();
         let label = fst jobs.(job) in
+        obs (fun m ->
+            if first_dispatch.(job) < 0 then first_dispatch.(job) <- !vtick;
+            let depth = Queue.length ready in
+            Registry.observe m.Stats.queue_at_dispatch depth;
+            Registry.set m.Stats.queue_depth depth;
+            flight m ~job:label ~attempt
+              ~seed:(attempt_seed config ~job ~attempt) "dispatched");
         trace_ev "dispatch" label (Fmt.str "attempt %d" attempt);
         (* queue space freed: the orchestrator may admit the next job *)
         Condition.signal cond_change;
@@ -184,32 +199,56 @@ let run (type a) ?stats ?trace config
         (match result with
          | Ok v ->
            record job (Done v);
-           bump (fun s -> s.Stats.jobs_completed <- s.Stats.jobs_completed + 1);
            trace_ev "complete" label "";
            tick ();
+           obs (fun m ->
+               Registry.incr m.Stats.completed;
+               Registry.observe m.Stats.job_attempts (attempt + 1);
+               let latency = !vtick - first_dispatch.(job) in
+               Registry.observe m.Stats.latency_ticks latency;
+               let depth = Queue.length ready in
+               Registry.observe m.Stats.queue_at_complete depth;
+               Registry.set m.Stats.queue_depth depth;
+               flight m ~job:label ~attempt
+                 ~seed:(attempt_seed config ~job ~attempt)
+                 ~detail:(Fmt.str "latency=%d" latency) "completed");
            if !in_flight = 0 && !delayed <> [] then
              Condition.broadcast cond_work;
            Mutex.unlock m
          | Error failure ->
            (* job-fatal: record the job's fate, then this worker dies *)
+           let seed = attempt_seed config ~job ~attempt in
            (match failure with
             | Timed_out { steps } ->
-              bump (fun s ->
-                  s.Stats.jobs_timed_out <- s.Stats.jobs_timed_out + 1);
+              obs (fun m ->
+                  Registry.incr m.Stats.timed_out;
+                  flight m ~job:label ~attempt ~seed
+                    ~detail:(Fmt.str "%d step(s)" steps) "timeout");
               trace_ev "timeout" label (Fmt.str "%d step(s)" steps)
-            | Crashed msg -> trace_ev "crash" label msg
+            | Crashed msg ->
+              obs (fun m ->
+                  flight m ~job:label ~attempt ~seed ~detail:msg "crashed");
+              trace_ev "crash" label msg
             | Shed -> assert false (* shedding happens at admission *));
            if attempt < retries then begin
              let delay = backoff * (1 lsl attempt) in
              delayed := (!vtick + delay, job, attempt + 1) :: !delayed;
-             bump (fun s -> s.Stats.jobs_retried <- s.Stats.jobs_retried + 1);
+             obs (fun m ->
+                 Registry.incr m.Stats.retried;
+                 flight m ~job:label ~attempt:(attempt + 1)
+                   ~seed:(attempt_seed config ~job ~attempt:(attempt + 1))
+                   ~detail:(Fmt.str "in %d tick(s)" delay) "retried");
              trace_ev "retry" label
                (Fmt.str "attempt %d in %d tick(s)" (attempt + 1) delay)
            end
            else begin
              record job
                (Degraded_to_failure { attempts = attempt + 1; failure });
-             bump (fun s -> s.Stats.jobs_failed <- s.Stats.jobs_failed + 1);
+             obs (fun m ->
+                 Registry.incr m.Stats.failed;
+                 Registry.observe m.Stats.job_attempts (attempt + 1);
+                 flight m ~job:label ~attempt ~seed
+                   ~detail:"retries exhausted" "failed");
              trace_ev "fail" label "retries exhausted"
            end;
            dead := slot :: !dead;
@@ -245,8 +284,9 @@ let run (type a) ?stats ?trace config
        List.iter
          (fun slot ->
            spawn slot;
-           bump (fun s ->
-               s.Stats.workers_respawned <- s.Stats.workers_respawned + 1);
+           obs (fun m ->
+               Registry.incr m.Stats.respawned;
+               flight m ~job:"" ~detail:(Fmt.str "worker %d" slot) "respawn");
            trace_ev "respawn" "" (Fmt.str "worker %d" slot))
          slots);
     (* admit while the bounded queue has space — blocking here when it
@@ -257,14 +297,17 @@ let run (type a) ?stats ?trace config
       incr next;
       progressed := true;
       let label = fst jobs.(job) in
-      bump (fun s -> s.Stats.jobs_submitted <- s.Stats.jobs_submitted + 1);
+      obs (fun m -> Registry.incr m.Stats.submitted);
       if admission_sheds config ~job then begin
         record job (Degraded_to_failure { attempts = 0; failure = Shed });
-        bump (fun s -> s.Stats.jobs_shed <- s.Stats.jobs_shed + 1);
+        obs (fun m ->
+            Registry.incr m.Stats.shed;
+            flight m ~job:label ~detail:"queue full" "shed");
         trace_ev "shed" label "queue full"
       end
       else begin
         Queue.add (job, 0) ready;
+        obs (fun m -> flight m ~job:label "enqueued");
         trace_ev "enqueue" label "";
         Condition.signal cond_work
       end

@@ -65,7 +65,7 @@ val default_config : config
     faults. *)
 
 val run :
-  ?stats:Lslp_telemetry.Pool_stats.t ->
+  ?metrics:Lslp_telemetry.Pool_stats.metrics ->
   ?trace:Lslp_trace.Trace.t ->
   config ->
   (string
@@ -78,7 +78,11 @@ val run :
     the attempt's injector (for pipeline/cache fault points) and its
     deadline (to thread into [Config.with_deadline]); whatever [fn] raises
     is this attempt's failure.  Blocks until every job has an outcome.
-    [stats] counters are bumped and [trace] pool events recorded under the
-    pool lock. *)
+
+    With [metrics], the pool bumps the registry counters, samples the
+    latency/attempt/queue-depth histograms (all in virtual ticks and
+    slots — nothing reads the clock) and records every lifecycle
+    transition in the flight recorder, with per-attempt injector seeds;
+    all under the pool lock.  [trace] pool events likewise. *)
 
 val pp_failure : failure Fmt.t

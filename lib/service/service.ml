@@ -40,25 +40,36 @@ type t = {
   pool : Pool.config;
   cache : Cache.t option;
   inject_for : int -> Inject.t option;
-  stats : Stats.t;
+  metrics : Stats.metrics;
+  pass_metrics : Lslp_telemetry.Pass_metrics.t;
   trace : Trace.t option;
 }
 
-let create ?(cache = true) ?(trace = false)
+let create ?(cache = true) ?(trace = false) ?flight_cap
     ?(inject_for = fun _ -> None) ~pool compile =
-  let stats = Stats.create () in
+  (* one registry per service: pool + cache counters and histograms, the
+     pipeline counters and step histograms, all exported together *)
+  let metrics = Stats.metrics ?flight_cap () in
+  let pass_metrics =
+    Lslp_telemetry.Pass_metrics.create ~root:"batch" metrics.Stats.registry
+  in
   let trace = if trace then Some (Trace.create ()) else None in
   {
     compile;
     fingerprint = Config.fingerprint compile;
     pool;
-    cache = (if cache then Some (Cache.create ~stats ?trace ()) else None);
+    cache = (if cache then Some (Cache.create ~metrics ?trace ()) else None);
     inject_for;
-    stats;
+    metrics;
+    pass_metrics;
     trace;
   }
 
-let stats t = t.stats
+let stats t = Stats.view t.metrics
+let metrics t = t.metrics
+let registry t = t.metrics.Stats.registry
+let flight t = t.metrics.Stats.flight
+let pass_metrics t = t.pass_metrics
 let trace_events t = match t.trace with Some tr -> Trace.events tr | None -> []
 let cache_entries t = match t.cache with Some c -> Cache.length c | None -> 0
 
@@ -130,7 +141,7 @@ let compile_job t (job : job) ~inject ~deadline =
         | Some d -> Config.with_deadline d c
         | None -> c
       in
-      let report = Pipeline.run ~config func in
+      let report = Pipeline.run ~metrics:t.pass_metrics ~config func in
       let ir =
         Lslp_util.Normalize.ids (Fmt.str "%a" Lslp_ir.Printer.pp_func func)
       in
@@ -179,7 +190,7 @@ let batch ?(index_base = 0) t jobs =
           fun ~inject ~deadline -> compile_job t job ~inject ~deadline ))
       jobs
   in
-  Pool.run ~stats:t.stats ?trace:t.trace pool_cfg pjobs
+  Pool.run ~metrics:t.metrics ?trace:t.trace pool_cfg pjobs
 
 (* Degradations in the smoke-gate sense: jobs that ended in a typed
    failure plus cache entries evicted by failed verification — every
@@ -192,4 +203,4 @@ let degradations t outcomes =
         | Pool.Degraded_to_failure _ -> acc + 1)
       0 outcomes
   in
-  failed + t.stats.Stats.cache_evicted
+  failed + Lslp_obs.Registry.value t.metrics.Stats.c_evicted

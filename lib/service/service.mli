@@ -37,11 +37,13 @@ type t
 val create :
   ?cache:bool ->
   ?trace:bool ->
+  ?flight_cap:int ->
   ?inject_for:(int -> Lslp_robust.Inject.t option) ->
   pool:Pool.config ->
   Lslp_core.Config.t ->
   t
-(** [cache] defaults to on, [trace] to off.  [inject_for] maps a {e global}
+(** [cache] defaults to on, [trace] to off; [flight_cap] bounds the
+    flight recorder (default 4096 events).  [inject_for] maps a {e global}
     job index (across batches, see [index_base]) to the fault spec armed
     for that job; it covers service points (worker-raise, worker-hang,
     cache-poison, queue-full) and pipeline points alike — the same
@@ -55,8 +57,22 @@ val batch : ?index_base:int -> t -> job array -> success Pool.outcome array
     targeting and injector seeds stay unique across rounds. *)
 
 val stats : t -> Lslp_telemetry.Pool_stats.t
-(** Live counters (shared with the pool and the cache); read after
-    {!batch} returns. *)
+(** Flat snapshot of the pool/cache counters ([Pool_stats.view] of the
+    shared registry); read after {!batch} returns. *)
+
+val metrics : t -> Lslp_telemetry.Pool_stats.metrics
+(** The service's typed metric handles; shared by pool and cache. *)
+
+val registry : t -> Lslp_obs.Registry.t
+(** The full registry — pool/cache counters and histograms plus the
+    pipeline counters and step histograms — for the exporters. *)
+
+val flight : t -> Lslp_obs.Flight.t
+(** The bounded flight recorder (`--flight-out`). *)
+
+val pass_metrics : t -> Lslp_telemetry.Pass_metrics.t
+(** Pipeline-side metrics: fed by every non-cached compile; carries the
+    folded stacks. *)
 
 val trace_events : t -> Lslp_trace.Trace.event list
 (** Pool/cache boundary events recorded so far ([] with [trace] off). *)

@@ -6,7 +6,7 @@
     change any outcome. *)
 
 val run :
-  ?stats:Lslp_telemetry.Pool_stats.t ->
+  ?metrics:Lslp_telemetry.Pool_stats.metrics ->
   ?trace:Lslp_trace.Trace.t ->
   ?config:Lslp_core.Config.t ->
   ?inject_spec:Lslp_robust.Inject.t ->

@@ -1,10 +1,17 @@
-(** Compile-service pool counters.
+(** Compile-service pool metrics.
 
-    One bag per {!Lslp_service.Pool}, mutated under the pool's lock and
-    snapshotted with {!copy} on drain.  Deterministic for a given (job
-    list, configuration, fault spec): retries, timeouts, shedding and cache
-    evictions are all driven by the seeded injector and the pool's virtual
-    clock, never by wall time, so smoke tests can pin these numbers. *)
+    The single source of truth is an {!Lslp_obs.Registry} plus an
+    {!Lslp_obs.Flight} recorder, bundled as {!metrics}; the pool, the
+    cache and the service bump the typed handles directly.  The
+    historical flat-counter record {!t} survives as a {e read view}
+    ({!view}) so accounting tests and the `--stats` renderers keep
+    working unchanged.
+
+    Deterministic for a given (job list, configuration, fault spec):
+    retries, timeouts, shedding and cache evictions are all driven by the
+    seeded injector and the pool's virtual clock, never by wall time, so
+    smoke tests pin the counters and — on a 1-domain pool — whole
+    exposition dumps are byte-reproducible. *)
 
 type t = {
   mutable jobs_submitted : int;
@@ -21,8 +28,37 @@ type t = {
   mutable cache_inserts : int;
 }
 
-val create : unit -> t
-val copy : t -> t
+type metrics = {
+  registry : Lslp_obs.Registry.t;
+  flight : Lslp_obs.Flight.t;
+  submitted : Lslp_obs.Registry.counter;
+  completed : Lslp_obs.Registry.counter;
+  retried : Lslp_obs.Registry.counter;
+  timed_out : Lslp_obs.Registry.counter;
+  shed : Lslp_obs.Registry.counter;
+  failed : Lslp_obs.Registry.counter;
+  respawned : Lslp_obs.Registry.counter;
+  c_hits : Lslp_obs.Registry.counter;
+  c_misses : Lslp_obs.Registry.counter;
+  c_verified : Lslp_obs.Registry.counter;
+  c_evicted : Lslp_obs.Registry.counter;
+  c_inserts : Lslp_obs.Registry.counter;
+  queue_depth : Lslp_obs.Registry.gauge;
+  latency_ticks : Lslp_obs.Registry.histogram;
+  job_attempts : Lslp_obs.Registry.histogram;
+  queue_at_dispatch : Lslp_obs.Registry.histogram;
+  queue_at_complete : Lslp_obs.Registry.histogram;
+}
+
+val metrics :
+  ?registry:Lslp_obs.Registry.t -> ?flight_cap:int -> unit -> metrics
+(** Register the service metric family on [registry] (fresh one when
+    omitted) and attach a flight recorder of [flight_cap] (default 4096)
+    events.  Registration is idempotent per registry. *)
+
+val view : metrics -> t
+(** Consistent flat snapshot of the twelve counters — what
+    [Service.stats] returns and `test_service` accounting asserts on. *)
 
 val fields : (string * (t -> int)) list
 (** Display-ordered column set shared by {!pp} and {!json} — same

@@ -1,0 +1,77 @@
+Golden metrics exposition.  On a 1-domain pool the whole dump is a pure
+function of (catalog, config), so these pins are tolerance-free: any
+drift in scheduling, caching or pass instrumentation shows up as a
+counter diff.  Bucket lines are elided here only to keep the golden
+readable — `make metrics-check` pins the complete dump byte for byte
+against bench_results/METRICS_baseline.prom.
+
+Two rounds over the catalog: round 2 must be pure cache hits, and the
+pipeline counters must count only the 28 real compiles:
+
+  $ lslpc batch --jobs 1 --repeat 2 --metrics-out - 2>/dev/null | grep -v '_bucket\|^#'
+  batch: 2 round(s) x 28 kernel(s) on 1 domain(s): 56 ok (28 from cache), 0 degraded
+  lslp_jobs_submitted_total 56
+  lslp_jobs_completed_total 56
+  lslp_jobs_retried_total 0
+  lslp_jobs_timed_out_total 0
+  lslp_jobs_shed_total 0
+  lslp_jobs_failed_total 0
+  lslp_workers_respawned_total 0
+  lslp_cache_hits_total 28
+  lslp_cache_misses_total 28
+  lslp_cache_verified_total 28
+  lslp_cache_evicted_total 0
+  lslp_cache_inserts_total 28
+  lslp_queue_depth 0
+  lslp_job_latency_ticks_sum 56
+  lslp_job_latency_ticks_count 56
+  lslp_job_attempts_sum 56
+  lslp_job_attempts_count 56
+  lslp_queue_depth_dispatch_sum 756
+  lslp_queue_depth_dispatch_count 56
+  lslp_queue_depth_complete_sum 756
+  lslp_queue_depth_complete_count 56
+  lslp_pipeline_seeds_total 37
+  lslp_pipeline_tried_total 30
+  lslp_pipeline_evals_total 1201
+  lslp_pipeline_hits_total 1160
+  lslp_pipeline_misses_total 1160
+  lslp_pipeline_nodes_total 247
+  lslp_pipeline_emitted_total 244
+  lslp_pipeline_vec_total 29
+  lslp_pipeline_degraded_total 0
+  lslp_job_pass_steps_sum 230
+  lslp_job_pass_steps_count 28
+  lslp_pass_steps_sum{pass="seed-collect"} 58
+  lslp_pass_steps_count{pass="seed-collect"} 28
+  lslp_pass_steps_sum{pass="graph-build"} 30
+  lslp_pass_steps_count{pass="graph-build"} 25
+  lslp_pass_steps_sum{pass="cost"} 30
+  lslp_pass_steps_count{pass="cost"} 25
+  lslp_pass_steps_sum{pass="codegen"} 28
+  lslp_pass_steps_count{pass="codegen"} 23
+  lslp_pass_steps_sum{pass="reduction"} 28
+  lslp_pass_steps_count{pass="reduction"} 28
+  lslp_pass_steps_sum{pass="cse"} 28
+  lslp_pass_steps_count{pass="cse"} 28
+  lslp_pass_steps_sum{pass="dce"} 28
+  lslp_pass_steps_count{pass="dce"} 28
+
+The flight recorder tells the same story per job — one kernel's whole
+lifecycle, with the attempt seed pinned (the seed is what replays that
+attempt's fault schedule) and cache events recorded off the pool clock
+(tick -1) under the job's content key:
+
+  $ lslpc batch --jobs 1 --flight-out - 2>/dev/null | grep '"453.boy-surface"'
+  {"seq":0,"tick":0,"event":"enqueued","job":"453.boy-surface","attempt":-1,"seed":0,"detail":""}
+  {"seq":28,"tick":1,"event":"dispatched","job":"453.boy-surface","attempt":0,"seed":0,"detail":""}
+  {"seq":29,"tick":-1,"event":"cache-miss","job":"453.boy-surface","attempt":-1,"seed":0,"detail":"4800ccffa1ba8ea8cfd0d144ece756ca"}
+  {"seq":30,"tick":-1,"event":"cache-insert","job":"453.boy-surface","attempt":-1,"seed":0,"detail":"4800ccffa1ba8ea8cfd0d144ece756ca"}
+  {"seq":31,"tick":2,"event":"completed","job":"453.boy-surface","attempt":0,"seed":0,"detail":"latency=1"}
+
+The dump parses and reconciles through lslpc's own reader:
+
+  $ lslpc batch --jobs 1 --metrics-out m.prom 2>/dev/null >/dev/null
+  $ lslpc metrics-verify m.prom --expect-degradations 0
+  metrics-verify: 176 sample(s) parsed
+  metrics-verify: degradations 0 (as expected)

@@ -24,6 +24,7 @@ let () =
       ("cond", Test_cond.suite);
       ("robust", Test_robust.suite);
       ("telemetry", Test_telemetry.suite);
+      ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
       ("id-gen", Test_id_gen.suite);
       ("lint", Test_lint.suite);

@@ -16,6 +16,8 @@ module Budget = Lslp_robust.Budget
 module Config = Lslp_core.Config
 module Catalog = Lslp_kernels.Catalog
 module Stats = Lslp_telemetry.Pool_stats
+module Flight = Lslp_obs.Flight
+module Registry = Lslp_obs.Registry
 
 let config = Config.lslp
 let unroll = 4
@@ -78,6 +80,75 @@ let fault_survival =
          triple (oneofl Inject.service_points) (int_bound (njobs - 1))
            (int_bound 1000))
        fault_survival_prop)
+
+(* ---- flight recorder vs counters: exact reconciliation ------------- *)
+
+(* For any single service fault, the flight recording and the counter
+   view must tell the same story: every job's recording ends in exactly
+   one terminal event (completed | failed | shed), the per-kind event
+   counts equal the terminal counters, and the histograms saw exactly
+   the jobs their instrumentation point covers — latency one sample per
+   completion, attempts one sample per completed-or-failed job.  No
+   tolerance anywhere: a single double-count or missed event fails. *)
+let metrics_reconcile_prop (point, target, seed) =
+  let spec = Inject.make ~points:[ point ] ~rate:1.0 ~seed () in
+  let inject_for i = if i = target then Some spec else None in
+  let pool = { (quiet_pool 4) with deadline_steps = Some 50_000 } in
+  let svc = Service.create ~cache:true ~inject_for ~pool config in
+  let outcomes = Service.batch svc some_jobs in
+  let s = Service.stats svc in
+  let terminal = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Flight.event) ->
+      match e.Flight.kind with
+      | ("completed" | "failed" | "shed") as kind ->
+        Hashtbl.replace terminal e.Flight.job
+          (kind
+           :: (Option.value ~default:[]
+                 (Hashtbl.find_opt terminal e.Flight.job)))
+      | _ -> ())
+    (Flight.events (Service.flight svc));
+  let count kind =
+    Hashtbl.fold
+      (fun _ kinds acc ->
+        acc + List.length (List.filter (String.equal kind) kinds))
+      terminal 0
+  in
+  let hcount name =
+    match Registry.histogram_view (Service.registry svc) name with
+    | Some v -> v.Registry.hcount
+    | None -> -1
+  in
+  let one_terminal_each =
+    Array.for_all
+      (fun (j : Service.job) ->
+        match Hashtbl.find_opt terminal j.Service.label with
+        | Some [ _ ] -> true
+        | Some _ | None -> false)
+      some_jobs
+  in
+  one_terminal_each
+  && Array.length outcomes = njobs
+  && count "completed" = s.Stats.jobs_completed
+  && count "failed" = s.Stats.jobs_failed
+  && count "shed" = s.Stats.jobs_shed
+  && s.Stats.jobs_completed + s.Stats.jobs_failed + s.Stats.jobs_shed
+     = njobs
+  && s.Stats.jobs_submitted = njobs
+  && hcount "lslp_job_latency_ticks" = s.Stats.jobs_completed
+  && hcount "lslp_job_attempts"
+     = s.Stats.jobs_completed + s.Stats.jobs_failed
+
+let metrics_reconcile =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:24
+       ~name:"any single service fault -> flight events reconcile with stats"
+       ~print:(fun (p, t, s) ->
+         Fmt.str "%s@job%d seed=%d" (Inject.point_name p) t s)
+       QCheck2.Gen.(
+         triple (oneofl Inject.service_points) (int_bound (njobs - 1))
+           (int_bound 1000))
+       metrics_reconcile_prop)
 
 (* ---- pool outcomes ------------------------------------------------- *)
 
@@ -233,6 +304,7 @@ let shard_determinism () =
 let suite =
   [
     fault_survival;
+    metrics_reconcile;
     Helpers.tc "pool: retries exhausted -> typed crash" pool_retries_exhausted;
     Helpers.tc "pool: queue-full fault -> typed shed" pool_shed;
     Helpers.tc "pool: 1-step deadline times every job out" pool_deadline;
